@@ -1,0 +1,157 @@
+// EXP-11 (ablation): which equivalence rule earns its keep?
+//
+// DESIGN.md calls for ablation benches on the design choices; the key
+// one is the rule set itself. For three representative workloads we run
+// the optimizer with the full rule set and with each rule removed, and
+// report the estimated cost of the winning plan (relative to the direct
+// strategy, as cost_reduction_x). A rule "matters" for a workload when
+// removing it collapses the reduction.
+//
+// Workloads:
+//   remote_select — selective query over one remote doc (EXP-1 shape);
+//                   pushdown should matter, delegation can substitute.
+//   shared_join   — join using the same remote doc twice (EXP-4 shape);
+//                   transfer-cache and delegation compete.
+//   over_call     — query over a declarative service call (EXP-7
+//                   shape); push-over-sc should matter.
+
+#include "bench_common.h"
+
+namespace axml {
+namespace {
+
+enum class Workload { kRemoteSelect, kSharedJoin, kOverCall };
+
+struct Setup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId p0, p1;
+  ExprPtr expr;
+};
+
+Setup Build(Workload w) {
+  Setup s;
+  s.sys = std::make_unique<AxmlSystem>(
+      Topology(LinkParams{0.010, 1.0e6}));
+  s.p0 = s.sys->AddPeer("p0");
+  s.p1 = s.sys->AddPeer("p1");
+  Rng rng(11);
+  TreePtr cat = bench::MakeCatalog(1500, s.sys->peer(s.p1)->gen(), &rng);
+  (void)s.sys->InstallDocument(s.p1, "cat", cat);
+  switch (w) {
+    case Workload::kRemoteSelect: {
+      Query q = Query::Parse(
+                    "for $p in input(0)/catalog/product "
+                    "where $p/price < 40 return <r>{ $p/name }</r>")
+                    .value();
+      s.expr = Expr::Apply(q, s.p0, {Expr::Doc("cat", s.p1)});
+      break;
+    }
+    case Workload::kSharedJoin: {
+      Query q = Query::Parse(
+                    "for $a in input(0)/catalog/product "
+                    "for $b in input(1)/catalog/product "
+                    "where $a/name = $b/name and $a/price < 30 "
+                    "return <m>{ $a/name }</m>")
+                    .value();
+      ExprPtr shared = Expr::Doc("cat", s.p1);
+      s.expr = Expr::Apply(q, s.p0, {shared, shared});
+      break;
+    }
+    case Workload::kOverCall: {
+      Query body = Query::Parse(
+                       "for $p in doc(\"cat\")/catalog/product "
+                       "for $k in input(0) where $p/price < $k/max "
+                       "return $p")
+                       .value();
+      (void)s.sys->InstallService(s.p1,
+                                  Service::Declarative("feed", body));
+      Query outer = Query::Parse(
+                        "for $p in input(0) where $p/price < 40 "
+                        "return <r>{ $p/name }</r>")
+                        .value();
+      TreePtr k = TreeNode::Element("k", s.sys->peer(s.p0)->gen());
+      k->AddChild(
+          MakeTextElement("max", "900", s.sys->peer(s.p0)->gen()));
+      s.expr = Expr::Apply(
+          outer, s.p0,
+          {Expr::Call(s.p1, "feed", {Expr::Tree(k, s.p0)})});
+      break;
+    }
+  }
+  return s;
+}
+
+/// 0 = full set, 1..5 = drop one rule (index into the builder list).
+std::vector<std::unique_ptr<RewriteRule>> RuleSetWithout(int dropped) {
+  using Maker = std::unique_ptr<RewriteRule> (*)();
+  static constexpr Maker kMakers[] = {
+      &MakeSelectionPushdownRule, &MakePushQueryOverCallRule,
+      &MakeDelegationRule, &MakeTransferCacheRule,
+      &MakeIntermediaryStopRule};
+  std::vector<std::unique_ptr<RewriteRule>> rules;
+  for (int i = 0; i < 5; ++i) {
+    if (i + 1 == dropped) continue;
+    rules.push_back(kMakers[i]());
+  }
+  return rules;
+}
+
+const char* DroppedName(int dropped) {
+  switch (dropped) {
+    case 0:
+      return "full";
+    case 1:
+      return "no_pushdown";
+    case 2:
+      return "no_push_over_sc";
+    case 3:
+      return "no_delegation";
+    case 4:
+      return "no_transfer_cache";
+    case 5:
+      return "no_intermediary";
+  }
+  return "?";
+}
+
+void RunAblation(benchmark::State& state, Workload w) {
+  Setup s = Build(w);
+  int dropped = static_cast<int>(state.range(0));
+  OptimizerOptions opts;
+  CostModel cm(s.sys.get());
+  double direct = cm.Estimate(s.p0, s.expr).Scalar(opts.weights);
+  for (auto _ : state) {
+    Optimizer opt(s.sys.get(), opts, RuleSetWithout(dropped));
+    OptimizedPlan plan = opt.Optimize(s.p0, s.expr);
+    double best = plan.cost.Scalar(opts.weights);
+    state.counters["cost_reduction_x"] = best > 0 ? direct / best : 0;
+    state.counters["rules_in_plan"] =
+        static_cast<double>(plan.rules_applied.size());
+    benchmark::DoNotOptimize(plan.expr);
+  }
+  state.SetLabel(DroppedName(dropped));
+}
+
+void BM_Ablation_RemoteSelect(benchmark::State& state) {
+  RunAblation(state, Workload::kRemoteSelect);
+}
+void BM_Ablation_SharedJoin(benchmark::State& state) {
+  RunAblation(state, Workload::kSharedJoin);
+}
+void BM_Ablation_OverCall(benchmark::State& state) {
+  RunAblation(state, Workload::kOverCall);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t dropped = 0; dropped <= 5; ++dropped) b->Arg(dropped);
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Ablation_RemoteSelect)->Apply(Sweep);
+BENCHMARK(BM_Ablation_SharedJoin)->Apply(Sweep);
+BENCHMARK(BM_Ablation_OverCall)->Apply(Sweep);
+
+}  // namespace
+}  // namespace axml
+
+BENCHMARK_MAIN();

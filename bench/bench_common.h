@@ -1,0 +1,72 @@
+// Shared helpers for the experiment benchmarks (EXP-1 .. EXP-10, see
+// DESIGN.md §3 for the per-experiment index).
+//
+// Convention: each benchmark reports the *simulated* quantities the
+// paper's claims are about as google-benchmark counters:
+//   sim_s        — virtual seconds until the evaluation quiesced
+//   remote_KB    — kilobytes shipped between distinct peers
+//   msgs         — messages between distinct peers
+//   results      — trees produced at the consumer
+// Wall-clock time (the default benchmark column) measures the simulator
+// itself and is not the experiment's subject.
+
+#ifndef AXML_BENCH_BENCH_COMMON_H_
+#define AXML_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "opt/optimizer.h"
+#include "peer/system.h"
+#include "xml/tree.h"
+
+namespace axml {
+namespace bench {
+
+/// Builds the product-catalog workload (same generator as the tests).
+inline TreePtr MakeCatalog(size_t n_products, NodeIdGen* gen, Rng* rng,
+                           size_t desc_bytes = 24) {
+  TreePtr catalog = TreeNode::Element("catalog", gen);
+  for (size_t i = 0; i < n_products; ++i) {
+    TreePtr prod = TreeNode::Element("product", gen);
+    prod->AddChild(MakeTextElement("name", StrCat("item", i), gen));
+    prod->AddChild(MakeTextElement(
+        "price", std::to_string(rng->Uniform(1000)), gen));
+    prod->AddChild(MakeTextElement("category", StrCat("c", i % 10), gen));
+    if (desc_bytes > 0) {
+      prod->AddChild(
+          MakeTextElement("desc", rng->Identifier(desc_bytes), gen));
+    }
+    catalog->AddChild(std::move(prod));
+  }
+  return catalog;
+}
+
+/// Runs eval@at(e) on a fresh evaluator and records the standard
+/// counters on `state`. Aborts the benchmark on evaluation errors.
+inline void EvalAndRecord(benchmark::State& state, AxmlSystem* sys,
+                          PeerId at, const ExprPtr& e) {
+  sys->network().mutable_stats()->Reset();
+  const SimTime t0 = sys->loop().now();
+  Evaluator ev(sys);
+  auto out = ev.Eval(at, e);
+  if (!out.ok()) {
+    state.SkipWithError(out.status().ToString().c_str());
+    return;
+  }
+  state.counters["sim_s"] = sys->loop().now() - t0;
+  state.counters["remote_KB"] =
+      static_cast<double>(sys->network().stats().remote_bytes()) / 1024.0;
+  state.counters["msgs"] =
+      static_cast<double>(sys->network().stats().remote_messages());
+  state.counters["results"] = static_cast<double>(out->results.size());
+}
+
+}  // namespace bench
+}  // namespace axml
+
+#endif  // AXML_BENCH_BENCH_COMMON_H_

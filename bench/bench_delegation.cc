@@ -1,0 +1,78 @@
+// EXP-2: query delegation (rule (10)).
+//
+// Claim under test: evaluating q(t) at p1 equals sending q and t to a
+// peer p2, evaluating there, and shipping the results back — and this
+// pays off when p2 is substantially faster (or less loaded) than p1.
+//
+// Sweep: input size N x compute-speed ratio between the weak caller and
+// the strong helper. Expected shape: delegation loses at ratio 1 (pure
+// shipping overhead) and wins beyond a crossover ratio that drops as N
+// grows.
+
+#include "bench_common.h"
+
+namespace axml {
+namespace {
+
+struct Setup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId weak, strong;
+  ExprPtr expr;
+};
+
+Setup Build(int64_t n, int64_t speed_ratio) {
+  Setup s;
+  s.sys = std::make_unique<AxmlSystem>(
+      Topology(LinkParams{0.005, 2.0e6}));
+  s.weak = s.sys->AddPeer("weak");
+  s.strong = s.sys->AddPeer("strong");
+  s.sys->peer(s.weak)->set_compute_speed(2.0e4);
+  s.sys->peer(s.strong)->set_compute_speed(2.0e4 *
+                                           static_cast<double>(speed_ratio));
+  Rng rng(42);
+  TreePtr t = bench::MakeCatalog(static_cast<size_t>(n),
+                                 s.sys->peer(s.weak)->gen(), &rng);
+  (void)s.sys->InstallDocument(s.weak, "t", t);
+  // A self-join: compute-heavy relative to its output.
+  Query q = Query::Parse(
+                "for $a in input(0)/catalog/product "
+                "for $b in input(0)/catalog/product "
+                "where $a/name = $b/name and $a/price < 20 "
+                "return <m>{ $a/name }</m>")
+                .value();
+  s.expr = Expr::Apply(q, s.weak, {Expr::Doc("t", s.weak)});
+  return s;
+}
+
+void BM_Delegation_Local(benchmark::State& state) {
+  Setup s = Build(state.range(0), state.range(1));
+  for (auto _ : state) {
+    bench::EvalAndRecord(state, s.sys.get(), s.weak, s.expr);
+  }
+}
+
+void BM_Delegation_Delegated(benchmark::State& state) {
+  Setup s = Build(state.range(0), state.range(1));
+  // Rule (10): send q and t to the strong peer, results come back.
+  ExprPtr e = Expr::EvalAt(s.strong, s.expr);
+  for (auto _ : state) {
+    bench::EvalAndRecord(state, s.sys.get(), s.weak, e);
+  }
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {64, 256}) {
+    for (int64_t ratio : {1, 4, 16, 64}) {
+      b->Args({n, ratio});
+    }
+  }
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Delegation_Local)->Apply(Sweep);
+BENCHMARK(BM_Delegation_Delegated)->Apply(Sweep);
+
+}  // namespace
+}  // namespace axml
+
+BENCHMARK_MAIN();

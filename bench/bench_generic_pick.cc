@@ -1,0 +1,107 @@
+// EXP-6: generic documents and pick policies (§2.3 + definition (9)).
+//
+// Claim under test: "The implementation of an actual pick function at p
+// depends on p's knowledge of the existing documents and services, p's
+// preferences etc." — i.e. the policy matters. We replicate a document
+// on k mirrors at random distances and fetch it from a client under
+// each policy.
+//
+// Sweep: replica count k x policy. Expected shape: nearest beats
+// random/first on fetch time, the gap widening with k (more chances of
+// a close replica); least-loaded sacrifices latency for balance
+// (reported as max_picks over the mirrors after 20 fetches).
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace axml {
+namespace {
+
+struct Setup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId client;
+  std::vector<PeerId> mirrors;
+};
+
+Setup Build(int64_t k) {
+  Setup s;
+  Rng topo_rng(k * 7 + 1);
+  Topology topo = Topology::RandomUniform(
+      static_cast<uint32_t>(k + 1), LinkParams{0.002, 5.0e5},
+      LinkParams{0.200, 5.0e6}, &topo_rng);
+  s.sys = std::make_unique<AxmlSystem>(std::move(topo));
+  s.client = s.sys->AddPeer("client");
+  Rng rng(6);
+  NodeIdGen tmp;
+  TreePtr content = bench::MakeCatalog(200, &tmp, &rng);
+  std::vector<PeerId> replicas;
+  for (int64_t i = 0; i < k; ++i) {
+    PeerId m = s.sys->AddPeer(StrCat("mirror", i));
+    replicas.push_back(m);
+  }
+  (void)s.sys->InstallReplicatedDocument("ecat", "cat", content, replicas);
+  s.mirrors = replicas;
+  return s;
+}
+
+void RunPolicy(benchmark::State& state, PickPolicy policy) {
+  Setup s = Build(state.range(0));
+  EvalOptions opts;
+  opts.pick_policy = policy;
+  for (auto _ : state) {
+    s.sys->network().mutable_stats()->Reset();
+    s.sys->generics().ResetPickCounts();
+    s.sys->generics().SeedRandom(99);
+    Evaluator ev(s.sys.get(), opts);
+    const SimTime t0 = s.sys->loop().now();
+    double total = 0;
+    const int kFetches = 20;
+    for (int i = 0; i < kFetches; ++i) {
+      auto out = ev.Eval(s.client, Expr::GenericDoc("ecat"));
+      if (!out.ok()) {
+        state.SkipWithError(out.status().ToString().c_str());
+        return;
+      }
+      total += out->Duration();
+    }
+    state.counters["avg_fetch_s"] = total / kFetches;
+    state.counters["remote_KB"] =
+        static_cast<double>(s.sys->network().stats().remote_bytes()) /
+        1024.0;
+    uint64_t max_picks = 0;
+    for (PeerId m : s.mirrors) {
+      max_picks = std::max(max_picks, s.sys->generics().PickCount(m));
+    }
+    state.counters["max_picks"] = static_cast<double>(max_picks);
+    state.counters["sim_s"] = s.sys->loop().now() - t0;
+  }
+}
+
+void BM_Pick_First(benchmark::State& state) {
+  RunPolicy(state, PickPolicy::kFirst);
+}
+void BM_Pick_Random(benchmark::State& state) {
+  RunPolicy(state, PickPolicy::kRandom);
+}
+void BM_Pick_Nearest(benchmark::State& state) {
+  RunPolicy(state, PickPolicy::kNearest);
+}
+void BM_Pick_LeastLoaded(benchmark::State& state) {
+  RunPolicy(state, PickPolicy::kLeastLoaded);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t k : {2, 4, 8, 16}) b->Args({k});
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Pick_First)->Apply(Sweep);
+BENCHMARK(BM_Pick_Random)->Apply(Sweep);
+BENCHMARK(BM_Pick_Nearest)->Apply(Sweep);
+BENCHMARK(BM_Pick_LeastLoaded)->Apply(Sweep);
+
+}  // namespace
+}  // namespace axml
+
+BENCHMARK_MAIN();

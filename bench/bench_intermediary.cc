@@ -1,0 +1,91 @@
+// EXP-5: intermediary stops (rule (12), both directions).
+//
+// Claim under test: "Read from right to left, [rule (12)] shows that
+// data in transit from p0 to p2 may make an intermediary stop at
+// another peer p1. Read from left to right, it shows that such an
+// intermediary halt may be avoided. While it may seem that rule (12)
+// should always be applied left to right, this is not always true!"
+//
+// Two topologies:
+//   FastRelay — the direct p0→p2 link is terrible, both relay legs are
+//               excellent (e.g. a transcontinental link vs two good
+//               regional hops): the stop wins.
+//   SlowRelay — uniform links: the stop only adds latency and loses.
+// Sweep: payload size.
+
+#include "bench_common.h"
+
+namespace axml {
+namespace {
+
+struct Setup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId src, relay, dst;
+};
+
+Setup Build(bool fast_relay, int64_t n) {
+  Setup s;
+  LinkParams direct =
+      fast_relay ? LinkParams{0.400, 5.0e4} : LinkParams{0.020, 1.0e6};
+  s.sys = std::make_unique<AxmlSystem>(Topology(direct));
+  s.src = s.sys->AddPeer("src");
+  s.relay = s.sys->AddPeer("relay");
+  s.dst = s.sys->AddPeer("dst");
+  if (fast_relay) {
+    LinkParams good{0.005, 1.0e7};
+    s.sys->network().mutable_topology()->SetLinkSymmetric(s.src, s.relay,
+                                                          good);
+    s.sys->network().mutable_topology()->SetLinkSymmetric(s.relay, s.dst,
+                                                          good);
+  }
+  Rng rng(12);
+  TreePtr t = bench::MakeCatalog(static_cast<size_t>(n),
+                                 s.sys->peer(s.src)->gen(), &rng);
+  (void)s.sys->InstallDocument(s.src, "t", t);
+  return s;
+}
+
+void RunDirect(benchmark::State& state, bool fast_relay) {
+  Setup s = Build(fast_relay, state.range(0));
+  ExprPtr e = Expr::Doc("t", s.src);
+  for (auto _ : state) {
+    bench::EvalAndRecord(state, s.sys.get(), s.dst, e);
+  }
+}
+
+void RunViaRelay(benchmark::State& state, bool fast_relay) {
+  Setup s = Build(fast_relay, state.range(0));
+  // Right-to-left (12): the tree stops at the relay on its way.
+  ExprPtr e = Expr::EvalAt(s.relay, Expr::Doc("t", s.src));
+  for (auto _ : state) {
+    bench::EvalAndRecord(state, s.sys.get(), s.dst, e);
+  }
+}
+
+void BM_Intermediary_FastRelay_Direct(benchmark::State& state) {
+  RunDirect(state, true);
+}
+void BM_Intermediary_FastRelay_ViaRelay(benchmark::State& state) {
+  RunViaRelay(state, true);
+}
+void BM_Intermediary_SlowRelay_Direct(benchmark::State& state) {
+  RunDirect(state, false);
+}
+void BM_Intermediary_SlowRelay_ViaRelay(benchmark::State& state) {
+  RunViaRelay(state, false);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {32, 256, 1024}) b->Args({n});
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Intermediary_FastRelay_Direct)->Apply(Sweep);
+BENCHMARK(BM_Intermediary_FastRelay_ViaRelay)->Apply(Sweep);
+BENCHMARK(BM_Intermediary_SlowRelay_Direct)->Apply(Sweep);
+BENCHMARK(BM_Intermediary_SlowRelay_ViaRelay)->Apply(Sweep);
+
+}  // namespace
+}  // namespace axml
+
+BENCHMARK_MAIN();

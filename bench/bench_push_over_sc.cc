@@ -1,0 +1,92 @@
+// EXP-7: pushing queries over service calls (rule (16)).
+//
+// Claim under test: for q over the result of a call to a *declarative*
+// service s1@p1 (implemented by q1), "ship q and the service call
+// parameters to p1, and ask it to evaluate q directly over
+// q1(parList)" — so only q's (small) answers travel, not q1's (large)
+// intermediate stream.
+//
+// Sweep: feed size N x outer-query bound θ (how much q shrinks the
+// feed). Expected shape: the rewritten strategy's transfer volume
+// tracks θ while the naive one stays flat at the full feed size.
+
+#include "bench_common.h"
+
+namespace axml {
+namespace {
+
+struct Setup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId caller, provider;
+  Query outer;
+  ExprPtr param;
+};
+
+Setup Build(int64_t n, int64_t theta) {
+  Setup s;
+  s.sys = std::make_unique<AxmlSystem>(
+      Topology(LinkParams{0.020, 1.0e6}));
+  s.caller = s.sys->AddPeer("caller");
+  s.provider = s.sys->AddPeer("provider");
+  Rng rng(16);
+  TreePtr cat = bench::MakeCatalog(static_cast<size_t>(n),
+                                   s.sys->peer(s.provider)->gen(), &rng);
+  (void)s.sys->InstallDocument(s.provider, "cat", cat);
+  // q1: the service body unnests the full feed (large output).
+  Query q1 = Query::Parse(
+                 "for $p in doc(\"cat\")/catalog/product "
+                 "for $k in input(0) where $p/price < $k/max return $p")
+                 .value();
+  (void)s.sys->InstallService(s.provider,
+                              Service::Declarative("feed", q1));
+  // q: the consumer keeps only a θ-slice.
+  s.outer = Query::Parse(StrCat(
+                "for $p in input(0) where $p/price < ", theta,
+                " return <cheap>{ $p/name }</cheap>"))
+                .value();
+  TreePtr k = TreeNode::Element("k", s.sys->peer(s.caller)->gen());
+  k->AddChild(
+      MakeTextElement("max", "1000", s.sys->peer(s.caller)->gen()));
+  s.param = Expr::Tree(k, s.caller);
+  return s;
+}
+
+void BM_PushOverSc_Naive(benchmark::State& state) {
+  Setup s = Build(state.range(0), state.range(1));
+  // Definition (6): the full feed returns to the caller, q runs there.
+  ExprPtr e = Expr::Apply(
+      s.outer, s.caller,
+      {Expr::Call(s.provider, "feed", {s.param})});
+  for (auto _ : state) {
+    bench::EvalAndRecord(state, s.sys.get(), s.caller, e);
+  }
+}
+
+void BM_PushOverSc_Rule16(benchmark::State& state) {
+  Setup s = Build(state.range(0), state.range(1));
+  // Rule (16): q composes with q1 at the provider.
+  ExprPtr e = Expr::EvalAt(
+      s.provider,
+      Expr::Apply(s.outer, s.caller,
+                  {Expr::Call(s.provider, "feed", {s.param})}));
+  for (auto _ : state) {
+    bench::EvalAndRecord(state, s.sys.get(), s.caller, e);
+  }
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {256, 1024}) {
+    for (int64_t theta : {20, 100, 500}) {
+      b->Args({n, theta});
+    }
+  }
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_PushOverSc_Naive)->Apply(Sweep);
+BENCHMARK(BM_PushOverSc_Rule16)->Apply(Sweep);
+
+}  // namespace
+}  // namespace axml
+
+BENCHMARK_MAIN();

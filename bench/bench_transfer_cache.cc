@@ -1,0 +1,82 @@
+// EXP-4: transfer caching (rule (13)).
+//
+// Claim under test: when two subexpressions both transfer t@p1,
+// materializing t once as a local document d@p and reading the copy
+// saves a transfer — at the price of serializing the two consumers
+// ("breaks the parallelism between e2 and e3's evaluations. This may be
+// worth it if t is large.")
+//
+// Sweep: size of t. Expected shape: Cached moves ~half the bytes at any
+// size; on completion time there is a crossover — for tiny t the lost
+// parallelism and the install round-trip make Cached slower, for large
+// t the saved transfer dominates.
+
+#include "bench_common.h"
+
+namespace axml {
+namespace {
+
+struct Setup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId p0, p1;
+  Query q;
+};
+
+Setup Build(int64_t n) {
+  Setup s;
+  // High-latency link so the install round-trip is visible.
+  s.sys = std::make_unique<AxmlSystem>(
+      Topology(LinkParams{0.100, 2.0e6}));
+  s.p0 = s.sys->AddPeer("p0");
+  s.p1 = s.sys->AddPeer("p1");
+  Rng rng(13);
+  TreePtr t = bench::MakeCatalog(static_cast<size_t>(n),
+                                 s.sys->peer(s.p1)->gen(), &rng);
+  (void)s.sys->InstallDocument(s.p1, "big", t);
+  s.q = Query::Parse(
+            "for $a in input(0)/catalog/product "
+            "for $b in input(1)/catalog/product "
+            "where $a/name = $b/name and $a/price < 25 "
+            "return <m>{ $a/name }</m>")
+            .value();
+  return s;
+}
+
+void BM_Cache_DoubleTransfer(benchmark::State& state) {
+  Setup s = Build(state.range(0));
+  ExprPtr shared = Expr::Doc("big", s.p1);
+  ExprPtr e = Expr::Apply(s.q, s.p0, {shared, shared});
+  for (auto _ : state) {
+    bench::EvalAndRecord(state, s.sys.get(), s.p0, e);
+  }
+}
+
+void BM_Cache_Materialized(benchmark::State& state) {
+  Setup s = Build(state.range(0));
+  // Rule (13) RHS: install once, then both uses read the local copy.
+  ExprPtr install = Expr::EvalAt(
+      s.p1, Expr::SendAsDoc("cache", s.p0, Expr::Doc("big", s.p1)));
+  ExprPtr use = Expr::Apply(
+      s.q, s.p0, {Expr::Doc("cache", s.p0), Expr::Doc("cache", s.p0)});
+  ExprPtr e = Expr::Seq(install, use);
+  for (auto _ : state) {
+    bench::EvalAndRecord(state, s.sys.get(), s.p0, e);
+    // Seq installs once per evaluation; drop the cache for re-runs.
+    (void)s.sys->peer(s.p0)->RemoveDocument("cache");
+  }
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {8, 64, 512, 2048}) {
+    b->Args({n});
+  }
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Cache_DoubleTransfer)->Apply(Sweep);
+BENCHMARK(BM_Cache_Materialized)->Apply(Sweep);
+
+}  // namespace
+}  // namespace axml
+
+BENCHMARK_MAIN();

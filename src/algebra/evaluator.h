@@ -1,0 +1,183 @@
+// Operational semantics of the algebra: eval@p(e) as a distributed
+// dataflow over the simulated network (§3.2, definitions (1)-(9)).
+//
+// Mapping of the definitions to the implementation:
+//  (1) tree evaluation — a local tree is emitted once its embedded
+//      service calls (if any) have delivered their responses; responses
+//      accumulate as siblings of the sc node, as in §2.2.
+//  (2) local query application — a standing QueryInstance at the
+//      evaluating peer; arrivals are charged compute time.
+//  (3)/(4) send — results of the payload, evaluated at the current peer,
+//      are copied (fresh node ids at the destination) and shipped with
+//      latency/bandwidth charging; multi-destination sends fan out one
+//      copy per target node. A send returns ∅ locally.
+//  (5) remote data — a tree/document owned by another peer is evaluated
+//      at its owner and the results shipped to the evaluating peer.
+//  (6) service call — parameters are evaluated at the caller, shipped to
+//      the provider, run through the service's query (or native body),
+//      and the responses are shipped to the forward list — or back to
+//      the caller when the forward list is empty (the pre-extension
+//      default).
+//  (7) remote query — the query text is shipped from its defining peer
+//      to the evaluating peer before the instance starts.
+//  (8) query shipping — installs the query as a new service at the
+//      destination; ∅ locally.
+//  (9) generic references — resolved via the system catalog (charged
+//      discovery traffic) + GenericCatalog pick policy, then evaluated
+//      as the chosen concrete resource.
+//
+// Undefined cases are honored: sending a tree the current peer does not
+// own fails with StatusCode::kUndefined ("p2 cannot send something it
+// doesn't have", §3.2).
+//
+// The evaluator also hosts the AXML document runtime (§2.2): activating
+// sc nodes embedded in installed documents, with immediate / lazy /
+// after-call modes.
+
+#ifndef AXML_ALGEBRA_EVALUATOR_H_
+#define AXML_ALGEBRA_EVALUATOR_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "peer/system.h"
+
+namespace axml {
+
+/// Knobs for one evaluation.
+struct EvalOptions {
+  /// How def. (9) picks among generic-class members.
+  PickPolicy pick_policy = PickPolicy::kNearest;
+  /// Charge catalog traffic when resolving @any references.
+  bool charge_discovery = true;
+  /// Enforce service signatures on parameters and responses.
+  bool type_check = true;
+  /// Record a timestamped trace of distributed events (ships, service
+  /// starts, installs, activations, generic picks). See
+  /// Evaluator::trace().
+  bool trace = false;
+};
+
+/// One entry of the evaluation trace.
+struct TraceEvent {
+  SimTime time = 0;
+  std::string what;
+};
+
+/// What an evaluation produced and what it cost.
+struct EvalOutcome {
+  /// Result stream collected at the evaluating peer.
+  std::vector<TreePtr> results;
+  /// Virtual time when the evaluation started / fully quiesced.
+  SimTime start_time = 0;
+  SimTime completion_time = 0;
+  /// Wall-clock of the evaluation in virtual seconds.
+  double Duration() const { return completion_time - start_time; }
+};
+
+/// Evaluates algebra expressions against an AxmlSystem.
+///
+/// One Evaluator may run many evaluations; network statistics accumulate
+/// in the system (reset them between measurements).
+class Evaluator {
+ public:
+  explicit Evaluator(AxmlSystem* system, EvalOptions options = {});
+
+  /// eval@p(e): deploys the expression, runs the system to quiescence,
+  /// returns the collected results. Errors raised asynchronously (type
+  /// mismatches, unknown services, undefined sends) surface here.
+  Result<EvalOutcome> Eval(PeerId p, const ExprPtr& e);
+
+  /// Asynchronous deployment: results stream into `emit` at peer `p` as
+  /// the loop runs. Callers drive the loop themselves (or call
+  /// RunToQuiescence).
+  Status Deploy(PeerId p, const ExprPtr& e, EmitFn emit);
+
+  /// Runs the event loop and deferred continuations until nothing is
+  /// left. Returns events executed.
+  uint64_t RunToQuiescence();
+
+  /// Registers `fn` to run after the loop next drains (used for
+  /// stream-completion semantics: "all responses have arrived").
+  void AtQuiescence(std::function<void()> fn);
+
+  // --- AXML document runtime (§2.2) ---
+
+  /// Installs an AXML document and activates its immediate-mode calls
+  /// (and, transitively, after-call chains).
+  Status InstallAxmlDocument(PeerId host, DocName name, TreePtr root);
+
+  /// Activates the service call at node `sc_node` of a document hosted
+  /// by `host`. Responses accumulate as siblings of the sc node (or at
+  /// the call's forward list).
+  Status ActivateCall(PeerId host, NodeId sc_node);
+
+  /// Activates every lazy-mode call of `doc` (the "query needs the
+  /// result" trigger of §2.2); used by doc() evaluation.
+  Status ActivateLazyCalls(PeerId host, const DocName& doc);
+
+  /// First error raised asynchronously since the last Eval, if any.
+  const Status& async_status() const { return async_status_; }
+
+  /// Trace events recorded so far (empty unless options.trace). Cleared
+  /// at each Eval().
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  /// One line per event: "[  0.020s] ship p0->p1 123B".
+  std::string FormatTrace() const;
+
+  AxmlSystem* system() { return sys_; }
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  struct DeployCtx;
+
+  /// Core recursion: evaluate `e` in the context of peer `ctx`,
+  /// delivering each result tree at `ctx` through `emit`.
+  void DeployExpr(PeerId ctx, const ExprPtr& e, EmitFn emit);
+
+  void DeployTreeLocal(PeerId owner, const TreePtr& tree, EmitFn emit);
+  void DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit);
+  void DeployApply(PeerId ctx, const ExprPtr& e, EmitFn emit);
+  void DeployCall(PeerId ctx, const ExprPtr& e, EmitFn emit);
+  void DeploySend(PeerId ctx, const ExprPtr& e, EmitFn emit);
+  void DeployShipQuery(PeerId ctx, const ExprPtr& e, EmitFn emit);
+  void DeployEvalAt(PeerId ctx, const ExprPtr& e, EmitFn emit);
+  void DeploySeq(PeerId ctx, const ExprPtr& e, EmitFn emit);
+
+  /// Copies `tree` to `to` (fresh ids minted there), charging the link,
+  /// and invokes `deliver` with the landed copy at arrival time.
+  void Ship(PeerId from, PeerId to, const TreePtr& tree,
+            std::function<void(TreePtr)> deliver);
+
+  /// Records an asynchronous failure (first one wins).
+  void Fail(Status s);
+
+  /// Appends a trace event at the current virtual time (no-op unless
+  /// options.trace).
+  void Trace(std::string what);
+
+  /// Starts the provider-side engine of a service call; returns a sink
+  /// accepting (param_index, tree) at the provider, or null on error.
+  using ParamSink = std::function<void(int, TreePtr)>;
+  ParamSink StartServiceInstance(PeerId provider, const Service& svc,
+                                 std::function<void(TreePtr)> on_result);
+
+  AxmlSystem* sys_;
+  EvalOptions options_;
+  Status async_status_;
+  std::deque<std::function<void()>> finalizers_;
+  /// Keeps standing query instances alive for the evaluator's lifetime.
+  std::vector<std::shared_ptr<void>> retained_;
+  /// sc nodes already activated (activation is idempotent, and after-call
+  /// chains must not loop).
+  std::unordered_set<NodeId> activated_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace axml
+
+#endif  // AXML_ALGEBRA_EVALUATOR_H_

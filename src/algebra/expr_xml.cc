@@ -1,0 +1,286 @@
+#include "algebra/expr_xml.h"
+
+#include "common/str_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+
+namespace axml {
+namespace {
+
+std::string PeerAttr(PeerId p) {
+  return p.is_any() ? "any" : std::to_string(p.index());
+}
+
+Result<PeerId> ParsePeerAttr(const std::string& s) {
+  if (s == "any") return PeerId::Any();
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size()) {
+    return Status::ParseError(StrCat("bad peer attribute \"", s, "\""));
+  }
+  return PeerId(static_cast<uint32_t>(v));
+}
+
+TreePtr Attr(std::string_view name, std::string value, NodeIdGen* gen) {
+  return MakeTextElement(StrCat("@", name), std::move(value), gen);
+}
+
+/// Returns the value of attribute-child `@name`, or "" when absent.
+std::string GetAttr(const TreeNode& node, std::string_view name) {
+  std::string want = StrCat("@", name);
+  for (const auto& c : node.children()) {
+    if (c->is_element() && c->label_text() == want) {
+      return c->StringValue();
+    }
+  }
+  return "";
+}
+
+bool IsAttr(const TreeNode& n) {
+  return n.is_element() && !n.label_text().empty() &&
+         n.label_text()[0] == '@';
+}
+
+}  // namespace
+
+TreePtr ExprToXml(const Expr& e, NodeIdGen* gen) {
+  switch (e.kind()) {
+    case Expr::Kind::kTree: {
+      TreePtr n = TreeNode::Element("x:tree", gen);
+      n->AddChild(Attr("peer", PeerAttr(e.tree_owner()), gen));
+      n->AddChild(e.tree()->Clone(gen));
+      return n;
+    }
+    case Expr::Kind::kDoc: {
+      TreePtr n = TreeNode::Element("x:doc", gen);
+      n->AddChild(Attr("name", e.doc_name(), gen));
+      n->AddChild(Attr("peer", PeerAttr(e.doc_peer()), gen));
+      return n;
+    }
+    case Expr::Kind::kApply: {
+      TreePtr n = TreeNode::Element("x:apply", gen);
+      n->AddChild(Attr("peer", PeerAttr(e.query_peer()), gen));
+      n->AddChild(MakeTextElement("x:query", e.query().text(), gen));
+      for (const auto& a : e.args()) {
+        TreePtr arg = TreeNode::Element("x:arg", gen);
+        arg->AddChild(ExprToXml(*a, gen));
+        n->AddChild(std::move(arg));
+      }
+      return n;
+    }
+    case Expr::Kind::kCall: {
+      TreePtr n = TreeNode::Element("x:call", gen);
+      n->AddChild(Attr("peer", PeerAttr(e.provider()), gen));
+      n->AddChild(Attr("service", e.service(), gen));
+      for (const auto& p : e.params()) {
+        TreePtr param = TreeNode::Element("x:param", gen);
+        param->AddChild(ExprToXml(*p, gen));
+        n->AddChild(std::move(param));
+      }
+      for (const auto& f : e.forwards()) {
+        n->AddChild(MakeTextElement("x:forw", f.ToString(), gen));
+      }
+      return n;
+    }
+    case Expr::Kind::kSend: {
+      const Expr::SendDest& d = e.dest();
+      switch (d.kind) {
+        case Expr::SendDest::Kind::kPeer: {
+          TreePtr n = TreeNode::Element("x:send", gen);
+          n->AddChild(Attr("peer", PeerAttr(d.peer), gen));
+          n->AddChild(ExprToXml(*e.payload(), gen));
+          return n;
+        }
+        case Expr::SendDest::Kind::kNodes: {
+          TreePtr n = TreeNode::Element("x:sendNodes", gen);
+          for (const auto& loc : d.nodes) {
+            n->AddChild(MakeTextElement("x:to", loc.ToString(), gen));
+          }
+          n->AddChild(ExprToXml(*e.payload(), gen));
+          return n;
+        }
+        case Expr::SendDest::Kind::kNewDoc: {
+          TreePtr n = TreeNode::Element("x:sendDoc", gen);
+          n->AddChild(Attr("name", d.doc_name, gen));
+          n->AddChild(Attr("peer", PeerAttr(d.peer), gen));
+          n->AddChild(ExprToXml(*e.payload(), gen));
+          return n;
+        }
+      }
+      break;
+    }
+    case Expr::Kind::kShipQuery: {
+      TreePtr n = TreeNode::Element("x:shipQuery", gen);
+      n->AddChild(Attr("peer", PeerAttr(e.ship_dest()), gen));
+      n->AddChild(Attr("qpeer", PeerAttr(e.query_peer()), gen));
+      n->AddChild(Attr("as", e.install_as(), gen));
+      n->AddChild(MakeTextElement("x:query", e.query().text(), gen));
+      return n;
+    }
+    case Expr::Kind::kEvalAt: {
+      TreePtr n = TreeNode::Element("x:evalAt", gen);
+      n->AddChild(Attr("peer", PeerAttr(e.eval_where()), gen));
+      n->AddChild(ExprToXml(*e.body(), gen));
+      return n;
+    }
+    case Expr::Kind::kSeq: {
+      TreePtr n = TreeNode::Element("x:seq", gen);
+      n->AddChild(ExprToXml(*e.first(), gen));
+      n->AddChild(ExprToXml(*e.then(), gen));
+      return n;
+    }
+  }
+  return nullptr;
+}
+
+std::string SerializeCompactExpr(const Expr& e, NodeIdGen* gen) {
+  TreePtr t = ExprToXml(e, gen);
+  return SerializeCompact(*t);
+}
+
+namespace {
+
+/// Non-attribute element children of `node`.
+std::vector<TreePtr> ElemChildren(const TreeNode& node) {
+  std::vector<TreePtr> out;
+  for (const auto& c : node.children()) {
+    if (c->is_element() && !IsAttr(*c)) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExprPtr> ExprFromXml(const TreeNode& node) {
+  if (!node.is_element()) {
+    return Status::ParseError("expression node must be an element");
+  }
+  const std::string& label = node.label_text();
+  if (label == "x:tree") {
+    AXML_ASSIGN_OR_RETURN(PeerId p, ParsePeerAttr(GetAttr(node, "peer")));
+    std::vector<TreePtr> kids = ElemChildren(node);
+    if (kids.size() != 1) {
+      return Status::ParseError("x:tree needs exactly one tree child");
+    }
+    return Expr::Tree(kids[0], p);
+  }
+  if (label == "x:doc") {
+    AXML_ASSIGN_OR_RETURN(PeerId p, ParsePeerAttr(GetAttr(node, "peer")));
+    return Expr::Doc(GetAttr(node, "name"), p);
+  }
+  if (label == "x:apply") {
+    AXML_ASSIGN_OR_RETURN(PeerId p, ParsePeerAttr(GetAttr(node, "peer")));
+    Query q;
+    std::vector<ExprPtr> args;
+    for (const auto& c : ElemChildren(node)) {
+      if (c->label_text() == "x:query") {
+        AXML_ASSIGN_OR_RETURN(q, Query::Parse(c->StringValue()));
+      } else if (c->label_text() == "x:arg") {
+        std::vector<TreePtr> inner = ElemChildren(*c);
+        if (inner.size() != 1) {
+          return Status::ParseError("x:arg needs exactly one child");
+        }
+        AXML_ASSIGN_OR_RETURN(ExprPtr arg, ExprFromXml(*inner[0]));
+        args.push_back(std::move(arg));
+      }
+    }
+    if (!q.valid()) return Status::ParseError("x:apply lacks x:query");
+    return Expr::Apply(std::move(q), p, std::move(args));
+  }
+  if (label == "x:call") {
+    AXML_ASSIGN_OR_RETURN(PeerId p, ParsePeerAttr(GetAttr(node, "peer")));
+    std::vector<ExprPtr> params;
+    std::vector<NodeLocation> forwards;
+    for (const auto& c : ElemChildren(node)) {
+      if (c->label_text() == "x:param") {
+        std::vector<TreePtr> inner = ElemChildren(*c);
+        if (inner.size() != 1) {
+          return Status::ParseError("x:param needs exactly one child");
+        }
+        AXML_ASSIGN_OR_RETURN(ExprPtr param, ExprFromXml(*inner[0]));
+        params.push_back(std::move(param));
+      } else if (c->label_text() == "x:forw") {
+        AXML_ASSIGN_OR_RETURN(NodeLocation loc,
+                              NodeLocation::Parse(c->StringValue()));
+        forwards.push_back(loc);
+      }
+    }
+    return Expr::Call(p, GetAttr(node, "service"), std::move(params),
+                      std::move(forwards));
+  }
+  if (label == "x:send") {
+    AXML_ASSIGN_OR_RETURN(PeerId p, ParsePeerAttr(GetAttr(node, "peer")));
+    std::vector<TreePtr> kids = ElemChildren(node);
+    if (kids.size() != 1) {
+      return Status::ParseError("x:send needs exactly one payload");
+    }
+    AXML_ASSIGN_OR_RETURN(ExprPtr payload, ExprFromXml(*kids[0]));
+    return Expr::SendToPeer(p, std::move(payload));
+  }
+  if (label == "x:sendNodes") {
+    std::vector<NodeLocation> locs;
+    ExprPtr payload;
+    for (const auto& c : ElemChildren(node)) {
+      if (c->label_text() == "x:to") {
+        AXML_ASSIGN_OR_RETURN(NodeLocation loc,
+                              NodeLocation::Parse(c->StringValue()));
+        locs.push_back(loc);
+      } else {
+        AXML_ASSIGN_OR_RETURN(payload, ExprFromXml(*c));
+      }
+    }
+    if (payload == nullptr || locs.empty()) {
+      return Status::ParseError("x:sendNodes needs x:to list and payload");
+    }
+    return Expr::SendToNodes(std::move(locs), std::move(payload));
+  }
+  if (label == "x:sendDoc") {
+    AXML_ASSIGN_OR_RETURN(PeerId p, ParsePeerAttr(GetAttr(node, "peer")));
+    std::vector<TreePtr> kids = ElemChildren(node);
+    if (kids.size() != 1) {
+      return Status::ParseError("x:sendDoc needs exactly one payload");
+    }
+    AXML_ASSIGN_OR_RETURN(ExprPtr payload, ExprFromXml(*kids[0]));
+    return Expr::SendAsDoc(GetAttr(node, "name"), p, std::move(payload));
+  }
+  if (label == "x:shipQuery") {
+    AXML_ASSIGN_OR_RETURN(PeerId p, ParsePeerAttr(GetAttr(node, "peer")));
+    AXML_ASSIGN_OR_RETURN(PeerId qp,
+                          ParsePeerAttr(GetAttr(node, "qpeer")));
+    Query q;
+    for (const auto& c : ElemChildren(node)) {
+      if (c->label_text() == "x:query") {
+        AXML_ASSIGN_OR_RETURN(q, Query::Parse(c->StringValue()));
+      }
+    }
+    if (!q.valid()) return Status::ParseError("x:shipQuery lacks x:query");
+    return Expr::ShipQuery(p, std::move(q), qp, GetAttr(node, "as"));
+  }
+  if (label == "x:evalAt") {
+    AXML_ASSIGN_OR_RETURN(PeerId p, ParsePeerAttr(GetAttr(node, "peer")));
+    std::vector<TreePtr> kids = ElemChildren(node);
+    if (kids.size() != 1) {
+      return Status::ParseError("x:evalAt needs exactly one body");
+    }
+    AXML_ASSIGN_OR_RETURN(ExprPtr body, ExprFromXml(*kids[0]));
+    return Expr::EvalAt(p, std::move(body));
+  }
+  if (label == "x:seq") {
+    std::vector<TreePtr> kids = ElemChildren(node);
+    if (kids.size() != 2) {
+      return Status::ParseError("x:seq needs exactly two children");
+    }
+    AXML_ASSIGN_OR_RETURN(ExprPtr first, ExprFromXml(*kids[0]));
+    AXML_ASSIGN_OR_RETURN(ExprPtr then, ExprFromXml(*kids[1]));
+    return Expr::Seq(std::move(first), std::move(then));
+  }
+  return Status::ParseError(
+      StrCat("unknown expression element <", label, ">"));
+}
+
+Result<ExprPtr> ParseExprXml(std::string_view xml, NodeIdGen* gen) {
+  AXML_ASSIGN_OR_RETURN(TreePtr t, ParseXml(xml, gen));
+  return ExprFromXml(*t);
+}
+
+}  // namespace axml

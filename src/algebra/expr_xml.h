@@ -1,0 +1,47 @@
+// XML (de)serialization of algebra expressions.
+//
+// §3.1: "An expression can be viewed (serialized) as an XML tree, whose
+// root is labeled with the expression constructor, and whose children are
+// the expression parameters. An expression located at some peer, denoted
+// e@p, is an XML tree." This is what makes delegation (EvalAt) possible:
+// the expression itself travels as XML, and its serialized size is the
+// number of bytes charged for the shipment.
+//
+// Element vocabulary (attributes follow the '@' child convention):
+//   <x:tree peer="P">      one child: the tree
+//   <x:doc name="D" peer="P|any"/>
+//   <x:apply peer="P">     <x:query>AQL</x:query> then one <x:arg> per arg
+//   <x:call peer="P|any" service="S">  <x:param>expr</x:param>* <x:forw>loc</x:forw>*
+//   <x:send peer="P">      one child: payload
+//   <x:sendNodes>          <x:to>loc</x:to>+ then payload
+//   <x:sendDoc name="D" peer="P">  payload
+//   <x:shipQuery peer="P" qpeer="P1" as="NAME"> <x:query>AQL</x:query>
+//   <x:evalAt peer="P">    body
+//   <x:seq>                first then
+
+#ifndef AXML_ALGEBRA_EXPR_XML_H_
+#define AXML_ALGEBRA_EXPR_XML_H_
+
+#include <string>
+
+#include "algebra/expr.h"
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace axml {
+
+/// Serializes `e` into an XML tree (fresh node ids from `gen`).
+TreePtr ExprToXml(const Expr& e, NodeIdGen* gen);
+
+/// Compact textual form; its length is the shipping cost of `e`.
+std::string SerializeCompactExpr(const Expr& e, NodeIdGen* gen);
+
+/// Parses an expression back from its XML form.
+Result<ExprPtr> ExprFromXml(const TreeNode& node);
+
+/// Round-trip from text.
+Result<ExprPtr> ParseExprXml(std::string_view xml, NodeIdGen* gen);
+
+}  // namespace axml
+
+#endif  // AXML_ALGEBRA_EXPR_XML_H_

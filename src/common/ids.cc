@@ -1,0 +1,28 @@
+#include "common/ids.h"
+
+#include <sstream>
+
+namespace axml {
+
+std::string PeerId::ToString() const {
+  if (!valid()) return "invalid";
+  if (is_any()) return "any";
+  return "p" + std::to_string(index_);
+}
+
+std::ostream& operator<<(std::ostream& os, const PeerId& p) {
+  return os << p.ToString();
+}
+
+std::string NodeId::ToString() const {
+  if (!valid()) return "n-invalid";
+  std::ostringstream os;
+  os << "n" << counter() << "@" << minted_by().ToString();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const NodeId& n) {
+  return os << n.ToString();
+}
+
+}  // namespace axml

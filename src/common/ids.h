@@ -1,0 +1,122 @@
+// Strongly-typed identifiers for the entities of the AXML model (§2 of the
+// paper): peers P, documents D, services S, and nodes N.
+//
+// Peers are identified by a dense index into the AxmlSystem's peer table;
+// human-readable peer names live in the table. Node identifiers are
+// globally unique: the owning peer's index is packed into the high bits so
+// a NodeId can be routed (`n@p`) without extra lookups.
+
+#ifndef AXML_COMMON_IDS_H_
+#define AXML_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace axml {
+
+/// Identifier of a peer (an element of the paper's set P).
+///
+/// A dense index assigned by AxmlSystem at peer-creation time.
+/// `PeerId::Any()` is the distinguished "any" used by generic documents
+/// and services (`d@any`, `s@any`, §2.3).
+class PeerId {
+ public:
+  constexpr PeerId() : index_(kInvalidIndex) {}
+  constexpr explicit PeerId(uint32_t index) : index_(index) {}
+
+  /// The "any" peer of generic references (§2.3). Never a real peer.
+  static constexpr PeerId Any() { return PeerId(kAnyIndex); }
+  /// Default-constructed, not-a-peer value.
+  static constexpr PeerId Invalid() { return PeerId(); }
+
+  constexpr bool valid() const { return index_ != kInvalidIndex; }
+  constexpr bool is_any() const { return index_ == kAnyIndex; }
+  /// True for an identifier naming one concrete peer.
+  constexpr bool is_concrete() const { return valid() && !is_any(); }
+
+  constexpr uint32_t index() const { return index_; }
+
+  constexpr bool operator==(const PeerId&) const = default;
+  constexpr bool operator<(const PeerId& o) const { return index_ < o.index_; }
+
+  /// "p<index>", "any", or "invalid"; for diagnostics only.
+  std::string ToString() const;
+
+ private:
+  static constexpr uint32_t kInvalidIndex =
+      std::numeric_limits<uint32_t>::max();
+  static constexpr uint32_t kAnyIndex = kInvalidIndex - 1;
+  uint32_t index_;
+};
+
+std::ostream& operator<<(std::ostream& os, const PeerId& p);
+
+/// Identifier of an XML tree node (an element of the paper's set N).
+///
+/// Globally unique: the high 24 bits carry the index of the peer that
+/// minted the id, the low 40 bits a per-peer counter. A node that is
+/// copied to another peer gets a *fresh* id there (the paper's send copies
+/// data-model instances, §3.2 def. 3).
+class NodeId {
+ public:
+  constexpr NodeId() : bits_(kInvalidBits) {}
+  constexpr NodeId(PeerId minted_by, uint64_t counter)
+      : bits_((static_cast<uint64_t>(minted_by.index()) << kCounterBits) |
+              (counter & kCounterMask)) {}
+
+  static constexpr NodeId Invalid() { return NodeId(); }
+
+  constexpr bool valid() const { return bits_ != kInvalidBits; }
+  constexpr PeerId minted_by() const {
+    return PeerId(static_cast<uint32_t>(bits_ >> kCounterBits));
+  }
+  constexpr uint64_t counter() const { return bits_ & kCounterMask; }
+  constexpr uint64_t bits() const { return bits_; }
+
+  static constexpr NodeId FromBits(uint64_t bits) {
+    NodeId n;
+    n.bits_ = bits;
+    return n;
+  }
+
+  constexpr bool operator==(const NodeId&) const = default;
+  constexpr bool operator<(const NodeId& o) const { return bits_ < o.bits_; }
+
+  /// "n<counter>@p<peer>" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kCounterBits = 40;
+  static constexpr uint64_t kCounterMask = (uint64_t{1} << kCounterBits) - 1;
+  static constexpr uint64_t kInvalidBits =
+      std::numeric_limits<uint64_t>::max();
+  uint64_t bits_;
+};
+
+std::ostream& operator<<(std::ostream& os, const NodeId& n);
+
+/// Document names (set D) and service names (set S) are plain strings;
+/// uniqueness of (name, peer) pairs is enforced by the hosting peer.
+using DocName = std::string;
+using ServiceName = std::string;
+
+}  // namespace axml
+
+template <>
+struct std::hash<axml::PeerId> {
+  size_t operator()(const axml::PeerId& p) const noexcept {
+    return std::hash<uint32_t>()(p.index());
+  }
+};
+
+template <>
+struct std::hash<axml::NodeId> {
+  size_t operator()(const axml::NodeId& n) const noexcept {
+    return std::hash<uint64_t>()(n.bits());
+  }
+};
+
+#endif  // AXML_COMMON_IDS_H_

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+namespace axml {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level),
+      fatal_(fatal),
+      enabled_(fatal || static_cast<int>(level) >=
+                            static_cast<int>(GetLogLevel())) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level_) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (fatal_) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace axml

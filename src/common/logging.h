@@ -1,0 +1,62 @@
+// Minimal logging and assertion macros.
+//
+// AXML_CHECK* abort with a message on violated invariants (library bugs).
+// AXML_LOG writes to stderr and is compiled in at all build types; the
+// default level is kWarning so tests and benches stay quiet.
+
+#ifndef AXML_COMMON_LOGGING_H_
+#define AXML_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace axml {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level actually emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace axml
+
+#define AXML_LOG(level)                                              \
+  ::axml::internal::LogMessage(::axml::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#define AXML_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  ::axml::internal::LogMessage(::axml::LogLevel::kError, __FILE__,        \
+                               __LINE__, /*fatal=*/true)                  \
+      << "Check failed: " #cond " "
+
+#define AXML_CHECK_EQ(a, b) AXML_CHECK((a) == (b))
+#define AXML_CHECK_NE(a, b) AXML_CHECK((a) != (b))
+#define AXML_CHECK_LT(a, b) AXML_CHECK((a) < (b))
+#define AXML_CHECK_LE(a, b) AXML_CHECK((a) <= (b))
+#define AXML_CHECK_GT(a, b) AXML_CHECK((a) > (b))
+#define AXML_CHECK_GE(a, b) AXML_CHECK((a) >= (b))
+
+#endif  // AXML_COMMON_LOGGING_H_

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// Benchmarks and property tests need reproducible randomness that is
+// independent of the standard library's distribution implementations, so
+// we ship a small xoshiro256** generator with uniform helpers.
+
+#ifndef AXML_COMMON_RNG_H_
+#define AXML_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axml {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Deterministic across platforms for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen element index for a container of size `n` (> 0).
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(n)); }
+
+  /// Random lowercase ASCII identifier of length `len`, first char alpha.
+  std::string Identifier(size_t len);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Index(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace axml
+
+#endif  // AXML_COMMON_RNG_H_

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace axml {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kTypeError:
+      return "type_error";
+    case StatusCode::kUndefined:
+      return "undefined";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace axml

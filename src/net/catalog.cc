@@ -1,0 +1,149 @@
+#include "net/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace axml {
+
+void Catalog::Register(ResourceKind kind, const std::string& name,
+                       PeerId holder) {
+  auto& v = entries_[MapKey(kind, name)];
+  if (std::find(v.begin(), v.end(), holder) == v.end()) v.push_back(holder);
+}
+
+void Catalog::Unregister(ResourceKind kind, const std::string& name,
+                         PeerId holder) {
+  auto it = entries_.find(MapKey(kind, name));
+  if (it == entries_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), holder), v.end());
+  if (v.empty()) entries_.erase(it);
+}
+
+const std::vector<PeerId>* Catalog::Holders(ResourceKind kind,
+                                            const std::string& name) const {
+  auto it = entries_.find(MapKey(kind, name));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+// --- CentralCatalog ---
+
+LookupResult CentralCatalog::LookupNow(ResourceKind kind,
+                                       const std::string& name, PeerId from,
+                                       const Network& net) {
+  LookupResult r;
+  if (const auto* h = Holders(kind, name)) r.holders = *h;
+  // Request to the server + response back.
+  r.delay_s = net.topology().Get(from, server_).TransferTime(
+                  kCatalogMsgBytes) +
+              net.topology().Get(server_, from).TransferTime(
+                  kCatalogMsgBytes);
+  r.messages = 2;
+  r.bytes = 2 * kCatalogMsgBytes;
+  return r;
+}
+
+void CentralCatalog::Lookup(ResourceKind kind, const std::string& name,
+                            PeerId from, Network* net, LookupCallback cb) {
+  LookupResult r = LookupNow(kind, name, from, *net);
+  net->ControlRoundtrip(r.messages, r.bytes, r.delay_s,
+                        [cb = std::move(cb), r] { cb(r); });
+}
+
+// --- DhtCatalog ---
+
+uint32_t DhtCatalog::HopCount() const {
+  uint32_t n = std::max<uint32_t>(peer_count_, 2);
+  return static_cast<uint32_t>(
+      std::ceil(std::log2(static_cast<double>(n))));
+}
+
+LookupResult DhtCatalog::LookupNow(ResourceKind kind,
+                                   const std::string& name, PeerId from,
+                                   const Network& net) {
+  (void)from;
+  LookupResult r;
+  if (const auto* h = Holders(kind, name)) r.holders = *h;
+  const double hop = avg_hop_latency_s_ > 0
+                         ? avg_hop_latency_s_
+                         : net.topology().default_link().latency_s;
+  const uint32_t hops = HopCount();
+  // `hops` routing messages to reach the responsible node, one response.
+  r.messages = hops + 1;
+  r.bytes = r.messages * kCatalogMsgBytes;
+  r.delay_s = static_cast<double>(hops + 1) * hop;
+  return r;
+}
+
+void DhtCatalog::Lookup(ResourceKind kind, const std::string& name,
+                        PeerId from, Network* net, LookupCallback cb) {
+  LookupResult r = LookupNow(kind, name, from, *net);
+  net->ControlRoundtrip(r.messages, r.bytes, r.delay_s,
+                        [cb = std::move(cb), r] { cb(r); });
+}
+
+// --- FloodCatalog ---
+
+LookupResult FloodCatalog::LookupNow(ResourceKind kind,
+                                     const std::string& name, PeerId from,
+                                     const Network& net) {
+  LookupResult r;
+  const std::vector<PeerId>* holders = Holders(kind, name);
+  std::unordered_set<PeerId> holder_set;
+  if (holders != nullptr) {
+    holder_set.insert(holders->begin(), holders->end());
+  }
+
+  // BFS over the neighbor graph up to the TTL, counting one message per
+  // edge traversed (the classic Gnutella cost). If no neighbor graph is
+  // declared, fall back to "broadcast to everyone in one hop".
+  if (!net.topology().has_neighbor_graph()) {
+    uint32_t n = std::max<uint32_t>(peer_count_, 1) - 1;
+    r.messages = n;
+    r.bytes = static_cast<uint64_t>(n) * kCatalogMsgBytes;
+    r.delay_s = net.topology().default_link().latency_s * 2;
+    if (holders != nullptr) r.holders = *holders;
+    return r;
+  }
+
+  std::unordered_map<PeerId, uint32_t> depth;
+  std::deque<PeerId> frontier{from};
+  depth[from] = 0;
+  uint32_t found_depth = 0;
+  while (!frontier.empty()) {
+    PeerId cur = frontier.front();
+    frontier.pop_front();
+    uint32_t d = depth[cur];
+    if (holder_set.count(cur) && cur != from) {
+      r.holders.push_back(cur);
+      found_depth = std::max(found_depth, d);
+    }
+    if (d >= ttl_) continue;
+    for (PeerId nb : net.topology().Neighbors(cur)) {
+      ++r.messages;  // the query travels this edge regardless
+      if (!depth.count(nb)) {
+        depth[nb] = d + 1;
+        frontier.push_back(nb);
+      }
+    }
+  }
+  // A holder on `from` itself also answers.
+  if (holder_set.count(from)) r.holders.push_back(from);
+  r.bytes = r.messages * kCatalogMsgBytes;
+  const double hop = net.topology().default_link().latency_s;
+  // Delay: query floods to found_depth, response unwinds the same path.
+  r.delay_s = 2.0 * hop * std::max<uint32_t>(found_depth, 1);
+  return r;
+}
+
+void FloodCatalog::Lookup(ResourceKind kind, const std::string& name,
+                          PeerId from, Network* net, LookupCallback cb) {
+  LookupResult r = LookupNow(kind, name, from, *net);
+  net->ControlRoundtrip(r.messages, r.bytes, r.delay_s,
+                        [cb = std::move(cb), r] { cb(r); });
+}
+
+}  // namespace axml

@@ -1,0 +1,145 @@
+// Resource-discovery catalogs.
+//
+// §2 of the paper: "We make no assumption about the structure of the peer
+// network, e.g. whether a DHT-style index is present or not. We will
+// discuss the impact of various network structures further on." The
+// catalog is where that impact shows: resolving `d@any` (def. 9) needs to
+// discover which peers hold members of the equivalence class. We provide
+// three classic structures with faithful cost models; EXP-8 compares
+// them.
+//
+//  - CentralCatalog: one index server; lookup = RTT to the server plus a
+//    small request/response payload.
+//  - DhtCatalog:     Chord-style structured overlay; lookup visits
+//    ceil(log2 P) hops of average latency, then one hop to return.
+//  - FloodCatalog:   Gnutella-style flooding over the topology's neighbor
+//    graph with a TTL; cost = one message per edge visited, delay = the
+//    depth at which the resource was first found.
+//
+// Lookups charge control-plane traffic to the Network's stats and
+// complete asynchronously after the modeled delay.
+
+#ifndef AXML_NET_CATALOG_H_
+#define AXML_NET_CATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace axml {
+
+/// What kind of resource a catalog entry names.
+enum class ResourceKind { kDocument, kService };
+
+/// Result of a catalog lookup.
+struct LookupResult {
+  /// Peers that advertise the resource (may be empty).
+  std::vector<PeerId> holders;
+  /// Modeled control-plane cost of this lookup.
+  double delay_s = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+/// Interface shared by all catalog implementations.
+class Catalog {
+ public:
+  using LookupCallback = std::function<void(const LookupResult&)>;
+
+  virtual ~Catalog() = default;
+
+  /// Advertises that `holder` provides `name`. Registration cost is
+  /// charged lazily on lookup for simplicity (it is identical across the
+  /// compared structures).
+  virtual void Register(ResourceKind kind, const std::string& name,
+                        PeerId holder);
+  virtual void Unregister(ResourceKind kind, const std::string& name,
+                          PeerId holder);
+
+  /// Resolves `name` from peer `from`: charges modeled traffic on `net`
+  /// and invokes `cb` after the modeled delay.
+  virtual void Lookup(ResourceKind kind, const std::string& name,
+                      PeerId from, Network* net, LookupCallback cb) = 0;
+
+  /// Synchronous variant used by tests and the cost model: returns the
+  /// result without touching the network.
+  virtual LookupResult LookupNow(ResourceKind kind, const std::string& name,
+                                 PeerId from, const Network& net) = 0;
+
+  /// Number of peers this catalog assumes in the system (for cost
+  /// formulas); set by AxmlSystem.
+  void set_peer_count(uint32_t n) { peer_count_ = n; }
+
+ protected:
+  const std::vector<PeerId>* Holders(ResourceKind kind,
+                                     const std::string& name) const;
+
+  uint32_t peer_count_ = 0;
+
+ private:
+  static std::string MapKey(ResourceKind kind, const std::string& name) {
+    return (kind == ResourceKind::kDocument ? "d:" : "s:") + name;
+  }
+  std::map<std::string, std::vector<PeerId>> entries_;
+};
+
+/// Single well-known index server.
+class CentralCatalog : public Catalog {
+ public:
+  explicit CentralCatalog(PeerId server) : server_(server) {}
+
+  void Lookup(ResourceKind kind, const std::string& name, PeerId from,
+              Network* net, LookupCallback cb) override;
+  LookupResult LookupNow(ResourceKind kind, const std::string& name,
+                         PeerId from, const Network& net) override;
+
+  PeerId server() const { return server_; }
+
+ private:
+  PeerId server_;
+};
+
+/// Structured overlay with O(log P) routing (Chord-style cost model).
+class DhtCatalog : public Catalog {
+ public:
+  /// `avg_hop_latency_s`: mean one-way latency of one overlay hop. When
+  /// <= 0, the topology's default link latency is used.
+  explicit DhtCatalog(double avg_hop_latency_s = -1.0)
+      : avg_hop_latency_s_(avg_hop_latency_s) {}
+
+  void Lookup(ResourceKind kind, const std::string& name, PeerId from,
+              Network* net, LookupCallback cb) override;
+  LookupResult LookupNow(ResourceKind kind, const std::string& name,
+                         PeerId from, const Network& net) override;
+
+ private:
+  uint32_t HopCount() const;
+  double avg_hop_latency_s_;
+};
+
+/// Unstructured flooding over the topology's neighbor graph.
+class FloodCatalog : public Catalog {
+ public:
+  explicit FloodCatalog(uint32_t ttl = 7) : ttl_(ttl) {}
+
+  void Lookup(ResourceKind kind, const std::string& name, PeerId from,
+              Network* net, LookupCallback cb) override;
+  LookupResult LookupNow(ResourceKind kind, const std::string& name,
+                         PeerId from, const Network& net) override;
+
+ private:
+  uint32_t ttl_;
+};
+
+/// Approximate wire size of a catalog request/response message.
+constexpr uint64_t kCatalogMsgBytes = 64;
+
+}  // namespace axml
+
+#endif  // AXML_NET_CATALOG_H_

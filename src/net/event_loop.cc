@@ -1,0 +1,48 @@
+#include "net/event_loop.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace axml {
+
+void EventLoop::ScheduleAt(SimTime t, Callback cb) {
+  AXML_CHECK(cb != nullptr);
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventLoop::ScheduleAfter(SimTime delay, Callback cb) {
+  AXML_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately and Event is not used elsewhere.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+uint64_t EventLoop::Run() {
+  uint64_t n = 0;
+  while (RunOne()) ++n;
+  return n;
+}
+
+uint64_t EventLoop::RunUntil(SimTime t) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    RunOne();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace axml

@@ -1,0 +1,39 @@
+#include "net/net_stats.h"
+
+#include "common/str_util.h"
+
+namespace axml {
+
+void NetStats::Record(PeerId from, PeerId to, uint64_t bytes) {
+  ++total_messages_;
+  total_bytes_ += bytes;
+  if (from != to) {
+    ++remote_messages_;
+    remote_bytes_ += bytes;
+  }
+  PairStats& p = pairs_[Key(from, to)];
+  ++p.messages;
+  p.bytes += bytes;
+}
+
+void NetStats::RecordControl(uint64_t messages, uint64_t bytes) {
+  control_messages_ += messages;
+  control_bytes_ += bytes;
+}
+
+void NetStats::Reset() { *this = NetStats(); }
+
+PairStats NetStats::Pair(PeerId from, PeerId to) const {
+  auto it = pairs_.find(Key(from, to));
+  return it == pairs_.end() ? PairStats{} : it->second;
+}
+
+std::string NetStats::ToString() const {
+  return StrCat("messages=", total_messages_, " bytes=", total_bytes_,
+                " remote_messages=", remote_messages_,
+                " remote_bytes=", remote_bytes_,
+                " control_messages=", control_messages_,
+                " control_bytes=", control_bytes_);
+}
+
+}  // namespace axml

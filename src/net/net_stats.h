@@ -1,0 +1,61 @@
+// Transfer accounting: the quantities the paper's optimizations are
+// about. Every benchmark reports these counters for naive vs rewritten
+// evaluation strategies.
+
+#ifndef AXML_NET_NET_STATS_H_
+#define AXML_NET_NET_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "net/sim_time.h"
+
+namespace axml {
+
+/// Counters for one directed peer pair.
+struct PairStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+/// Global transfer statistics collected by the Network.
+class NetStats {
+ public:
+  void Record(PeerId from, PeerId to, uint64_t bytes);
+  /// Charges abstract control traffic (catalog lookups etc.) that is not
+  /// tied to a single link.
+  void RecordControl(uint64_t messages, uint64_t bytes);
+  void Reset();
+
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t control_messages() const { return control_messages_; }
+  uint64_t control_bytes() const { return control_bytes_; }
+  /// Bytes that actually crossed between distinct peers (loopback
+  /// excluded).
+  uint64_t remote_bytes() const { return remote_bytes_; }
+  uint64_t remote_messages() const { return remote_messages_; }
+
+  PairStats Pair(PeerId from, PeerId to) const;
+
+  std::string ToString() const;
+
+ private:
+  static uint64_t Key(PeerId a, PeerId b) {
+    return (static_cast<uint64_t>(a.index()) << 32) | b.index();
+  }
+
+  uint64_t total_messages_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t remote_messages_ = 0;
+  uint64_t remote_bytes_ = 0;
+  uint64_t control_messages_ = 0;
+  uint64_t control_bytes_ = 0;
+  std::unordered_map<uint64_t, PairStats> pairs_;
+};
+
+}  // namespace axml
+
+#endif  // AXML_NET_NET_STATS_H_

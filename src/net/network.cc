@@ -1,0 +1,33 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace axml {
+
+void Network::Send(PeerId from, PeerId to, uint64_t bytes,
+                   DeliverFn on_deliver) {
+  AXML_CHECK(from.is_concrete());
+  AXML_CHECK(to.is_concrete());
+  stats_.Record(from, to, bytes);
+
+  const LinkParams link = topology_.Get(from, to);
+  const double transmit =
+      static_cast<double>(bytes) / link.bandwidth_bps;
+
+  SimTime& busy_until = link_busy_until_[Key(from, to)];
+  const SimTime start = std::max(loop_->now(), busy_until);
+  busy_until = start + transmit;
+  const SimTime arrival = start + transmit + link.latency_s;
+
+  loop_->ScheduleAt(arrival, std::move(on_deliver));
+}
+
+void Network::ControlRoundtrip(uint64_t messages, uint64_t bytes,
+                               SimTime delay, DeliverFn on_done) {
+  stats_.RecordControl(messages, bytes);
+  loop_->ScheduleAfter(delay, std::move(on_done));
+}
+
+}  // namespace axml

@@ -1,0 +1,72 @@
+// The simulated transport: delivers opaque payloads between peers with
+// latency + bandwidth delays, FIFO per directed link, full accounting.
+//
+// Substitution note (DESIGN.md): the paper's SOAP/WSDL transport is
+// replaced by this simulator; the byte size charged for each message is
+// the actual serialized XML size of what AXML would put on the wire.
+
+#ifndef AXML_NET_NETWORK_H_
+#define AXML_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "net/event_loop.h"
+#include "net/net_stats.h"
+#include "net/topology.h"
+
+namespace axml {
+
+/// Point-to-point message fabric over an EventLoop.
+class Network {
+ public:
+  /// Called on the destination peer when a message arrives.
+  using DeliverFn = std::function<void()>;
+
+  Network(EventLoop* loop, Topology topology)
+      : loop_(loop), topology_(std::move(topology)) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Sends `bytes` from `from` to `to`; `on_deliver` runs at the arrival
+  /// time. Messages on the same directed link are serialized FIFO: a
+  /// message starts transmitting only after the previous one finished
+  /// (propagation overlaps, as on a real pipe).
+  void Send(PeerId from, PeerId to, uint64_t bytes, DeliverFn on_deliver);
+
+  /// Charges control-plane traffic (e.g. catalog lookups) and runs
+  /// `on_done` after `delay`.
+  void ControlRoundtrip(uint64_t messages, uint64_t bytes, SimTime delay,
+                        DeliverFn on_done);
+
+  const Topology& topology() const { return topology_; }
+  Topology* mutable_topology() { return &topology_; }
+  EventLoop* loop() { return loop_; }
+  const NetStats& stats() const { return stats_; }
+  NetStats* mutable_stats() { return &stats_; }
+
+  /// Lower-bound one-way delay for `bytes` on link from->to (ignoring
+  /// queueing); used by the optimizer's cost model.
+  double EstimateTransferTime(PeerId from, PeerId to,
+                              uint64_t bytes) const {
+    return topology_.Get(from, to).TransferTime(bytes);
+  }
+
+ private:
+  static uint64_t Key(PeerId a, PeerId b) {
+    return (static_cast<uint64_t>(a.index()) << 32) | b.index();
+  }
+
+  EventLoop* loop_;
+  Topology topology_;
+  NetStats stats_;
+  /// Per directed link: when the link becomes free to start transmitting.
+  std::unordered_map<uint64_t, SimTime> link_busy_until_;
+};
+
+}  // namespace axml
+
+#endif  // AXML_NET_NETWORK_H_

@@ -1,0 +1,19 @@
+// Virtual time for the discrete-event simulator.
+//
+// The paper's testbed is a live peer network; we substitute a
+// deterministic simulation (see DESIGN.md "Substitutions"). All durations
+// are in seconds of *virtual* time.
+
+#ifndef AXML_NET_SIM_TIME_H_
+#define AXML_NET_SIM_TIME_H_
+
+namespace axml {
+
+/// Seconds of virtual time since simulation start.
+using SimTime = double;
+
+constexpr SimTime kSimStart = 0.0;
+
+}  // namespace axml
+
+#endif  // AXML_NET_SIM_TIME_H_

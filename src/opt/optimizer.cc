@@ -1,0 +1,106 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace axml {
+
+std::string OptimizedPlan::ToString() const {
+  std::string s = StrCat("plan: ", expr == nullptr ? "<none>"
+                                                   : expr->ToString(),
+                         "\ncost: ", cost.ToString(), "\nrules:");
+  if (rules_applied.empty()) s += " (direct strategy)";
+  for (const auto& r : rules_applied) s += StrCat(" ", r);
+  return s;
+}
+
+Optimizer::Optimizer(AxmlSystem* sys, OptimizerOptions options)
+    : Optimizer(sys, options, StandardRuleSet()) {}
+
+Optimizer::Optimizer(AxmlSystem* sys, OptimizerOptions options,
+                     std::vector<std::unique_ptr<RewriteRule>> rules)
+    : sys_(sys), options_(options), cost_(sys), rules_(std::move(rules)) {}
+
+PeerId Optimizer::ChildContext(PeerId at, const ExprPtr& e, size_t i) {
+  (void)i;
+  if (e->kind() == Expr::Kind::kEvalAt) return e->eval_where();
+  return at;
+}
+
+void Optimizer::EnumerateRewrites(
+    PeerId at, const ExprPtr& e,
+    std::vector<std::pair<ExprPtr, const char*>>* out) {
+  RewriteContext rc{sys_, &cost_, &name_counter_};
+  // Rewrites at the root.
+  for (const auto& rule : rules_) {
+    std::vector<ExprPtr> proposals;
+    rule->Propose(at, e, &rc, &proposals);
+    for (auto& p : proposals) {
+      out->push_back({std::move(p), rule->name()});
+    }
+  }
+  // Rewrites inside one child.
+  const auto& children = e->children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    std::vector<std::pair<ExprPtr, const char*>> inner;
+    EnumerateRewrites(ChildContext(at, e, i), children[i], &inner);
+    for (auto& [alt, rule] : inner) {
+      std::vector<ExprPtr> new_children = children;
+      new_children[i] = std::move(alt);
+      out->push_back({e->WithChildren(std::move(new_children)), rule});
+    }
+  }
+}
+
+OptimizedPlan Optimizer::Optimize(PeerId at, const ExprPtr& e) {
+  explored_ = 0;
+  Candidate seed{e, cost_.Estimate(at, e), {}};
+  std::vector<Candidate> beam{seed};
+  Candidate best = seed;
+  std::unordered_set<std::string> seen{e->ToString()};
+
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    std::vector<Candidate> next;
+    bool improved = false;
+    for (const Candidate& c : beam) {
+      if (explored_ >= options_.max_candidates) break;
+      std::vector<std::pair<ExprPtr, const char*>> alts;
+      EnumerateRewrites(at, c.expr, &alts);
+      for (auto& [alt, rule] : alts) {
+        if (explored_ >= options_.max_candidates) break;
+        std::string key = alt->ToString();
+        if (!seen.insert(key).second) continue;
+        ++explored_;
+        Candidate cand{alt, cost_.Estimate(at, alt), c.rules};
+        cand.rules.push_back(rule);
+        if (cand.cost.Scalar(options_.weights) <
+            best.cost.Scalar(options_.weights)) {
+          best = cand;
+          improved = true;
+        }
+        next.push_back(std::move(cand));
+      }
+    }
+    if (next.empty()) break;
+    std::sort(next.begin(), next.end(),
+              [this](const Candidate& a, const Candidate& b) {
+                return a.cost.Scalar(options_.weights) <
+                       b.cost.Scalar(options_.weights);
+              });
+    if (next.size() > options_.beam_width) {
+      next.resize(options_.beam_width);
+    }
+    beam = std::move(next);
+    if (!improved && round > 0) break;
+  }
+
+  OptimizedPlan plan;
+  plan.expr = best.expr;
+  plan.cost = best.cost;
+  plan.rules_applied = best.rules;
+  return plan;
+}
+
+}  // namespace axml

@@ -1,0 +1,84 @@
+// Cost-based rewrite search (§3.3's "optimization methodology").
+//
+// The paper supplies equivalence rules and a cost intuition; this module
+// closes the loop: starting from the direct expression (the "fixed
+// simple evaluation strategy" of original AXML), a beam search applies
+// the rules at every position, estimates each candidate with the cost
+// model, and keeps the cheapest. The search is deterministic.
+
+#ifndef AXML_OPT_OPTIMIZER_H_
+#define AXML_OPT_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/cost_model.h"
+#include "opt/rewrite.h"
+
+namespace axml {
+
+struct OptimizerOptions {
+  CostWeights weights;
+  /// Candidates kept between rounds.
+  size_t beam_width = 8;
+  /// Maximum rewrite rounds (each round rewrites one more position).
+  int max_rounds = 4;
+  /// Hard cap on candidates generated per search.
+  size_t max_candidates = 2048;
+};
+
+/// The chosen strategy and how it was found.
+struct OptimizedPlan {
+  ExprPtr expr;
+  CostEstimate cost;
+  /// Rule names applied along the winning chain, outermost first.
+  std::vector<std::string> rules_applied;
+
+  std::string ToString() const;
+};
+
+/// Rule-driven, cost-based expression optimizer.
+class Optimizer {
+ public:
+  /// Uses StandardRuleSet().
+  explicit Optimizer(AxmlSystem* sys, OptimizerOptions options = {});
+  /// Uses a caller-provided rule set (ablation studies, custom rules).
+  Optimizer(AxmlSystem* sys, OptimizerOptions options,
+            std::vector<std::unique_ptr<RewriteRule>> rules);
+
+  /// Returns the cheapest equivalent strategy found for eval@at(e)
+  /// (possibly `e` itself).
+  OptimizedPlan Optimize(PeerId at, const ExprPtr& e);
+
+  /// Candidates generated during the last Optimize call.
+  size_t candidates_explored() const { return explored_; }
+
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  struct Candidate {
+    ExprPtr expr;
+    CostEstimate cost;
+    std::vector<std::string> rules;
+  };
+
+  /// All expressions reachable from `e` by rewriting exactly one
+  /// position, tagged with the rule that produced them.
+  void EnumerateRewrites(PeerId at, const ExprPtr& e,
+                         std::vector<std::pair<ExprPtr, const char*>>* out);
+
+  /// Evaluation context of `e`'s i-th child when `e` runs at `at`.
+  static PeerId ChildContext(PeerId at, const ExprPtr& e, size_t i);
+
+  AxmlSystem* sys_;
+  OptimizerOptions options_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<RewriteRule>> rules_;
+  uint64_t name_counter_ = 0;
+  size_t explored_ = 0;
+};
+
+}  // namespace axml
+
+#endif  // AXML_OPT_OPTIMIZER_H_

@@ -1,0 +1,65 @@
+// Rewrite-rule interface for the equivalence rules of §3.3.
+//
+// Each rule inspects one expression node (in the context of the peer
+// evaluating it) and proposes equivalent alternatives. The optimizer
+// applies rules at every position of the expression tree and keeps the
+// cheapest candidates (optimizer.h). Every rule cites the paper equation
+// it implements; the equivalence-property tests check eval@p(e)(Σ) =
+// eval@p(e')(Σ) on randomized states for each rule's proposals.
+
+#ifndef AXML_OPT_REWRITE_H_
+#define AXML_OPT_REWRITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "opt/cost_model.h"
+#include "peer/system.h"
+
+namespace axml {
+
+/// Shared context handed to rules.
+struct RewriteContext {
+  AxmlSystem* sys = nullptr;
+  const CostModel* cost = nullptr;
+  /// Monotonic counter for names invented by rewrites (cache documents,
+  /// shipped services).
+  uint64_t* name_counter = nullptr;
+
+  std::string FreshName(const char* prefix) const;
+};
+
+/// One equivalence rule.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+
+  /// Stable rule name, e.g. "delegation(10)".
+  virtual const char* name() const = 0;
+
+  /// Appends to `out` expressions equivalent to `e` when evaluated at
+  /// `at`. Must not propose `e` itself.
+  virtual void Propose(PeerId at, const ExprPtr& e, RewriteContext* ctx,
+                       std::vector<ExprPtr>* out) const = 0;
+};
+
+/// The paper's rule set:
+///  - delegation (rules (10)/(14)/(15)): evaluate elsewhere via EvalAt
+///  - selection pushdown (rule (11) + Example 1)
+///  - intermediary stop removal / insertion (rule (12))
+///  - transfer caching (rule (13))
+///  - pushing queries over service calls (rule (16))
+std::vector<std::unique_ptr<RewriteRule>> StandardRuleSet();
+
+/// Individual constructors (used by focused tests and ablation benches).
+std::unique_ptr<RewriteRule> MakeDelegationRule();
+std::unique_ptr<RewriteRule> MakeSelectionPushdownRule();
+std::unique_ptr<RewriteRule> MakeIntermediaryStopRule();
+std::unique_ptr<RewriteRule> MakeTransferCacheRule();
+std::unique_ptr<RewriteRule> MakePushQueryOverCallRule();
+
+}  // namespace axml
+
+#endif  // AXML_OPT_REWRITE_H_

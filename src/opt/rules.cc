@@ -1,0 +1,259 @@
+// Implementations of the §3.3 equivalence rules as rewrite rules.
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "opt/rewrite.h"
+#include "query/decompose.h"
+
+namespace axml {
+
+std::string RewriteContext::FreshName(const char* prefix) const {
+  uint64_t n = name_counter == nullptr ? 0 : (*name_counter)++;
+  return StrCat(prefix, n);
+}
+
+namespace {
+
+/// Rule (10) / (14) / (15): evaluating an expression does not depend on
+/// the peer it is evaluated at; ship the expression to another peer and
+/// the results back. Rule (10) is the query-application instance
+/// ("query delegation"); (14) generalizes to any expression; (15) to
+/// sc-rooted trees — whose results, when a forward list is present, do
+/// not even come back ("there is no need to ship results back to p1,
+/// since results are sent directly to the locations in fwList").
+class DelegationRule : public RewriteRule {
+ public:
+  const char* name() const override { return "delegation(10/14/15)"; }
+
+  void Propose(PeerId at, const ExprPtr& e, RewriteContext* ctx,
+               std::vector<ExprPtr>* out) const override {
+    // Only delegate computations (query applications and service-call
+    // trees) — delegating plain data moves is rule (12)'s job.
+    if (e->kind() != Expr::Kind::kApply &&
+        e->kind() != Expr::Kind::kCall) {
+      return;
+    }
+    for (uint32_t i = 0; i < ctx->sys->peer_count(); ++i) {
+      PeerId p2(i);
+      if (p2 == at) continue;
+      out->push_back(Expr::EvalAt(p2, e));
+    }
+    // Unwrap an existing delegation (the ≡ works both ways).
+    if (e->kind() == Expr::Kind::kEvalAt) {
+      out->push_back(e->body());
+    }
+  }
+};
+
+/// Rule (11) + Example 1: decompose q ≡ q1(q3) where q3 carries a
+/// pushed-down selection, and delegate q3 to the peer owning the data.
+/// "The last eval above delegates the execution of q3 (which applies the
+/// selection) to p2, and only ships to p the resulting data set,
+/// typically smaller."
+class SelectionPushdownRule : public RewriteRule {
+ public:
+  const char* name() const override { return "pushdown(11/Ex.1)"; }
+
+  void Propose(PeerId at, const ExprPtr& e, RewriteContext*,
+               std::vector<ExprPtr>* out) const override {
+    if (e->kind() != Expr::Kind::kApply) return;
+    const Query& q = e->query();
+    for (size_t k = 0; k < q.ast().clauses.size(); ++k) {
+      std::optional<SelectionSplit> split = SplitSelection(q, k);
+      if (!split.has_value()) continue;
+      size_t arg_index = static_cast<size_t>(split->input_index);
+      if (arg_index >= e->args().size()) continue;
+      const ExprPtr& arg = e->args()[arg_index];
+      // The filter runs where the data lives.
+      PeerId data_peer;
+      switch (arg->kind()) {
+        case Expr::Kind::kTree:
+          data_peer = arg->tree_owner();
+          break;
+        case Expr::Kind::kDoc:
+          if (arg->is_generic_doc()) continue;
+          data_peer = arg->doc_peer();
+          break;
+        default:
+          continue;
+      }
+      // The filter is born of this rewrite; it travels inside the
+      // delegated expression (whose serialized form embeds the query
+      // text), so it is "defined at" the peer that evaluates it — no
+      // separate def-(7) query shipment.
+      ExprPtr filtered = Expr::Apply(split->filter, data_peer, {arg});
+      if (data_peer != at) {
+        filtered = Expr::EvalAt(data_peer, filtered);
+      }
+      std::vector<ExprPtr> new_args = e->args();
+      new_args[arg_index] = filtered;
+      out->push_back(
+          Expr::Apply(split->remainder, e->query_peer(), new_args));
+    }
+  }
+};
+
+/// Rule (12): "data in transit from p0 to p2 may make an intermediary
+/// stop at another peer p1 ... such an intermediary halt may be avoided.
+/// While it may seem that rule (12) should always be applied left to
+/// right, this is not always true!" Both directions are proposed; the
+/// cost model decides.
+class IntermediaryStopRule : public RewriteRule {
+ public:
+  const char* name() const override { return "intermediary(12)"; }
+
+  void Propose(PeerId at, const ExprPtr& e, RewriteContext* ctx,
+               std::vector<ExprPtr>* out) const override {
+    // Left to right: remove the stop.
+    if (e->kind() == Expr::Kind::kEvalAt &&
+        (e->body()->kind() == Expr::Kind::kTree ||
+         e->body()->kind() == Expr::Kind::kDoc)) {
+      out->push_back(e->body());
+      return;
+    }
+    // Right to left: insert a stop at every other peer.
+    if (e->kind() == Expr::Kind::kTree || e->kind() == Expr::Kind::kDoc) {
+      PeerId owner = e->kind() == Expr::Kind::kTree ? e->tree_owner()
+                                                    : e->doc_peer();
+      if (!owner.is_concrete()) return;
+      for (uint32_t i = 0; i < ctx->sys->peer_count(); ++i) {
+        PeerId p1(i);
+        if (p1 == at || p1 == owner) continue;
+        out->push_back(Expr::EvalAt(p1, e));
+      }
+    }
+  }
+};
+
+/// Rule (13): when two subexpressions both transfer the same remote
+/// source, materialize it once as a local cache document and read the
+/// copy. "This may be worth it if t is large."
+class TransferCacheRule : public RewriteRule {
+ public:
+  const char* name() const override { return "transfer-cache(13)"; }
+
+  void Propose(PeerId at, const ExprPtr& e, RewriteContext* ctx,
+               std::vector<ExprPtr>* out) const override {
+    if (e->kind() != Expr::Kind::kApply) return;
+    // Find a pair of identical remote data arguments.
+    const auto& args = e->args();
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!IsRemoteData(args[i], at)) continue;
+      bool shared = false;
+      for (size_t j = i + 1; j < args.size(); ++j) {
+        if (SameSource(args[i], args[j])) {
+          shared = true;
+          break;
+        }
+      }
+      if (!shared) continue;
+      PeerId owner = args[i]->kind() == Expr::Kind::kTree
+                         ? args[i]->tree_owner()
+                         : args[i]->doc_peer();
+      DocName cache = ctx->FreshName("cache:");
+      // Install once: the owner evaluates send(d@at, source) — one
+      // transfer; then every use reads the local copy.
+      ExprPtr install =
+          Expr::EvalAt(owner, Expr::SendAsDoc(cache, at, args[i]));
+      std::vector<ExprPtr> new_args = args;
+      for (size_t j = 0; j < new_args.size(); ++j) {
+        if (SameSource(args[i], new_args[j])) {
+          new_args[j] = Expr::Doc(cache, at);
+        }
+      }
+      out->push_back(Expr::Seq(
+          install, Expr::Apply(e->query(), e->query_peer(), new_args)));
+      return;  // one cache per proposal round is enough
+    }
+  }
+
+ private:
+  static bool IsRemoteData(const ExprPtr& a, PeerId at) {
+    if (a->kind() == Expr::Kind::kTree) return a->tree_owner() != at;
+    if (a->kind() == Expr::Kind::kDoc) {
+      return !a->is_generic_doc() && a->doc_peer() != at;
+    }
+    return false;
+  }
+  static bool SameSource(const ExprPtr& a, const ExprPtr& b) {
+    if (a->kind() != b->kind()) return false;
+    if (a->kind() == Expr::Kind::kTree) {
+      return a->tree() == b->tree() && a->tree_owner() == b->tree_owner();
+    }
+    if (a->kind() == Expr::Kind::kDoc) {
+      return a->doc_name() == b->doc_name() &&
+             a->doc_peer() == b->doc_peer();
+    }
+    return false;
+  }
+};
+
+/// Rule (16): pushing queries over service calls. For a query over the
+/// result of a call to a *declarative* service s1@p1 (implemented by
+/// q1), ship q to p1 and evaluate q(q1(params)) there; results go
+/// straight to the forward list.
+class PushQueryOverCallRule : public RewriteRule {
+ public:
+  const char* name() const override { return "push-over-sc(16)"; }
+
+  void Propose(PeerId at, const ExprPtr& e, RewriteContext* ctx,
+               std::vector<ExprPtr>* out) const override {
+    if (e->kind() != Expr::Kind::kApply || e->args().size() != 1) return;
+    const ExprPtr& call = e->args()[0];
+    if (call->kind() != Expr::Kind::kCall || call->is_generic_service()) {
+      return;
+    }
+    PeerId p1 = call->provider();
+    const Peer* provider = ctx->sys->peer(p1);
+    if (provider == nullptr) return;
+    const Service* svc = provider->GetService(call->service());
+    if (svc == nullptr || !svc->is_declarative()) return;
+    if (p1 == at) return;
+
+    // q(q1(params)) at the provider: the call keeps its parameters but
+    // loses its forwards (they now apply to q's results, per the rule's
+    // right-hand side send_{p1->fwList}).
+    ExprPtr inner_call =
+        Expr::Call(p1, call->service(), call->params(), {});
+    // The composed query travels inside the delegated expression; see
+    // the pushdown rule for why query_peer is the evaluating peer.
+    ExprPtr composed = Expr::Apply(e->query(), p1, {inner_call});
+    if (call->forwards().empty()) {
+      out->push_back(Expr::EvalAt(p1, composed));
+    } else {
+      out->push_back(Expr::EvalAt(
+          p1, Expr::SendToNodes(call->forwards(), composed)));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RewriteRule> MakeDelegationRule() {
+  return std::make_unique<DelegationRule>();
+}
+std::unique_ptr<RewriteRule> MakeSelectionPushdownRule() {
+  return std::make_unique<SelectionPushdownRule>();
+}
+std::unique_ptr<RewriteRule> MakeIntermediaryStopRule() {
+  return std::make_unique<IntermediaryStopRule>();
+}
+std::unique_ptr<RewriteRule> MakeTransferCacheRule() {
+  return std::make_unique<TransferCacheRule>();
+}
+std::unique_ptr<RewriteRule> MakePushQueryOverCallRule() {
+  return std::make_unique<PushQueryOverCallRule>();
+}
+
+std::vector<std::unique_ptr<RewriteRule>> StandardRuleSet() {
+  std::vector<std::unique_ptr<RewriteRule>> rules;
+  rules.push_back(MakeSelectionPushdownRule());
+  rules.push_back(MakePushQueryOverCallRule());
+  rules.push_back(MakeDelegationRule());
+  rules.push_back(MakeTransferCacheRule());
+  rules.push_back(MakeIntermediaryStopRule());
+  return rules;
+}
+
+}  // namespace axml

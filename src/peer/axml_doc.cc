@@ -1,0 +1,162 @@
+#include "peer/axml_doc.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace axml {
+
+std::string NodeLocation::ToString() const {
+  return StrCat(node.bits(), "@", peer.index());
+}
+
+Result<NodeLocation> NodeLocation::Parse(const std::string& text) {
+  size_t at = text.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= text.size()) {
+    return Status::ParseError(
+        StrCat("malformed node location \"", text, "\""));
+  }
+  char* end = nullptr;
+  uint64_t bits = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + at) {
+    return Status::ParseError(
+        StrCat("malformed node id in location \"", text, "\""));
+  }
+  uint64_t peer = std::strtoull(text.c_str() + at + 1, &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return Status::ParseError(
+        StrCat("malformed peer in location \"", text, "\""));
+  }
+  NodeLocation loc;
+  loc.node = NodeId::FromBits(bits);
+  loc.peer = PeerId(static_cast<uint32_t>(peer));
+  return loc;
+}
+
+const char* ActivationModeName(ActivationMode m) {
+  switch (m) {
+    case ActivationMode::kManual:
+      return "manual";
+    case ActivationMode::kImmediate:
+      return "immediate";
+    case ActivationMode::kLazy:
+      return "lazy";
+    case ActivationMode::kAfterCall:
+      return "after";
+  }
+  return "?";
+}
+
+Result<ActivationMode> ParseActivationMode(const std::string& name) {
+  if (name == "manual") return ActivationMode::kManual;
+  if (name == "immediate") return ActivationMode::kImmediate;
+  if (name == "lazy") return ActivationMode::kLazy;
+  if (name == "after") return ActivationMode::kAfterCall;
+  return Status::ParseError(StrCat("unknown activation mode \"", name,
+                                   "\""));
+}
+
+TreePtr BuildServiceCall(const ServiceCallSpec& spec, NodeIdGen* gen) {
+  TreePtr sc = TreeNode::Element("sc", gen);
+  sc->AddChild(MakeTextElement("peer", spec.provider, gen));
+  sc->AddChild(MakeTextElement("service", spec.service, gen));
+  for (size_t i = 0; i < spec.params.size(); ++i) {
+    TreePtr p = TreeNode::Element(StrCat("param", i + 1), gen);
+    p->AddChild(spec.params[i]->Clone(gen));
+    sc->AddChild(std::move(p));
+  }
+  for (const NodeLocation& loc : spec.forwards) {
+    sc->AddChild(MakeTextElement("forw", loc.ToString(), gen));
+  }
+  if (spec.mode != ActivationMode::kManual) {
+    sc->AddChild(
+        MakeTextElement("@mode", ActivationModeName(spec.mode), gen));
+  }
+  if (spec.after.valid()) {
+    sc->AddChild(
+        MakeTextElement("@after", std::to_string(spec.after.bits()), gen));
+  }
+  return sc;
+}
+
+Result<ServiceCallSpec> ParseServiceCall(const TreeNode& sc_node) {
+  if (!sc_node.is_element() ||
+      sc_node.label() != WellKnownLabels::Get().sc) {
+    return Status::InvalidArgument("node is not an sc element");
+  }
+  ServiceCallSpec spec;
+  spec.sc_node = sc_node.id();
+  // Collect params as (index, tree) to sort by suffix number.
+  std::vector<std::pair<int, TreePtr>> params;
+  for (const auto& c : sc_node.children()) {
+    if (!c->is_element()) continue;
+    const std::string& label = c->label_text();
+    if (label == "peer") {
+      spec.provider = c->StringValue();
+    } else if (label == "service") {
+      spec.service = c->StringValue();
+    } else if (StartsWith(label, "param")) {
+      int idx = std::atoi(label.c_str() + 5);
+      if (idx <= 0) {
+        return Status::ParseError(
+            StrCat("malformed parameter label \"", label, "\""));
+      }
+      if (c->child_count() != 1) {
+        return Status::ParseError(
+            StrCat(label, " must contain exactly one subtree"));
+      }
+      params.emplace_back(idx, c->child(0));
+    } else if (label == "forw") {
+      AXML_ASSIGN_OR_RETURN(NodeLocation loc,
+                            NodeLocation::Parse(c->StringValue()));
+      spec.forwards.push_back(loc);
+    } else if (label == "@mode") {
+      AXML_ASSIGN_OR_RETURN(spec.mode,
+                            ParseActivationMode(c->StringValue()));
+    } else if (label == "@after") {
+      spec.after = NodeId::FromBits(
+          std::strtoull(c->StringValue().c_str(), nullptr, 10));
+      if (spec.mode == ActivationMode::kManual) {
+        spec.mode = ActivationMode::kAfterCall;
+      }
+    }
+  }
+  if (spec.provider.empty()) {
+    return Status::ParseError("sc element lacks a <peer> child");
+  }
+  if (spec.service.empty()) {
+    return Status::ParseError("sc element lacks a <service> child");
+  }
+  std::sort(params.begin(), params.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].first != static_cast<int>(i) + 1) {
+      return Status::ParseError("parameter labels are not param1..paramN");
+    }
+    spec.params.push_back(params[i].second);
+  }
+  return spec;
+}
+
+void FindServiceCalls(const TreePtr& root, std::vector<TreePtr>* out) {
+  if (root->is_element() &&
+      root->label() == WellKnownLabels::Get().sc) {
+    out->push_back(root);
+    return;  // nested calls activate once their enclosing call ran
+  }
+  for (const auto& c : root->children()) FindServiceCalls(c, out);
+}
+
+TreeNode* FindParent(const TreePtr& root, NodeId id) {
+  if (!root->is_element()) return nullptr;
+  for (const auto& c : root->children()) {
+    if (c->is_element() && c->id() == id) return root.get();
+  }
+  for (const auto& c : root->children()) {
+    if (TreeNode* p = FindParent(c, id)) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace axml

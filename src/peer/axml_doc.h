@@ -1,0 +1,83 @@
+// AXML documents (§2.2–2.3): XML documents embedding service calls.
+//
+// An sc element has children:
+//   <peer>provider-name-or-"any"</peer>   (required)
+//   <service>service-or-class-name</service> (required)
+//   <param1>..</param1> ... <paramN>..</paramN> (the call parameters)
+//   <forw>location</forw>*                (§2.3 forward lists; when
+//                                          absent, the default forward is
+//                                          the sc node's parent)
+//   @mode / @after attribute children     (activation control, §2.2)
+//
+// A forward location is serialized "nodeBits@peerIndex" (the node id of
+// §2.3's n@p). Activation modes mirror §2.2's list: explicit user
+// activation, immediate activation, lazy (when a query needs the
+// result), and after-another-call.
+
+#ifndef AXML_PEER_AXML_DOC_H_
+#define AXML_PEER_AXML_DOC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace axml {
+
+/// A node address n@p (§2.3): where a response tree should land.
+struct NodeLocation {
+  NodeId node;
+  PeerId peer;
+
+  std::string ToString() const;
+  static Result<NodeLocation> Parse(const std::string& text);
+  bool operator==(const NodeLocation&) const = default;
+};
+
+/// When an embedded call fires (§2.2).
+enum class ActivationMode {
+  kManual,     ///< "control given to the user via interactive hypertext"
+  kImmediate,  ///< activate as soon as the document is installed
+  kLazy,       ///< activate when a query needs the result
+  kAfterCall,  ///< activate after each response of another call
+};
+
+const char* ActivationModeName(ActivationMode m);
+Result<ActivationMode> ParseActivationMode(const std::string& name);
+
+/// Parsed form of one sc element.
+struct ServiceCallSpec {
+  /// Provider peer name, or "any" for a generic service (§2.3).
+  std::string provider;
+  /// Service name (or service-class name when provider is "any").
+  ServiceName service;
+  /// Parameter subtrees, in param1..paramN order.
+  std::vector<TreePtr> params;
+  /// Forward list; empty means "default: parent of the sc node".
+  std::vector<NodeLocation> forwards;
+  ActivationMode mode = ActivationMode::kManual;
+  /// For kAfterCall: the sc node this call is chained to.
+  NodeId after = NodeId::Invalid();
+  /// The sc element's own node id (set when parsed from a tree).
+  NodeId sc_node = NodeId::Invalid();
+};
+
+/// Constructs an sc element from `spec` (params are cloned with ids from
+/// `gen`).
+TreePtr BuildServiceCall(const ServiceCallSpec& spec, NodeIdGen* gen);
+
+/// Parses an sc element (node labeled "sc").
+Result<ServiceCallSpec> ParseServiceCall(const TreeNode& sc_node);
+
+/// All sc elements in the subtree, in document order.
+void FindServiceCalls(const TreePtr& root, std::vector<TreePtr>* out);
+
+/// Parent of element `id` within `root`; nullptr when `id` is the root
+/// or absent.
+TreeNode* FindParent(const TreePtr& root, NodeId id);
+
+}  // namespace axml
+
+#endif  // AXML_PEER_AXML_DOC_H_

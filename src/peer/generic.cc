@@ -1,0 +1,136 @@
+#include "peer/generic.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace axml {
+
+const char* PickPolicyName(PickPolicy p) {
+  switch (p) {
+    case PickPolicy::kFirst:
+      return "first";
+    case PickPolicy::kRandom:
+      return "random";
+    case PickPolicy::kNearest:
+      return "nearest";
+    case PickPolicy::kLeastLoaded:
+      return "least_loaded";
+  }
+  return "?";
+}
+
+void GenericCatalog::AddDocumentMember(const std::string& class_name,
+                                       ClassMember member) {
+  auto& v = doc_classes_[class_name];
+  if (std::find(v.begin(), v.end(), member) == v.end()) {
+    v.push_back(std::move(member));
+  }
+}
+
+void GenericCatalog::AddServiceMember(const std::string& class_name,
+                                      ClassMember member) {
+  auto& v = svc_classes_[class_name];
+  if (std::find(v.begin(), v.end(), member) == v.end()) {
+    v.push_back(std::move(member));
+  }
+}
+
+void GenericCatalog::RemoveDocumentMember(const std::string& class_name,
+                                          const ClassMember& member) {
+  auto it = doc_classes_.find(class_name);
+  if (it == doc_classes_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), member), v.end());
+  if (v.empty()) doc_classes_.erase(it);
+}
+
+void GenericCatalog::RemoveServiceMember(const std::string& class_name,
+                                         const ClassMember& member) {
+  auto it = svc_classes_.find(class_name);
+  if (it == svc_classes_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), member), v.end());
+  if (v.empty()) svc_classes_.erase(it);
+}
+
+const std::vector<ClassMember>* GenericCatalog::DocumentMembers(
+    const std::string& class_name) const {
+  auto it = doc_classes_.find(class_name);
+  return it == doc_classes_.end() ? nullptr : &it->second;
+}
+
+const std::vector<ClassMember>* GenericCatalog::ServiceMembers(
+    const std::string& class_name) const {
+  auto it = svc_classes_.find(class_name);
+  return it == svc_classes_.end() ? nullptr : &it->second;
+}
+
+Result<ClassMember> GenericCatalog::PickDocument(
+    const std::string& class_name, PeerId from, PickPolicy policy,
+    const Network& net, uint64_t nominal_bytes) {
+  return Pick(doc_classes_, "document", class_name, from, policy, net,
+              nominal_bytes);
+}
+
+Result<ClassMember> GenericCatalog::PickService(
+    const std::string& class_name, PeerId from, PickPolicy policy,
+    const Network& net, uint64_t nominal_bytes) {
+  return Pick(svc_classes_, "service", class_name, from, policy, net,
+              nominal_bytes);
+}
+
+Result<ClassMember> GenericCatalog::Pick(
+    const std::map<std::string, std::vector<ClassMember>>& classes,
+    const char* what, const std::string& class_name, PeerId from,
+    PickPolicy policy, const Network& net, uint64_t nominal_bytes) {
+  auto it = classes.find(class_name);
+  if (it == classes.end() || it->second.empty()) {
+    return Status::NotFound(
+        StrCat("no members in ", what, " class \"", class_name, "\""));
+  }
+  const std::vector<ClassMember>& members = it->second;
+  const ClassMember* chosen = nullptr;
+  switch (policy) {
+    case PickPolicy::kFirst:
+      chosen = &members.front();
+      break;
+    case PickPolicy::kRandom:
+      chosen = &members[rng_.Index(members.size())];
+      break;
+    case PickPolicy::kNearest: {
+      double best = 0;
+      for (const auto& m : members) {
+        double t =
+            net.topology().Get(m.peer, from).TransferTime(nominal_bytes);
+        if (chosen == nullptr || t < best) {
+          best = t;
+          chosen = &m;
+        }
+      }
+      break;
+    }
+    case PickPolicy::kLeastLoaded: {
+      uint64_t best = 0;
+      for (const auto& m : members) {
+        uint64_t load = PickCount(m.peer);
+        if (chosen == nullptr || load < best) {
+          best = load;
+          chosen = &m;
+        }
+      }
+      break;
+    }
+  }
+  ++pick_counts_[chosen->peer];
+  return *chosen;
+}
+
+uint64_t GenericCatalog::PickCount(PeerId peer) const {
+  auto it = pick_counts_.find(peer);
+  return it == pick_counts_.end() ? 0 : it->second;
+}
+
+void GenericCatalog::ResetPickCounts() { pick_counts_.clear(); }
+
+}  // namespace axml

@@ -1,0 +1,106 @@
+// Generic documents and services (§2.3) and the pick functions of
+// definition (9).
+//
+// "A generic document ed@any denotes any among a set of regular documents
+// which we consider to be equivalent; we say ed is a document equivalence
+// class." Equivalence classes are *declared* here (the paper's semantic
+// fixpoint equivalence [5] is undecidable; deployed members are asserted
+// equivalent by whoever replicates them — the GenericCatalog can
+// optionally verify unordered-equality of current replica contents).
+//
+// pickDoc/pickService: "The implementation of an actual pick function at
+// p depends on p's knowledge of the existing documents and services, p's
+// preferences etc." We provide the classic policies and let benches
+// compare them (EXP-6).
+
+#ifndef AXML_PEER_GENERIC_H_
+#define AXML_PEER_GENERIC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace axml {
+
+/// One concrete member of an equivalence class: a (name, peer) pair.
+struct ClassMember {
+  std::string name;  ///< document or service name on that peer
+  PeerId peer;
+
+  bool operator==(const ClassMember&) const = default;
+};
+
+/// How pickDoc / pickService choose among members.
+enum class PickPolicy {
+  kFirst,        ///< first registered member (baseline)
+  kRandom,       ///< uniform random member
+  kNearest,      ///< member whose link from the caller is fastest for a
+                 ///< nominal payload
+  kLeastLoaded,  ///< member with the fewest picks so far (greedy balance)
+};
+
+const char* PickPolicyName(PickPolicy p);
+
+/// Registry of document and service equivalence classes.
+class GenericCatalog {
+ public:
+  GenericCatalog() : rng_(0xA11CE) {}
+
+  /// Declares `member` part of the document class `class_name`.
+  void AddDocumentMember(const std::string& class_name, ClassMember member);
+  void AddServiceMember(const std::string& class_name, ClassMember member);
+  void RemoveDocumentMember(const std::string& class_name,
+                            const ClassMember& member);
+  void RemoveServiceMember(const std::string& class_name,
+                           const ClassMember& member);
+
+  const std::vector<ClassMember>* DocumentMembers(
+      const std::string& class_name) const;
+  const std::vector<ClassMember>* ServiceMembers(
+      const std::string& class_name) const;
+
+  /// pickDoc (def. (9)): chooses a member of document class `class_name`
+  /// for caller `from` under `policy`. `net` provides link estimates for
+  /// kNearest; `nominal_bytes` is the payload size used to rank links.
+  Result<ClassMember> PickDocument(const std::string& class_name,
+                                   PeerId from, PickPolicy policy,
+                                   const Network& net,
+                                   uint64_t nominal_bytes = 4096);
+  /// pickService, same contract.
+  Result<ClassMember> PickService(const std::string& class_name,
+                                  PeerId from, PickPolicy policy,
+                                  const Network& net,
+                                  uint64_t nominal_bytes = 4096);
+
+  /// Picks recorded per peer (drives kLeastLoaded; benches read it to
+  /// show balance).
+  uint64_t PickCount(PeerId peer) const;
+  void ResetPickCounts();
+
+  void set_default_policy(PickPolicy p) { default_policy_ = p; }
+  PickPolicy default_policy() const { return default_policy_; }
+
+  /// Reseeds the kRandom policy for reproducibility.
+  void SeedRandom(uint64_t seed) { rng_.Seed(seed); }
+
+ private:
+  Result<ClassMember> Pick(
+      const std::map<std::string, std::vector<ClassMember>>& classes,
+      const char* what, const std::string& class_name, PeerId from,
+      PickPolicy policy, const Network& net, uint64_t nominal_bytes);
+
+  std::map<std::string, std::vector<ClassMember>> doc_classes_;
+  std::map<std::string, std::vector<ClassMember>> svc_classes_;
+  std::map<PeerId, uint64_t> pick_counts_;
+  PickPolicy default_policy_ = PickPolicy::kNearest;
+  Rng rng_;
+};
+
+}  // namespace axml
+
+#endif  // AXML_PEER_GENERIC_H_

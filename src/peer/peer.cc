@@ -1,0 +1,102 @@
+#include "peer/peer.h"
+
+#include "common/str_util.h"
+
+namespace axml {
+
+Peer::Peer(PeerId id, std::string name)
+    : id_(id), name_(std::move(name)), gen_(id) {}
+
+Status Peer::InstallDocument(DocName name, TreePtr root) {
+  if (docs_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StrCat("document \"", name, "\" already exists on peer ", name_));
+  }
+  docs_.emplace(std::move(name), std::move(root));
+  return Status::OK();
+}
+
+void Peer::PutDocument(DocName name, TreePtr root) {
+  docs_[std::move(name)] = std::move(root);
+}
+
+Status Peer::RemoveDocument(const DocName& name) {
+  if (docs_.erase(name) == 0) {
+    return Status::NotFound(
+        StrCat("document \"", name, "\" not found on peer ", name_));
+  }
+  return Status::OK();
+}
+
+TreePtr Peer::GetDocument(const DocName& name) const {
+  auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : it->second;
+}
+
+bool Peer::HasDocument(const DocName& name) const {
+  return docs_.count(name) > 0;
+}
+
+TreeNode* Peer::FindNode(NodeId id) {
+  for (auto& [name, root] : docs_) {
+    if (TreeNode* n = root->FindNode(id)) return n;
+  }
+  return nullptr;
+}
+
+DocName Peer::FindDocumentOfNode(NodeId id) const {
+  for (const auto& [name, root] : docs_) {
+    if (root->FindNode(id) != nullptr) return name;
+  }
+  return "";
+}
+
+Status Peer::AppendUnderNode(NodeId target, TreePtr tree) {
+  TreeNode* node = FindNode(target);
+  if (node == nullptr) {
+    return Status::NotFound(StrCat("node ", target.ToString(),
+                                   " not found on peer ", name_));
+  }
+  if (!node->is_element()) {
+    return Status::InvalidArgument("cannot append under a text node");
+  }
+  node->AddChild(std::move(tree));
+  return Status::OK();
+}
+
+Status Peer::InstallService(Service service) {
+  const ServiceName& name = service.name();
+  if (services_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StrCat("service \"", name, "\" already exists on peer ", name_));
+  }
+  services_.emplace(name, std::move(service));
+  return Status::OK();
+}
+
+void Peer::PutService(Service service) {
+  services_[service.name()] = std::move(service);
+}
+
+Status Peer::RemoveService(const ServiceName& name) {
+  if (services_.erase(name) == 0) {
+    return Status::NotFound(
+        StrCat("service \"", name, "\" not found on peer ", name_));
+  }
+  return Status::OK();
+}
+
+const Service* Peer::GetService(const ServiceName& name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+bool Peer::HasService(const ServiceName& name) const {
+  return services_.count(name) > 0;
+}
+
+DocResolver Peer::AsDocResolver() const {
+  return [this](const DocName& name) { return GetDocument(name); };
+}
+
+}  // namespace axml

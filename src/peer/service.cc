@@ -1,0 +1,52 @@
+#include "peer/service.h"
+
+#include "common/logging.h"
+
+namespace axml {
+
+Service Service::Declarative(ServiceName name, Query query) {
+  Service s;
+  s.name_ = std::move(name);
+  s.arity_ = query.arity();
+  s.query_ = std::move(query);
+  return s;
+}
+
+Service Service::Declarative(ServiceName name, Query query, Signature sig) {
+  Service s = Declarative(std::move(name), std::move(query));
+  s.has_signature_ = true;
+  s.signature_ = std::move(sig);
+  return s;
+}
+
+Service Service::Native(ServiceName name, int arity, NativeServiceFn fn) {
+  Service s;
+  s.name_ = std::move(name);
+  s.arity_ = arity;
+  s.native_ = std::move(fn);
+  return s;
+}
+
+Service Service::Native(ServiceName name, int arity, NativeServiceFn fn,
+                        Signature sig) {
+  Service s = Native(std::move(name), arity, std::move(fn));
+  s.has_signature_ = true;
+  s.signature_ = std::move(sig);
+  return s;
+}
+
+Result<std::vector<TreePtr>> Service::InvokeNative(
+    const std::vector<TreePtr>& params, Peer* self) const {
+  if (is_declarative()) {
+    return Status::Internal("InvokeNative on a declarative service");
+  }
+  if (native_ == nullptr) {
+    return Status::Internal("service has no body");
+  }
+  if (has_signature_) {
+    AXML_RETURN_NOT_OK(signature_.CheckInput(params));
+  }
+  return native_(params, self);
+}
+
+}  // namespace axml

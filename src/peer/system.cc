@@ -1,0 +1,146 @@
+#include "peer/system.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "xml/tree_equal.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+
+namespace axml {
+
+AxmlSystem::AxmlSystem() : AxmlSystem(Topology(LinkParams{})) {}
+
+AxmlSystem::AxmlSystem(Topology topology)
+    : network_(std::make_unique<Network>(&loop_, std::move(topology))) {}
+
+PeerId AxmlSystem::AddPeer(std::string name) {
+  AXML_CHECK(name != "any") << "\"any\" is reserved (§2.3)";
+  AXML_CHECK(FindPeerId(name) == PeerId::Invalid())
+      << "duplicate peer name " << name;
+  PeerId id(static_cast<uint32_t>(peers_.size()));
+  peers_.push_back(std::make_unique<Peer>(id, std::move(name)));
+  if (catalog_ == nullptr) {
+    catalog_ = std::make_unique<CentralCatalog>(id);
+  }
+  catalog_->set_peer_count(static_cast<uint32_t>(peers_.size()));
+  return id;
+}
+
+Peer* AxmlSystem::peer(PeerId id) {
+  if (!id.is_concrete() || id.index() >= peers_.size()) return nullptr;
+  return peers_[id.index()].get();
+}
+
+const Peer* AxmlSystem::peer(PeerId id) const {
+  if (!id.is_concrete() || id.index() >= peers_.size()) return nullptr;
+  return peers_[id.index()].get();
+}
+
+Peer* AxmlSystem::FindPeer(const std::string& name) {
+  for (auto& p : peers_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+PeerId AxmlSystem::FindPeerId(const std::string& name) const {
+  for (const auto& p : peers_) {
+    if (p->name() == name) return p->id();
+  }
+  return PeerId::Invalid();
+}
+
+void AxmlSystem::SetCatalog(std::unique_ptr<Catalog> catalog) {
+  catalog_ = std::move(catalog);
+  if (catalog_ != nullptr) {
+    catalog_->set_peer_count(static_cast<uint32_t>(peers_.size()));
+  }
+}
+
+Catalog* AxmlSystem::catalog() { return catalog_.get(); }
+
+Status AxmlSystem::InstallDocument(PeerId p, DocName name, TreePtr root) {
+  Peer* host = peer(p);
+  if (host == nullptr) {
+    return Status::NotFound(StrCat("no peer ", p.ToString()));
+  }
+  AXML_RETURN_NOT_OK(host->InstallDocument(name, std::move(root)));
+  if (catalog_ != nullptr) {
+    catalog_->Register(ResourceKind::kDocument, name, p);
+  }
+  return Status::OK();
+}
+
+Status AxmlSystem::InstallDocumentXml(PeerId p, DocName name,
+                                      std::string_view xml) {
+  Peer* host = peer(p);
+  if (host == nullptr) {
+    return Status::NotFound(StrCat("no peer ", p.ToString()));
+  }
+  AXML_ASSIGN_OR_RETURN(TreePtr root, ParseXml(xml, host->gen()));
+  return InstallDocument(p, std::move(name), std::move(root));
+}
+
+Status AxmlSystem::InstallService(PeerId p, Service service) {
+  Peer* host = peer(p);
+  if (host == nullptr) {
+    return Status::NotFound(StrCat("no peer ", p.ToString()));
+  }
+  const ServiceName name = service.name();
+  AXML_RETURN_NOT_OK(host->InstallService(std::move(service)));
+  if (catalog_ != nullptr) {
+    catalog_->Register(ResourceKind::kService, name, p);
+  }
+  return Status::OK();
+}
+
+Status AxmlSystem::InstallReplicatedDocument(
+    const std::string& class_name, const DocName& name, const TreePtr& root,
+    const std::vector<PeerId>& replicas) {
+  for (PeerId p : replicas) {
+    Peer* host = peer(p);
+    if (host == nullptr) {
+      return Status::NotFound(StrCat("no peer ", p.ToString()));
+    }
+    AXML_RETURN_NOT_OK(InstallDocument(p, name, root->Clone(host->gen())));
+    generics_.AddDocumentMember(class_name, ClassMember{name, p});
+  }
+  return Status::OK();
+}
+
+std::string AxmlSystem::StateFingerprint() const {
+  std::string out;
+  for (const auto& p : peers_) {
+    out += StrCat("peer ", p->name(), "\n");
+    for (const auto& [name, root] : p->documents()) {
+      out += StrCat("  doc ", name, " = ", CanonicalForm(*root), "\n");
+    }
+    for (const auto& [name, svc] : p->services()) {
+      out += StrCat("  svc ", name, " arity=", svc.arity(),
+                    svc.is_declarative()
+                        ? StrCat(" query=", svc.query().text())
+                        : std::string(" native"),
+                    "\n");
+    }
+  }
+  return out;
+}
+
+std::string AxmlSystem::DumpState() const {
+  std::string out;
+  for (const auto& p : peers_) {
+    out += StrCat("=== peer ", p->name(), " (", p->id().ToString(),
+                  ") ===\n");
+    for (const auto& [name, root] : p->documents()) {
+      out += StrCat("--- doc ", name, " ---\n", SerializePretty(*root));
+    }
+    for (const auto& [name, svc] : p->services()) {
+      out += StrCat("--- service ", name, " ---\n",
+                    svc.is_declarative() ? svc.query().text() : "(native)",
+                    "\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace axml

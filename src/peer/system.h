@@ -1,0 +1,97 @@
+// AxmlSystem: the whole distributed state Σ (§3.3: "We call state of an
+// AXML system over peers p1..pn, and denote by Σ, all documents and
+// services on p1..pn").
+//
+// Owns the event loop, the network, the peers, the discovery catalog and
+// the generic-class registry. The rule-equivalence property tests
+// fingerprint Σ before/after evaluating two expressions and assert the
+// fingerprints agree — the executable form of the paper's
+// eval@p1(e1)(Σ) = eval@p2(e2)(Σ).
+
+#ifndef AXML_PEER_SYSTEM_H_
+#define AXML_PEER_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "net/catalog.h"
+#include "net/event_loop.h"
+#include "net/network.h"
+#include "peer/generic.h"
+#include "peer/peer.h"
+
+namespace axml {
+
+/// The complete simulated AXML deployment.
+class AxmlSystem {
+ public:
+  /// Uses a uniform default topology; call `network().mutable_topology()`
+  /// or construct with an explicit Topology to customize.
+  AxmlSystem();
+  explicit AxmlSystem(Topology topology);
+
+  AxmlSystem(const AxmlSystem&) = delete;
+  AxmlSystem& operator=(const AxmlSystem&) = delete;
+
+  /// Creates a peer; names must be unique and not "any".
+  PeerId AddPeer(std::string name);
+
+  Peer* peer(PeerId id);
+  const Peer* peer(PeerId id) const;
+  /// nullptr when no peer has `name`.
+  Peer* FindPeer(const std::string& name);
+  PeerId FindPeerId(const std::string& name) const;
+  size_t peer_count() const { return peers_.size(); }
+
+  EventLoop& loop() { return loop_; }
+  Network& network() { return *network_; }
+  const Network& network() const { return *network_; }
+
+  /// Discovery catalog (defaults to a CentralCatalog on the first peer
+  /// added; replaceable for the EXP-8 ablation).
+  void SetCatalog(std::unique_ptr<Catalog> catalog);
+  Catalog* catalog();
+
+  GenericCatalog& generics() { return generics_; }
+
+  // --- State manipulation helpers (register resources in the catalog) ---
+
+  /// Installs a document on `p` and advertises it.
+  Status InstallDocument(PeerId p, DocName name, TreePtr root);
+  /// Parses and installs XML text.
+  Status InstallDocumentXml(PeerId p, DocName name, std::string_view xml);
+  /// Installs a service on `p` and advertises it.
+  Status InstallService(PeerId p, Service service);
+
+  /// Installs a replicated document: same content on every peer in
+  /// `replicas` (cloned per peer), registered as document class
+  /// `class_name`.
+  Status InstallReplicatedDocument(const std::string& class_name,
+                                   const DocName& name, const TreePtr& root,
+                                   const std::vector<PeerId>& replicas);
+
+  /// Runs the event loop until no events remain. Returns events run.
+  uint64_t RunToQuiescence() { return loop_.Run(); }
+
+  /// Canonical digest of Σ: every (peer, doc name, canonical tree) plus
+  /// service inventories. Two runs ending in equal fingerprints ended in
+  /// equivalent states.
+  std::string StateFingerprint() const;
+
+  /// Pretty multi-line dump of Σ for debugging and examples.
+  std::string DumpState() const;
+
+ private:
+  EventLoop loop_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::unique_ptr<Catalog> catalog_;
+  GenericCatalog generics_;
+};
+
+}  // namespace axml
+
+#endif  // AXML_PEER_SYSTEM_H_

@@ -1,0 +1,151 @@
+#include "peer/type_activation.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "peer/axml_doc.h"
+
+namespace axml {
+
+SchemaTypePtr ServiceOutputType(const ServiceCallSpec& spec,
+                                const AxmlSystem& sys) {
+  if (spec.provider == "any") {
+    // A generic call could resolve to any member; without a per-class
+    // signature we stay optimistic.
+    return SchemaType::Any();
+  }
+  PeerId provider = sys.FindPeerId(spec.provider);
+  const Peer* host = sys.peer(provider);
+  if (host == nullptr) return SchemaType::Any();
+  const Service* svc = host->GetService(spec.service);
+  if (svc == nullptr || !svc->has_signature() ||
+      svc->signature().out == nullptr) {
+    return SchemaType::Any();
+  }
+  return svc->signature().out;
+}
+
+namespace {
+
+/// Recursive matcher accumulating the plan. Returns false when `node`
+/// cannot reach `type` under any activation choice.
+bool PlanNode(const TreePtr& node, const SchemaTypePtr& type,
+              const AxmlSystem& sys, ActivationPlan* plan) {
+  switch (type->kind()) {
+    case SchemaType::Kind::kAny:
+      return true;  // anything goes; embedded calls are all optional
+    case SchemaType::Kind::kText:
+      return node->is_text();
+    case SchemaType::Kind::kNumber: {
+      if (!node->is_text()) return false;
+      double ignored;
+      return ParseDouble(node->text(), &ignored);
+    }
+    case SchemaType::Kind::kElement:
+      break;
+  }
+  if (!node->is_element() || node->label() != type->label()) return false;
+
+  const std::vector<Particle>& particles = type->particles();
+  std::vector<int> counts(particles.size(), 0);
+
+  // Pass 1: concrete (non-sc) children claim particles first-fit. A
+  // child claims a particle when it can *potentially* reach the
+  // particle's type under some activation of its own embedded calls
+  // (recursive plan), so nested deficits are planned too.
+  std::vector<TreePtr> calls;
+  for (const auto& child : node->children()) {
+    if (child->is_element() &&
+        child->label() == WellKnownLabels::Get().sc) {
+      calls.push_back(child);
+      continue;
+    }
+    bool claimed = false;
+    for (size_t i = 0; i < particles.size(); ++i) {
+      ActivationPlan sub;
+      if (PlanNode(child, particles[i].type, sys, &sub) &&
+          sub.achievable) {
+        ++counts[i];
+        claimed = true;
+        plan->activate.insert(plan->activate.end(), sub.activate.begin(),
+                              sub.activate.end());
+        plan->forbid.insert(plan->forbid.end(), sub.forbid.begin(),
+                            sub.forbid.end());
+        plan->optional.insert(plan->optional.end(), sub.optional.begin(),
+                              sub.optional.end());
+        break;
+      }
+    }
+    if (!claimed) return false;  // stray concrete child: unreachable
+  }
+
+  // Pass 2: unmet min-occurs deficits are filled by calls whose output
+  // type structurally equals (or is Any for) the particle's type.
+  std::vector<bool> call_used(calls.size(), false);
+  for (size_t i = 0; i < particles.size(); ++i) {
+    while (counts[i] < particles[i].min_occurs) {
+      bool filled = false;
+      for (size_t c = 0; c < calls.size(); ++c) {
+        if (call_used[c]) continue;
+        Result<ServiceCallSpec> spec = ParseServiceCall(*calls[c]);
+        if (!spec.ok()) continue;
+        SchemaTypePtr out = ServiceOutputType(*spec, sys);
+        bool fits = out->kind() == SchemaType::Kind::kAny ||
+                    out->Equals(*particles[i].type);
+        if (!fits) continue;
+        call_used[c] = true;
+        plan->activate.push_back(calls[c]->id());
+        ++counts[i];
+        filled = true;
+        break;
+      }
+      if (!filled) {
+        plan->achievable = false;
+        return true;  // root shape fine, but a deficit is unfillable
+      }
+    }
+  }
+
+  // Pass 3: classify the remaining calls: optional when their output
+  // fits a particle with room, forbidden otherwise.
+  for (size_t c = 0; c < calls.size(); ++c) {
+    if (call_used[c]) continue;
+    Result<ServiceCallSpec> spec = ParseServiceCall(*calls[c]);
+    SchemaTypePtr out =
+        spec.ok() ? ServiceOutputType(*spec, sys) : SchemaType::Any();
+    bool fits_somewhere = false;
+    for (size_t i = 0; i < particles.size(); ++i) {
+      bool fits = out->kind() == SchemaType::Kind::kAny ||
+                  out->Equals(*particles[i].type);
+      if (fits && counts[i] < particles[i].max_occurs) {
+        fits_somewhere = true;
+        break;
+      }
+    }
+    if (fits_somewhere) {
+      plan->optional.push_back(calls[c]->id());
+    } else {
+      plan->forbid.push_back(calls[c]->id());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ActivationPlan> PlanActivationsForType(const TreePtr& root,
+                                              const SchemaTypePtr& target,
+                                              const AxmlSystem& sys) {
+  if (root == nullptr || target == nullptr) {
+    return Status::InvalidArgument("null document or type");
+  }
+  ActivationPlan plan;
+  if (!PlanNode(root, target, sys, &plan)) {
+    return Status::InvalidArgument(StrCat(
+        "document cannot reach type ", target->ToString(),
+        " under any activation choice (shape mismatch)"));
+  }
+  return plan;
+}
+
+}  // namespace axml

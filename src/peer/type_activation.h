@@ -1,0 +1,70 @@
+// Type-driven call activation — the §4 "ongoing work" extension.
+//
+// §2.2 lists among the activation triggers: "in order to turn d0's XML
+// type into some other desired type [6]". Given an AXML document (whose
+// sc calls are not yet activated) and a desired schema type, this module
+// computes an *activation plan*:
+//
+//   - activate: the sc nodes whose responses are needed to satisfy
+//     content-model particles the concrete children leave unmet;
+//   - forbid:   the sc nodes whose responses could never be placed in
+//     the target content model (activating them would take the document
+//     *away* from the desired type);
+//   - optional: sc nodes whose responses fit particles that still have
+//     room, but are not required (activating them is a policy choice);
+//   - achievable: whether the desired type can be reached at all.
+//
+// The analysis is a simplification of the regular-rewriting theory of
+// [Abiteboul, Milo, Benjelloun, PODS 2005]: service output types come
+// from the provider's declared signature (services without a signature
+// are treated as producing Any, which can fill any particle — i.e. we
+// are optimistic about unknown services); each activated continuous call
+// is assumed able to produce at least min-occurs-many responses.
+// Matching is first-fit over the unordered (interleaving) content
+// models of schema.h, which is exact for the deterministic content
+// models this library defines (distinct child types per particle).
+
+#ifndef AXML_PEER_TYPE_ACTIVATION_H_
+#define AXML_PEER_TYPE_ACTIVATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "peer/axml_doc.h"
+#include "peer/system.h"
+#include "xml/schema.h"
+#include "xml/tree.h"
+
+namespace axml {
+
+/// What to do with the embedded calls to steer a document toward a type.
+struct ActivationPlan {
+  /// Calls that must be activated (their responses fill unmet
+  /// min-occurs particles), in document order.
+  std::vector<NodeId> activate;
+  /// Calls whose responses fit no particle with room: activating them
+  /// would violate the target type.
+  std::vector<NodeId> forbid;
+  /// Calls whose responses fit, but are not needed.
+  std::vector<NodeId> optional;
+  /// False when some particle's min-occurs cannot be met even with
+  /// every available call activated.
+  bool achievable = true;
+};
+
+/// Computes the activation plan for `root` against `target`.
+/// `sys` resolves provider peers and service signatures. Fails with
+/// kInvalidArgument when the root label cannot match `target` at all
+/// (no activation choice can fix a wrong root).
+Result<ActivationPlan> PlanActivationsForType(const TreePtr& root,
+                                              const SchemaTypePtr& target,
+                                              const AxmlSystem& sys);
+
+/// The declared output type of the service an sc spec refers to, or
+/// Any() when the provider/service/signature is unknown (optimistic).
+SchemaTypePtr ServiceOutputType(const ServiceCallSpec& spec,
+                                const AxmlSystem& sys);
+
+}  // namespace axml
+
+#endif  // AXML_PEER_TYPE_ACTIVATION_H_

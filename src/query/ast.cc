@@ -1,0 +1,185 @@
+#include "query/ast.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace axml {
+namespace aql {
+
+std::string Step::ToString(bool leading_slash) const {
+  std::string s;
+  if (leading_slash) s = axis == Axis::kChild ? "/" : "//";
+  switch (test) {
+    case Test::kLabel:
+      s += LabelText(label);
+      break;
+    case Test::kWildcard:
+      s += "*";
+      break;
+    case Test::kText:
+      s += "text()";
+      break;
+  }
+  return s;
+}
+
+std::string PathToString(const Path& path) {
+  std::string s;
+  for (const Step& st : path) s += st.ToString();
+  return s;
+}
+
+std::string Source::ToString() const {
+  switch (kind) {
+    case Kind::kDoc:
+      return StrCat("doc(\"", doc_name, "\")");
+    case Kind::kInput:
+      return StrCat("input(", input_index, ")");
+    case Kind::kVar:
+      return StrCat("$", var_name);
+  }
+  return "?";
+}
+
+std::string ForClause::ToString() const {
+  return StrCat("for $", var, " in ", source.ToString(),
+                PathToString(path));
+}
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kVarPath:
+      return StrCat("$", var, PathToString(path));
+    case Kind::kDotPath:
+      return StrCat(".", PathToString(path));
+    case Kind::kLiteral: {
+      double d;
+      if (ParseDouble(literal, &d)) return literal;
+      return StrCat("\"", literal, "\"");
+    }
+  }
+  return "?";
+}
+
+std::string Cond::ToString() const {
+  switch (kind) {
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " and " : " or ";
+      std::string s = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) s += sep;
+        s += children[i]->ToString();
+      }
+      s += ")";
+      return s;
+    }
+    case Kind::kNot:
+      return StrCat("not(", children[0]->ToString(), ")");
+    case Kind::kCompare:
+      return StrCat(lhs.ToString(), " ", CmpOpName(op), " ",
+                    rhs.ToString());
+    case Kind::kExists:
+      return lhs.ToString();
+    case Kind::kContains:
+      return StrCat("contains(", lhs.ToString(), ", \"", rhs.literal,
+                    "\")");
+  }
+  return "?";
+}
+
+CondPtr Cond::Clone() const {
+  auto c = std::make_unique<Cond>();
+  c->kind = kind;
+  for (const auto& ch : children) c->children.push_back(ch->Clone());
+  c->lhs = lhs;
+  c->rhs = rhs;
+  c->op = op;
+  return c;
+}
+
+void Cond::CollectVars(std::vector<std::string>* out) const {
+  auto add = [out](const Operand& o) {
+    if (o.kind == Operand::Kind::kVarPath) out->push_back(o.var);
+  };
+  add(lhs);
+  add(rhs);
+  for (const auto& ch : children) ch->CollectVars(out);
+}
+
+std::string Cons::ToString() const {
+  switch (kind) {
+    case Kind::kElement: {
+      const std::string& tag = LabelText(elem_label);
+      if (children.empty()) return StrCat("<", tag, "/>");
+      std::string s = StrCat("<", tag, ">{ ");
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += children[i]->ToString();
+      }
+      s += StrCat(" }</", tag, ">");
+      return s;
+    }
+    case Kind::kOperand:
+      return operand.ToString();
+    case Kind::kCount:
+      return StrCat("count($", count_var, ")");
+  }
+  return "?";
+}
+
+ConsPtr Cons::Clone() const {
+  auto c = std::make_unique<Cons>();
+  c->kind = kind;
+  c->elem_label = elem_label;
+  for (const auto& ch : children) c->children.push_back(ch->Clone());
+  c->operand = operand;
+  c->count_var = count_var;
+  return c;
+}
+
+void Cons::CollectVars(std::vector<std::string>* out) const {
+  if (kind == Kind::kOperand &&
+      operand.kind == Operand::Kind::kVarPath) {
+    out->push_back(operand.var);
+  }
+  if (kind == Kind::kCount) out->push_back(count_var);
+  for (const auto& ch : children) ch->CollectVars(out);
+}
+
+int QueryAst::Arity() const {
+  int max_index = -1;
+  for (const auto& c : clauses) {
+    if (c.source.kind == Source::Kind::kInput) {
+      max_index = std::max(max_index, c.source.input_index);
+    }
+  }
+  return max_index + 1;
+}
+
+std::string QueryAst::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) s += " ";
+    s += clauses[i].ToString();
+  }
+  if (where != nullptr) {
+    s += " where ";
+    s += where->ToString();
+  }
+  s += " return ";
+  s += ret->ToString();
+  return s;
+}
+
+QueryAst QueryAst::Clone() const {
+  QueryAst q;
+  q.clauses = clauses;
+  if (where != nullptr) q.where = where->Clone();
+  if (ret != nullptr) q.ret = ret->Clone();
+  return q;
+}
+
+}  // namespace aql
+}  // namespace axml

@@ -1,0 +1,158 @@
+// Abstract syntax of AQL, the declarative XML query language of this
+// library (DESIGN.md substitution for XQuery).
+//
+// Grammar (EBNF; see parser.cc for the concrete implementation):
+//
+//   Query      ::= FLWR | PathExpr
+//   FLWR       ::= ForClause+ ('where' Cond)? 'return' Cons
+//   ForClause  ::= 'for' Var 'in' Source Path?
+//   Source     ::= 'doc(' String ')' | 'input(' Int ')' | Var
+//   Path       ::= (('/' | '//') Step)+
+//   Step       ::= Name | '*' | 'text()'
+//   Cond       ::= Conj ('or' Conj)*
+//   Conj       ::= Atom ('and' Atom)*
+//   Atom       ::= 'not' '(' Cond ')' | '(' Cond ')'
+//                | Operand Cmp Operand | Operand
+//                | 'contains(' Operand ',' String ')'
+//   Operand    ::= (Var | '.') Path? | String | Number
+//   Cons       ::= Element | Operand | 'count(' Var ')'
+//   Element    ::= '<' Name '>' '{' Cons (',' Cons)* '}' '</' Name '>'
+//                | '<' Name '/>'
+//
+// A query's *arity* is 1 + the largest input(i) index it mentions, or 0
+// if none appear. PathExpr alone abbreviates
+// `for $x in <path> return $x` over input(0)/doc.
+
+#ifndef AXML_QUERY_AST_H_
+#define AXML_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/value.h"
+#include "xml/label_interner.h"
+
+namespace axml {
+namespace aql {
+
+/// One navigation step.
+struct Step {
+  enum class Axis { kChild, kDescendant };
+  enum class Test { kLabel, kWildcard, kText };
+
+  Axis axis = Axis::kChild;
+  Test test = Test::kLabel;
+  LabelId label = 0;  ///< valid when test == kLabel
+
+  std::string ToString(bool leading_slash = true) const;
+  bool operator==(const Step&) const = default;
+};
+
+using Path = std::vector<Step>;
+
+std::string PathToString(const Path& path);
+
+/// Where a for-clause draws its trees from.
+struct Source {
+  enum class Kind {
+    kDoc,    ///< doc("name"): a document of the evaluating peer
+    kInput,  ///< input(i): the i-th query input stream
+    kVar,    ///< $v: trees bound by an earlier clause
+  };
+  Kind kind = Kind::kInput;
+  std::string doc_name;   ///< kDoc
+  int input_index = 0;    ///< kInput
+  std::string var_name;   ///< kVar
+
+  std::string ToString() const;
+};
+
+/// `for $var in source path`
+struct ForClause {
+  std::string var;
+  Source source;
+  Path path;
+
+  std::string ToString() const;
+};
+
+/// Scalar operand of predicates and constructors.
+struct Operand {
+  enum class Kind {
+    kVarPath,  ///< $v/p or $v — string value of matched node(s)
+    kDotPath,  ///< ./p — relative to the context tree (single-path query)
+    kLiteral,  ///< quoted string or number literal
+  };
+  Kind kind = Kind::kLiteral;
+  std::string var;      ///< kVarPath
+  Path path;            ///< kVarPath / kDotPath
+  std::string literal;  ///< kLiteral
+
+  std::string ToString() const;
+};
+
+/// Boolean condition tree.
+struct Cond;
+using CondPtr = std::unique_ptr<Cond>;
+
+struct Cond {
+  enum class Kind {
+    kAnd,
+    kOr,
+    kNot,
+    kCompare,   ///< lhs op rhs
+    kExists,    ///< operand matches at least one node
+    kContains,  ///< string value of lhs contains literal rhs
+  };
+  Kind kind;
+  std::vector<CondPtr> children;  ///< kAnd/kOr (>=2), kNot (1)
+  Operand lhs, rhs;               ///< kCompare/kContains; kExists uses lhs
+  CmpOp op = CmpOp::kEq;          ///< kCompare
+
+  std::string ToString() const;
+  CondPtr Clone() const;
+
+  /// Variables mentioned anywhere below this condition.
+  void CollectVars(std::vector<std::string>* out) const;
+};
+
+/// Result constructor.
+struct Cons;
+using ConsPtr = std::unique_ptr<Cons>;
+
+struct Cons {
+  enum class Kind {
+    kElement,  ///< <label>{ children }</label>
+    kOperand,  ///< $v/p (deep copies of matched nodes) or literal text
+    kCount,    ///< count($v): running count of bindings of $v
+  };
+  Kind kind;
+  LabelId elem_label = 0;          ///< kElement
+  std::vector<ConsPtr> children;   ///< kElement
+  Operand operand;                 ///< kOperand
+  std::string count_var;           ///< kCount
+
+  std::string ToString() const;
+  ConsPtr Clone() const;
+  void CollectVars(std::vector<std::string>* out) const;
+};
+
+/// A full query.
+struct QueryAst {
+  std::vector<ForClause> clauses;
+  CondPtr where;  ///< may be null
+  ConsPtr ret;    ///< never null after parsing
+
+  /// 0 when no input(i) appears, else 1 + max index.
+  int Arity() const;
+
+  std::string ToString() const;
+  QueryAst Clone() const;
+};
+
+}  // namespace aql
+}  // namespace axml
+
+#endif  // AXML_QUERY_AST_H_

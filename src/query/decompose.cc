@@ -1,0 +1,138 @@
+#include "query/decompose.h"
+
+#include <algorithm>
+
+namespace axml {
+
+using aql::Cond;
+using aql::CondPtr;
+using aql::Cons;
+using aql::ForClause;
+using aql::Operand;
+using aql::QueryAst;
+using aql::Source;
+
+namespace {
+
+/// True when every variable mentioned below `c` is `var`, and no
+/// dot-paths appear (dot binds to the first clause, which may differ
+/// after the split).
+bool OnlyMentions(const Cond& c, const std::string& var) {
+  auto operand_ok = [&var](const Operand& o) {
+    switch (o.kind) {
+      case Operand::Kind::kLiteral:
+        return true;
+      case Operand::Kind::kVarPath:
+        return o.var == var;
+      case Operand::Kind::kDotPath:
+        return false;
+    }
+    return false;
+  };
+  switch (c.kind) {
+    case Cond::Kind::kAnd:
+    case Cond::Kind::kOr:
+    case Cond::Kind::kNot: {
+      for (const auto& ch : c.children) {
+        if (!OnlyMentions(*ch, var)) return false;
+      }
+      return true;
+    }
+    case Cond::Kind::kCompare:
+      return operand_ok(c.lhs) && operand_ok(c.rhs);
+    case Cond::Kind::kExists:
+      return operand_ok(c.lhs);
+    case Cond::Kind::kContains:
+      return operand_ok(c.lhs);
+  }
+  return false;
+}
+
+void RenameVar(Cond* c, const std::string& from, const std::string& to) {
+  auto fix = [&](Operand* o) {
+    if (o->kind == Operand::Kind::kVarPath && o->var == from) o->var = to;
+  };
+  fix(&c->lhs);
+  fix(&c->rhs);
+  for (auto& ch : c->children) RenameVar(ch.get(), from, to);
+}
+
+/// Splits the where clause into top-level conjuncts.
+std::vector<const Cond*> Conjuncts(const Cond& where) {
+  std::vector<const Cond*> out;
+  if (where.kind == Cond::Kind::kAnd) {
+    for (const auto& c : where.children) out.push_back(c.get());
+  } else {
+    out.push_back(&where);
+  }
+  return out;
+}
+
+CondPtr AndOf(std::vector<CondPtr> conds) {
+  if (conds.empty()) return nullptr;
+  if (conds.size() == 1) return std::move(conds[0]);
+  auto node = std::make_unique<Cond>();
+  node->kind = Cond::Kind::kAnd;
+  node->children = std::move(conds);
+  return node;
+}
+
+}  // namespace
+
+std::optional<SelectionSplit> SplitSelection(const Query& q,
+                                             size_t clause_index) {
+  if (!q.valid()) return std::nullopt;
+  const QueryAst& ast = q.ast();
+  if (clause_index >= ast.clauses.size()) return std::nullopt;
+  const ForClause& fc = ast.clauses[clause_index];
+  if (fc.source.kind != Source::Kind::kInput) return std::nullopt;
+  if (ast.where == nullptr) return std::nullopt;
+
+  std::vector<CondPtr> pushed, kept;
+  for (const Cond* c : Conjuncts(*ast.where)) {
+    if (OnlyMentions(*c, fc.var)) {
+      pushed.push_back(c->Clone());
+    } else {
+      kept.push_back(c->Clone());
+    }
+  }
+  if (pushed.empty()) return std::nullopt;
+
+  // Filter: for $x in input(0) <path> where <pushed> return $x.
+  QueryAst filter;
+  ForClause filter_clause;
+  filter_clause.var = "x";
+  filter_clause.source.kind = Source::Kind::kInput;
+  filter_clause.source.input_index = 0;
+  filter_clause.path = fc.path;
+  filter.clauses.push_back(std::move(filter_clause));
+  for (auto& c : pushed) RenameVar(c.get(), fc.var, "x");
+  filter.where = AndOf(std::move(pushed));
+  auto ret = std::make_unique<Cons>();
+  ret->kind = Cons::Kind::kOperand;
+  ret->operand.kind = Operand::Kind::kVarPath;
+  ret->operand.var = "x";
+  filter.ret = std::move(ret);
+
+  // Remainder: same query, clause path cleared (the filter navigated),
+  // pushed conjuncts removed.
+  QueryAst remainder = ast.Clone();
+  remainder.clauses[clause_index].path.clear();
+  remainder.where = AndOf(std::move(kept));
+
+  SelectionSplit split;
+  split.filter = Query::FromAst(std::move(filter));
+  split.remainder = Query::FromAst(std::move(remainder));
+  split.input_index = fc.source.input_index;
+  return split;
+}
+
+bool HasPushableSelection(const Query& q) {
+  if (!q.valid()) return false;
+  for (size_t k = 0; k < q.ast().clauses.size(); ++k) {
+    if (SplitSelection(q, k).has_value()) return true;
+  }
+  return false;
+}
+
+}  // namespace axml

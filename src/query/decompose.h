@@ -1,0 +1,51 @@
+// Query decomposition (§3.3 rule (11) and Example 1).
+//
+// Rule (11) needs q ≡ q1(q2, ..., qn); Example 1 instantiates it with
+// q ≡ q1(σ(q2)) where σ "has been pushed down as far as possible". This
+// module produces such decompositions syntactically:
+//
+//   SplitSelection(q, k) rewrites
+//     for ... for $v_k in input(i) P_k ... where C ∧ C_k return R
+//   into the *filter*      q3 = for $x in input(0) P_k where C_k[$v_k→$x]
+//                               return $x
+//   and the *remainder*    q1 = for ... for $v_k in input(i) ... where C
+//                               return R
+//   where C_k collects the conjuncts mentioning only $v_k with a literal
+//   or dot-free comparison side. By construction q(t) ≡ q1(q3(t)): the
+//   filter is applied to the k-th input upstream.
+//
+// Composition itself (building q1(q3(t))) happens in the algebra as
+// nested query-application expressions; see algebra/expr.h.
+
+#ifndef AXML_QUERY_DECOMPOSE_H_
+#define AXML_QUERY_DECOMPOSE_H_
+
+#include <optional>
+
+#include "query/query.h"
+
+namespace axml {
+
+/// Result of a successful selection split.
+struct SelectionSplit {
+  /// Unary filter query to run next to the data (σ ∘ path).
+  Query filter;
+  /// Remainder consuming the filtered stream on the same input index.
+  Query remainder;
+  /// Which input stream of the original query the filter applies to.
+  int input_index = 0;
+};
+
+/// Attempts to split a pushable selection off clause `clause_index` of
+/// `q`. Returns nullopt when the clause's source is not input(i), or no
+/// conjunct is pushable. The returned filter has arity 1.
+std::optional<SelectionSplit> SplitSelection(const Query& q,
+                                             size_t clause_index);
+
+/// True when the where-clause of `q` has at least one pushable conjunct
+/// for some input-sourced clause; convenience for the optimizer.
+bool HasPushableSelection(const Query& q);
+
+}  // namespace axml
+
+#endif  // AXML_QUERY_DECOMPOSE_H_

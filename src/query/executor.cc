@@ -1,0 +1,423 @@
+#include "query/executor.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace axml {
+
+using aql::Cond;
+using aql::Cons;
+using aql::ForClause;
+using aql::Operand;
+using aql::Path;
+using aql::QueryAst;
+using aql::Source;
+using aql::Step;
+
+namespace {
+
+void NavigateStep(const TreePtr& node, const Step& step,
+                  std::vector<TreePtr>* out) {
+  auto matches = [&step](const TreePtr& n) {
+    switch (step.test) {
+      case Step::Test::kLabel:
+        return n->is_element() && n->label() == step.label;
+      case Step::Test::kWildcard:
+        return n->is_element();
+      case Step::Test::kText:
+        return n->is_text();
+    }
+    return false;
+  };
+  if (step.axis == Step::Axis::kChild) {
+    for (const auto& c : node->children()) {
+      if (matches(c)) out->push_back(c);
+    }
+  } else {
+    // Descendant-or-self on children: all strict descendants.
+    std::vector<TreePtr> stack(node->children().begin(),
+                               node->children().end());
+    // Depth-first, preserving document order reasonably.
+    std::vector<TreePtr> ordered;
+    while (!stack.empty()) {
+      TreePtr cur = stack.front();
+      stack.erase(stack.begin());
+      if (matches(cur)) out->push_back(cur);
+      stack.insert(stack.begin(), cur->children().begin(),
+                   cur->children().end());
+    }
+  }
+}
+
+}  // namespace
+
+void NavigatePath(const TreePtr& root, const Path& path,
+                  std::vector<TreePtr>* out) {
+  std::vector<TreePtr> ctx{root};
+  for (const Step& step : path) {
+    std::vector<TreePtr> next;
+    for (const auto& n : ctx) NavigateStep(n, step, &next);
+    ctx = std::move(next);
+    if (ctx.empty()) break;
+  }
+  out->insert(out->end(), ctx.begin(), ctx.end());
+}
+
+void NavigateAsDocument(const TreePtr& root, const Path& path,
+                        std::vector<TreePtr>* out) {
+  if (path.empty()) {
+    out->push_back(root);
+    return;
+  }
+  // The first step applies from the implicit document node above the
+  // tree: a child step tests the root element itself, a descendant step
+  // tests the root and everything below it (XPath doc-node semantics,
+  // so `input(0)/catalog/product` works on a <catalog> stream).
+  auto matches = [](const TreePtr& n, const Step& step) {
+    switch (step.test) {
+      case Step::Test::kLabel:
+        return n->is_element() && n->label() == step.label;
+      case Step::Test::kWildcard:
+        return n->is_element();
+      case Step::Test::kText:
+        return n->is_text();
+    }
+    return false;
+  };
+  std::vector<TreePtr> ctx;
+  const Step& first = path[0];
+  if (matches(root, first)) ctx.push_back(root);
+  if (first.axis == Step::Axis::kDescendant) {
+    NavigateStep(root, first, &ctx);
+  }
+  Path rest(path.begin() + 1, path.end());
+  for (const auto& n : ctx) {
+    NavigatePath(n, rest, out);
+  }
+}
+
+namespace {
+
+/// A partial binding: one tree per already-bound clause.
+using Row = std::vector<TreePtr>;
+
+/// Values an operand takes for a given row (existential semantics).
+void OperandValues(const Operand& o,
+                   const std::unordered_map<std::string, int>& var_index,
+                   const Row& row, std::vector<std::string>* out) {
+  switch (o.kind) {
+    case Operand::Kind::kLiteral:
+      out->push_back(o.literal);
+      return;
+    case Operand::Kind::kDotPath:
+    case Operand::Kind::kVarPath: {
+      TreePtr base;
+      if (o.kind == Operand::Kind::kDotPath) {
+        base = row.empty() ? nullptr : row[0];
+      } else {
+        auto it = var_index.find(o.var);
+        if (it == var_index.end() ||
+            static_cast<size_t>(it->second) >= row.size()) {
+          return;
+        }
+        base = row[static_cast<size_t>(it->second)];
+      }
+      if (base == nullptr) return;
+      std::vector<TreePtr> nodes;
+      NavigatePath(base, o.path, &nodes);
+      for (const auto& n : nodes) out->push_back(n->StringValue());
+      return;
+    }
+  }
+}
+
+/// Nodes an operand denotes (for constructors copying subtrees).
+void OperandNodes(const Operand& o,
+                  const std::unordered_map<std::string, int>& var_index,
+                  const Row& row, std::vector<TreePtr>* out) {
+  if (o.kind == Operand::Kind::kLiteral) return;
+  TreePtr base;
+  if (o.kind == Operand::Kind::kDotPath) {
+    base = row.empty() ? nullptr : row[0];
+  } else {
+    auto it = var_index.find(o.var);
+    if (it == var_index.end() ||
+        static_cast<size_t>(it->second) >= row.size()) {
+      return;
+    }
+    base = row[static_cast<size_t>(it->second)];
+  }
+  if (base == nullptr) return;
+  NavigatePath(base, o.path, out);
+}
+
+bool EvalCond(const Cond& cond,
+              const std::unordered_map<std::string, int>& var_index,
+              const Row& row) {
+  switch (cond.kind) {
+    case Cond::Kind::kAnd:
+      for (const auto& c : cond.children) {
+        if (!EvalCond(*c, var_index, row)) return false;
+      }
+      return true;
+    case Cond::Kind::kOr:
+      for (const auto& c : cond.children) {
+        if (EvalCond(*c, var_index, row)) return true;
+      }
+      return false;
+    case Cond::Kind::kNot:
+      return !EvalCond(*cond.children[0], var_index, row);
+    case Cond::Kind::kCompare: {
+      std::vector<std::string> lhs, rhs;
+      OperandValues(cond.lhs, var_index, row, &lhs);
+      OperandValues(cond.rhs, var_index, row, &rhs);
+      for (const auto& l : lhs) {
+        for (const auto& r : rhs) {
+          if (CompareValues(l, cond.op, r)) return true;
+        }
+      }
+      return false;
+    }
+    case Cond::Kind::kExists: {
+      if (cond.lhs.kind == Operand::Kind::kLiteral) return true;
+      std::vector<TreePtr> nodes;
+      OperandNodes(cond.lhs, var_index, row, &nodes);
+      return !nodes.empty();
+    }
+    case Cond::Kind::kContains: {
+      std::vector<std::string> lhs;
+      OperandValues(cond.lhs, var_index, row, &lhs);
+      for (const auto& l : lhs) {
+        if (l.find(cond.rhs.literal) != std::string::npos) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+struct QueryInstance::Impl {
+  QueryAst ast;
+  DocResolver docs;
+  EmitFn emit;
+  NodeIdGen* gen;
+  bool started = false;
+  uint64_t emitted = 0;
+  uint64_t rows_seen = 0;  ///< rows that reached the return stage
+
+  /// var name -> clause index.
+  std::unordered_map<std::string, int> var_index;
+  /// For each clause with an independent source: trees seen so far.
+  std::vector<std::vector<TreePtr>> clause_trees;
+  /// For each clause: rows (of length == clause index) waiting for trees.
+  /// rows_store[k] holds rows that completed clauses [0,k).
+  std::vector<std::vector<Row>> rows_store;
+  /// input index -> list of clause positions fed by it.
+  std::unordered_map<int, std::vector<int>> input_clauses;
+
+  explicit Impl(const QueryAst& q) : ast(q.Clone()) {}
+
+  /// Feeds `row` (bindings for clauses [0,k)) into clause k.
+  void RowIntoClause(size_t k, const Row& row) {
+    if (k == ast.clauses.size()) {
+      Finish(row);
+      return;
+    }
+    const ForClause& fc = ast.clauses[k];
+    if (fc.source.kind == Source::Kind::kVar) {
+      // Stateless: extend by navigation from the bound tree.
+      auto it = var_index.find(fc.source.var_name);
+      AXML_CHECK(it != var_index.end());
+      const TreePtr& base = row[static_cast<size_t>(it->second)];
+      std::vector<TreePtr> matches;
+      NavigatePath(base, fc.path, &matches);
+      for (const auto& m : matches) {
+        Row extended = row;
+        extended.push_back(m);
+        RowIntoClause(k + 1, extended);
+      }
+      return;
+    }
+    // Independent source: remember the row, join with trees seen so far.
+    rows_store[k].push_back(row);
+    for (const auto& t : clause_trees[k]) {
+      Row extended = row;
+      extended.push_back(t);
+      RowIntoClause(k + 1, extended);
+    }
+  }
+
+  /// Delivers one source tree to clause k; `navigate` applies the
+  /// clause's path first.
+  void TreeIntoClause(size_t k, const TreePtr& tree) {
+    std::vector<TreePtr> matches;
+    NavigateAsDocument(tree, ast.clauses[k].path, &matches);
+    for (const auto& m : matches) {
+      clause_trees[k].push_back(m);
+      for (const auto& row : rows_store[k]) {
+        Row extended = row;
+        extended.push_back(m);
+        RowIntoClause(k + 1, extended);
+      }
+    }
+  }
+
+  void Finish(const Row& row) {
+    if (ast.where != nullptr && !EvalCond(*ast.where, var_index, row)) {
+      return;
+    }
+    ++rows_seen;
+    TreePtr result = Construct(*ast.ret, row);
+    if (result != nullptr) {
+      ++emitted;
+      emit(result);
+    }
+  }
+
+  TreePtr Construct(const Cons& cons, const Row& row) {
+    switch (cons.kind) {
+      case Cons::Kind::kElement: {
+        TreePtr e = TreeNode::Element(cons.elem_label, gen->Next());
+        for (const auto& c : cons.children) {
+          AppendConstructed(*c, row, e);
+        }
+        return e;
+      }
+      case Cons::Kind::kOperand: {
+        if (cons.operand.kind == Operand::Kind::kLiteral) {
+          return TreeNode::Text(cons.operand.literal);
+        }
+        std::vector<TreePtr> nodes;
+        OperandNodes(cons.operand, var_index, row, &nodes);
+        if (nodes.empty()) return nullptr;
+        if (nodes.size() == 1) return nodes[0]->Clone(gen);
+        // Multiple matches at top level: wrap them to keep one tree per
+        // row (the AXML stream model is a flow of trees).
+        TreePtr wrap = TreeNode::Element(InternLabel("result"), gen->Next());
+        for (const auto& n : nodes) wrap->AddChild(n->Clone(gen));
+        return wrap;
+      }
+      case Cons::Kind::kCount:
+        return TreeNode::Text(std::to_string(rows_seen));
+    }
+    return nullptr;
+  }
+
+  void AppendConstructed(const Cons& cons, const Row& row,
+                         const TreePtr& parent) {
+    switch (cons.kind) {
+      case Cons::Kind::kElement:
+        parent->AddChild(Construct(cons, row));
+        return;
+      case Cons::Kind::kOperand: {
+        if (cons.operand.kind == Operand::Kind::kLiteral) {
+          parent->AddChild(TreeNode::Text(cons.operand.literal));
+          return;
+        }
+        std::vector<TreePtr> nodes;
+        OperandNodes(cons.operand, var_index, row, &nodes);
+        for (const auto& n : nodes) parent->AddChild(n->Clone(gen));
+        return;
+      }
+      case Cons::Kind::kCount:
+        parent->AddChild(TreeNode::Text(std::to_string(rows_seen)));
+        return;
+    }
+  }
+};
+
+QueryInstance::QueryInstance(const QueryAst& ast, DocResolver docs,
+                             EmitFn emit, NodeIdGen* gen)
+    : impl_(std::make_unique<Impl>(ast)) {
+  impl_->docs = std::move(docs);
+  impl_->emit = std::move(emit);
+  impl_->gen = gen;
+  const size_t n = impl_->ast.clauses.size();
+  impl_->clause_trees.resize(n);
+  impl_->rows_store.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const ForClause& fc = impl_->ast.clauses[k];
+    impl_->var_index[fc.var] = static_cast<int>(k);
+    if (fc.source.kind == Source::Kind::kInput) {
+      impl_->input_clauses[fc.source.input_index].push_back(
+          static_cast<int>(k));
+    }
+  }
+}
+
+QueryInstance::~QueryInstance() = default;
+
+Status QueryInstance::Start() {
+  if (impl_->started) {
+    return Status::Internal("QueryInstance started twice");
+  }
+  impl_->started = true;
+  // Seed the pipeline with the empty row, then deliver doc() sources.
+  impl_->RowIntoClause(0, Row{});
+  for (size_t k = 0; k < impl_->ast.clauses.size(); ++k) {
+    const ForClause& fc = impl_->ast.clauses[k];
+    if (fc.source.kind == Source::Kind::kDoc) {
+      if (impl_->docs == nullptr) {
+        return Status::NotFound(
+            StrCat("no document resolver for doc(\"", fc.source.doc_name,
+                   "\")"));
+      }
+      TreePtr doc = impl_->docs(fc.source.doc_name);
+      if (doc == nullptr) {
+        return Status::NotFound(
+            StrCat("document \"", fc.source.doc_name, "\" not found"));
+      }
+      impl_->TreeIntoClause(k, doc);
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryInstance::PushInput(int index, TreePtr tree) {
+  if (!impl_->started) {
+    return Status::Internal("PushInput before Start");
+  }
+  if (index < 0 || index >= arity()) {
+    return Status::InvalidArgument(
+        StrCat("input index ", index, " out of range (arity ", arity(),
+               ")"));
+  }
+  auto it = impl_->input_clauses.find(index);
+  if (it != impl_->input_clauses.end()) {
+    for (int k : it->second) {
+      impl_->TreeIntoClause(static_cast<size_t>(k), tree);
+    }
+  }
+  return Status::OK();
+}
+
+int QueryInstance::arity() const { return impl_->ast.Arity(); }
+
+uint64_t QueryInstance::results_emitted() const { return impl_->emitted; }
+
+Result<std::vector<TreePtr>> EvalQuery(
+    const QueryAst& ast, const std::vector<std::vector<TreePtr>>& inputs,
+    DocResolver docs, NodeIdGen* gen) {
+  std::vector<TreePtr> results;
+  QueryInstance qi(
+      ast, std::move(docs),
+      [&results](TreePtr t) { results.push_back(std::move(t)); }, gen);
+  AXML_RETURN_NOT_OK(qi.Start());
+  if (static_cast<int>(inputs.size()) < qi.arity()) {
+    return Status::InvalidArgument(
+        StrCat("query arity ", qi.arity(), " but only ", inputs.size(),
+               " inputs supplied"));
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (const auto& t : inputs[i]) {
+      AXML_RETURN_NOT_OK(qi.PushInput(static_cast<int>(i), t));
+    }
+  }
+  return results;
+}
+
+}  // namespace axml

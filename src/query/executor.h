@@ -1,0 +1,90 @@
+// Continuous, incremental evaluation of AQL queries over streams of
+// trees (§3.2, definition (2) and the stream generalization: "eval@p(q)
+// produces a result whenever the arrival of some new tree in the input
+// streams t1..tn leads to creating some output").
+//
+// The executor is push-based. A QueryInstance is a standing dataflow:
+// each for-clause is a *bind stage*. A stage whose source is independent
+// (input(i) or doc(...)) keeps two stores — rows received from upstream
+// and trees received from its source — and emits the incremental join of
+// whichever side just grew (classic symmetric incremental product). A
+// stage whose source is an earlier variable ($v/path) is stateless: it
+// extends each row in place. The where clause filters rows; the return
+// clause constructs one output tree per surviving row (running re-emit
+// for count()).
+//
+// Pushing the same document tree again therefore produces exactly the
+// delta results — the incremental semantics the paper's continuous
+// services rely on.
+
+#ifndef AXML_QUERY_EXECUTOR_H_
+#define AXML_QUERY_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "xml/tree.h"
+
+namespace axml {
+
+/// Resolves doc("name") references during evaluation; returns nullptr
+/// when the document is unknown on the evaluating peer.
+using DocResolver = std::function<TreePtr(const DocName&)>;
+
+/// Receives each result tree as it is produced.
+using EmitFn = std::function<void(TreePtr)>;
+
+/// All nodes matching `path` starting from `root` (XPath child //
+/// descendant semantics; an empty path yields {root}).
+void NavigatePath(const TreePtr& root, const aql::Path& path,
+                  std::vector<TreePtr>* out);
+
+/// Navigation for clause sources: the first step is taken from the
+/// implicit document node above `root`, so `/catalog/product` matches
+/// when `root` *is* the <catalog> element (XPath doc-node semantics).
+void NavigateAsDocument(const TreePtr& root, const aql::Path& path,
+                        std::vector<TreePtr>* out);
+
+/// A standing instance of one query: feed inputs, results stream out.
+class QueryInstance {
+ public:
+  /// `gen` mints ids for constructed result nodes and must outlive the
+  /// instance. The AST is copied.
+  QueryInstance(const aql::QueryAst& ast, DocResolver docs, EmitFn emit,
+                NodeIdGen* gen);
+  ~QueryInstance();
+
+  QueryInstance(const QueryInstance&) = delete;
+  QueryInstance& operator=(const QueryInstance&) = delete;
+
+  /// Resolves doc() sources and runs them through the dataflow. Call
+  /// exactly once, before any PushInput.
+  Status Start();
+
+  /// Delivers one tree on input stream `index` (0-based).
+  Status PushInput(int index, TreePtr tree);
+
+  /// Number of input streams the query consumes.
+  int arity() const;
+  /// Total results emitted so far.
+  uint64_t results_emitted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience: evaluates `ast` over fully-known inputs and
+/// returns all results. Used by tests and by batch service invocations.
+Result<std::vector<TreePtr>> EvalQuery(
+    const aql::QueryAst& ast,
+    const std::vector<std::vector<TreePtr>>& inputs, DocResolver docs,
+    NodeIdGen* gen);
+
+}  // namespace axml
+
+#endif  // AXML_QUERY_EXECUTOR_H_

@@ -1,0 +1,185 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace axml {
+namespace aql {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == ':';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokKind k, std::string text, size_t off) {
+    out.push_back(Token{k, std::move(text), off});
+  };
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t off = i;
+    if (IsIdentStart(c)) {
+      size_t b = i;
+      while (i < in.size() && IsIdentChar(in[i])) ++i;
+      push(TokKind::kIdent, std::string(in.substr(b, i - b)), off);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      size_t b = i;
+      if (in[i] == '-') ++i;
+      while (i < in.size() &&
+             (std::isdigit(static_cast<unsigned char>(in[i])) ||
+              in[i] == '.' || in[i] == 'e' || in[i] == 'E' ||
+              ((in[i] == '+' || in[i] == '-') &&
+               (in[i - 1] == 'e' || in[i - 1] == 'E')))) {
+        ++i;
+      }
+      push(TokKind::kNumber, std::string(in.substr(b, i - b)), off);
+      continue;
+    }
+    switch (c) {
+      case '@': {
+        // Attribute step: '@name' is an identifier token labeled
+        // "@name", matching how the XML parser maps attributes into
+        // the unordered-tree model.
+        ++i;
+        size_t b = i;
+        while (i < in.size() && IsIdentChar(in[i])) ++i;
+        if (i == b) {
+          return Status::ParseError(
+              StrCat("offset ", off, ": expected name after '@'"));
+        }
+        push(TokKind::kIdent, "@" + std::string(in.substr(b, i - b)),
+             off);
+        continue;
+      }
+      case '$': {
+        ++i;
+        size_t b = i;
+        while (i < in.size() && IsIdentChar(in[i])) ++i;
+        if (i == b) {
+          return Status::ParseError(
+              StrCat("offset ", off, ": expected variable name after '$'"));
+        }
+        push(TokKind::kVar, std::string(in.substr(b, i - b)), off);
+        continue;
+      }
+      case '"':
+      case '\'': {
+        char quote = c;
+        ++i;
+        std::string s;
+        while (i < in.size() && in[i] != quote) {
+          if (in[i] == '\\' && i + 1 < in.size()) {
+            ++i;  // simple escapes: \" \' \\ pass the next char through
+          }
+          s.push_back(in[i]);
+          ++i;
+        }
+        if (i >= in.size()) {
+          return Status::ParseError(
+              StrCat("offset ", off, ": unterminated string literal"));
+        }
+        ++i;  // closing quote
+        push(TokKind::kString, std::move(s), off);
+        continue;
+      }
+      case '(':
+        push(TokKind::kLParen, "(", off);
+        ++i;
+        continue;
+      case ')':
+        push(TokKind::kRParen, ")", off);
+        ++i;
+        continue;
+      case '{':
+        push(TokKind::kLBrace, "{", off);
+        ++i;
+        continue;
+      case '}':
+        push(TokKind::kRBrace, "}", off);
+        ++i;
+        continue;
+      case ',':
+        push(TokKind::kComma, ",", off);
+        ++i;
+        continue;
+      case '.':
+        push(TokKind::kDot, ".", off);
+        ++i;
+        continue;
+      case '*':
+        push(TokKind::kStar, "*", off);
+        ++i;
+        continue;
+      case '=':
+        push(TokKind::kEq, "=", off);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokKind::kNe, "!=", off);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError(
+            StrCat("offset ", off, ": stray '!' (did you mean '!=')"));
+      case '/':
+        if (i + 1 < in.size() && in[i + 1] == '/') {
+          push(TokKind::kDescend, "//", off);
+          i += 2;
+        } else if (i + 1 < in.size() && in[i + 1] == '>') {
+          push(TokKind::kEmptyEnd, "/>", off);
+          i += 2;
+        } else {
+          push(TokKind::kSlash, "/", off);
+          ++i;
+        }
+        continue;
+      case '<':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokKind::kLe, "<=", off);
+          i += 2;
+        } else if (i + 1 < in.size() && in[i + 1] == '/') {
+          push(TokKind::kTagClose, "</", off);
+          i += 2;
+        } else {
+          push(TokKind::kLt, "<", off);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokKind::kGe, ">=", off);
+          i += 2;
+        } else {
+          push(TokKind::kGt, ">", off);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::ParseError(
+            StrCat("offset ", off, ": unexpected character '", c, "'"));
+    }
+  }
+  push(TokKind::kEnd, "", in.size());
+  return out;
+}
+
+}  // namespace aql
+}  // namespace axml

@@ -1,0 +1,58 @@
+// Tokenizer for AQL query text.
+
+#ifndef AXML_QUERY_LEXER_H_
+#define AXML_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace axml {
+namespace aql {
+
+enum class TokKind {
+  kEnd,
+  kIdent,     ///< bare name: for, in, doc, element labels, ...
+  kVar,       ///< $name (text() excludes the '$')
+  kString,    ///< "..." or '...' (text() is the unescaped content)
+  kNumber,    ///< decimal literal (text() is the spelling)
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kDot,
+  kSlash,     ///< /
+  kDescend,   ///< //
+  kStar,      ///< *
+  kEq,        ///< =
+  kNe,        ///< !=
+  kLt,        ///< <
+  kLe,        ///< <=
+  kGt,        ///< >
+  kGe,        ///< >=
+  kTagClose,  ///< </
+  kEmptyEnd,  ///< />
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  size_t offset = 0;  ///< byte offset in the query text, for errors
+
+  bool Is(TokKind k) const { return kind == k; }
+  bool IsIdent(std::string_view s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+/// Tokenizes the whole input. Fails on unterminated strings or stray
+/// characters.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace aql
+}  // namespace axml
+
+#endif  // AXML_QUERY_LEXER_H_

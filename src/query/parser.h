@@ -1,0 +1,21 @@
+// Recursive-descent parser for AQL (grammar in ast.h).
+
+#ifndef AXML_QUERY_PARSER_H_
+#define AXML_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace axml {
+namespace aql {
+
+/// Parses AQL text into an AST. A bare path expression `input(0)//a/b`
+/// or `doc("d")//a` is sugar for `for $x in <that path> return $x`.
+Result<QueryAst> ParseQuery(std::string_view text);
+
+}  // namespace aql
+}  // namespace axml
+
+#endif  // AXML_QUERY_PARSER_H_

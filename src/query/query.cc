@@ -1,0 +1,37 @@
+#include "query/query.h"
+
+#include "common/logging.h"
+#include "query/parser.h"
+
+namespace axml {
+
+Result<Query> Query::Parse(std::string_view text) {
+  AXML_ASSIGN_OR_RETURN(aql::QueryAst ast, aql::ParseQuery(text));
+  return FromAst(std::move(ast));
+}
+
+Query Query::FromAst(aql::QueryAst ast) {
+  Query q;
+  auto owned = std::make_shared<aql::QueryAst>(std::move(ast));
+  q.text_ = owned->ToString();
+  q.ast_ = std::move(owned);
+  return q;
+}
+
+Query Query::Identity() {
+  static const Query* q = [] {
+    Result<Query> r = Parse("for $x in input(0) return $x");
+    AXML_CHECK(r.ok());
+    return new Query(std::move(r).value());
+  }();
+  return *q;
+}
+
+Result<std::vector<TreePtr>> Query::Eval(
+    const std::vector<std::vector<TreePtr>>& inputs, DocResolver docs,
+    NodeIdGen* gen) const {
+  if (!valid()) return Status::Internal("evaluating an empty Query");
+  return EvalQuery(*ast_, inputs, std::move(docs), gen);
+}
+
+}  // namespace axml

@@ -1,0 +1,52 @@
+#include "query/value.h"
+
+#include "common/str_util.h"
+
+namespace axml {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool CompareValues(const std::string& lhs, CmpOp op,
+                   const std::string& rhs) {
+  double ln, rn;
+  int c;
+  if (ParseDouble(lhs, &ln) && ParseDouble(rhs, &rn)) {
+    c = ln < rn ? -1 : (ln > rn ? 1 : 0);
+  } else {
+    c = lhs.compare(rhs);
+    c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace axml

@@ -1,0 +1,26 @@
+// Atomic values used by AQL predicates.
+//
+// AQL compares the *string value* of nodes (concatenated text leaves,
+// like XPath) against literals or other nodes. Comparison is numeric when
+// both sides parse as decimal numbers, lexicographic otherwise — the
+// usual weak-typing rule of XPath 1.0.
+
+#ifndef AXML_QUERY_VALUE_H_
+#define AXML_QUERY_VALUE_H_
+
+#include <string>
+
+namespace axml {
+
+/// Comparison operators of the AQL where-clause.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);  ///< "=", "!=", "<", "<=", ">", ">="
+
+/// Applies `op` to two string values with the numeric-if-possible rule.
+bool CompareValues(const std::string& lhs, CmpOp op,
+                   const std::string& rhs);
+
+}  // namespace axml
+
+#endif  // AXML_QUERY_VALUE_H_

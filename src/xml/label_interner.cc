@@ -1,0 +1,50 @@
+#include "xml/label_interner.h"
+
+#include "common/logging.h"
+
+namespace axml {
+
+LabelInterner& LabelInterner::Global() {
+  static LabelInterner* interner = new LabelInterner();
+  return *interner;
+}
+
+LabelInterner::LabelInterner() {
+  // Reserve id 0 for the empty label.
+  texts_.emplace_back("");
+  ids_.emplace("", 0);
+}
+
+LabelId LabelInterner::Intern(std::string_view label) {
+  auto it = ids_.find(std::string(label));
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(texts_.size());
+  texts_.emplace_back(label);
+  ids_.emplace(texts_.back(), id);
+  return id;
+}
+
+const std::string& LabelInterner::Text(LabelId id) const {
+  AXML_CHECK_LT(id, texts_.size()) << "unknown LabelId " << id;
+  return texts_[id];
+}
+
+LabelId LabelInterner::Lookup(std::string_view label) const {
+  auto it = ids_.find(std::string(label));
+  return it == ids_.end() ? 0 : it->second;
+}
+
+const WellKnownLabels& WellKnownLabels::Get() {
+  static WellKnownLabels* labels = [] {
+    auto* l = new WellKnownLabels();
+    l->sc = InternLabel("sc");
+    l->peer = InternLabel("peer");
+    l->service = InternLabel("service");
+    l->param = InternLabel("param");
+    l->forw = InternLabel("forw");
+    return l;
+  }();
+  return *labels;
+}
+
+}  // namespace axml

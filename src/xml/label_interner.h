@@ -1,0 +1,68 @@
+// Interned element labels (the paper's label set L).
+//
+// Every element node stores a 32-bit LabelId instead of a string; the
+// process-wide interner maps both ways. Interning makes label comparison
+// O(1) during query evaluation and keeps tree nodes small.
+
+#ifndef AXML_XML_LABEL_INTERNER_H_
+#define AXML_XML_LABEL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace axml {
+
+/// Identifier of an interned label. Value 0 is the empty label.
+using LabelId = uint32_t;
+
+/// Process-wide label dictionary. Not thread-safe (the whole library runs
+/// single-threaded inside the simulator).
+class LabelInterner {
+ public:
+  /// The singleton used by all trees in the process.
+  static LabelInterner& Global();
+
+  /// Returns the id for `label`, interning it on first use.
+  LabelId Intern(std::string_view label);
+
+  /// Returns the label text for `id`. `id` must have been produced by
+  /// Intern().
+  const std::string& Text(LabelId id) const;
+
+  /// Returns the id if `label` was interned before, 0 otherwise. Note the
+  /// empty label also maps to 0; callers that care should check emptiness.
+  LabelId Lookup(std::string_view label) const;
+
+  size_t size() const { return texts_.size(); }
+
+ private:
+  LabelInterner();
+
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> texts_;
+};
+
+/// Shorthands over the global interner.
+inline LabelId InternLabel(std::string_view label) {
+  return LabelInterner::Global().Intern(label);
+}
+inline const std::string& LabelText(LabelId id) {
+  return LabelInterner::Global().Text(id);
+}
+
+/// Well-known labels of the AXML dialect (§2.2–2.3 of the paper).
+struct WellKnownLabels {
+  LabelId sc;       ///< service-call element
+  LabelId peer;     ///< provider peer child of sc
+  LabelId service;  ///< service-name child of sc
+  LabelId param;    ///< parameter child prefix: param1, param2, ...
+  LabelId forw;     ///< forward-list child of sc
+  static const WellKnownLabels& Get();
+};
+
+}  // namespace axml
+
+#endif  // AXML_XML_LABEL_INTERNER_H_

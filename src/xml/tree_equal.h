@@ -1,0 +1,36 @@
+// Unordered tree equality and canonical forms (§2.1, §2.3).
+//
+// The paper's document-equivalence ≡ is defined in terms of fixpoints of
+// service-call activation [5] and is not computable in general. Deployed
+// systems need a decidable, conservative check; we provide *unordered
+// structural equality*: two trees are equal iff their labels/text match
+// and their child multisets are equal (node identifiers are ignored —
+// copies are equal to their originals). This is exactly the equality used
+// to compare final system states in the rule-equivalence property tests,
+// and the building block the GenericCatalog uses when verifying declared
+// equivalence classes.
+
+#ifndef AXML_XML_TREE_EQUAL_H_
+#define AXML_XML_TREE_EQUAL_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace axml {
+
+/// Canonical serialization: children sorted by their own canonical form.
+/// Two trees are unordered-equal iff their canonical forms are identical.
+/// Costs O(n log n) comparisons over subtree strings.
+std::string CanonicalForm(const TreeNode& node);
+
+/// Unordered deep equality, ignoring node identifiers and sibling order.
+bool TreesEqualUnordered(const TreeNode& a, const TreeNode& b);
+
+/// 64-bit order-insensitive structural hash consistent with
+/// TreesEqualUnordered (equal trees hash equal).
+uint64_t TreeHashUnordered(const TreeNode& node);
+
+}  // namespace axml
+
+#endif  // AXML_XML_TREE_EQUAL_H_

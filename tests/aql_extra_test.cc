@@ -1,0 +1,299 @@
+// Second-wave AQL tests: attribute steps, value comparison semantics,
+// operand/constructor edge cases, and randomized consistency checks
+// between equivalent formulations.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/query.h"
+#include "query/value.h"
+#include "test_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+
+namespace axml {
+namespace {
+
+std::vector<TreePtr> RunAql(const std::string& text,
+                         const std::string& input_xml, NodeIdGen* gen) {
+  Query q = Query::Parse(text).value();
+  TreePtr in = ParseXml(input_xml, gen).value();
+  auto r = q.Eval({{in}}, nullptr, gen);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : std::vector<TreePtr>{};
+}
+
+// --- CompareValues semantics ---
+
+TEST(CompareValuesTest, NumericWhenBothParse) {
+  EXPECT_TRUE(CompareValues("9", CmpOp::kLt, "10"));
+  EXPECT_FALSE(CompareValues("9", CmpOp::kGt, "10"));
+  EXPECT_TRUE(CompareValues("2.50", CmpOp::kEq, "2.5"));
+  EXPECT_TRUE(CompareValues("-3", CmpOp::kLe, "-3"));
+}
+
+TEST(CompareValuesTest, LexicographicOtherwise) {
+  // "9" < "10" numerically but "10" < "9" lexicographically.
+  EXPECT_TRUE(CompareValues("10x", CmpOp::kLt, "9x"));
+  EXPECT_TRUE(CompareValues("abc", CmpOp::kLt, "abd"));
+  EXPECT_TRUE(CompareValues("abc", CmpOp::kNe, "abd"));
+  EXPECT_FALSE(CompareValues("same", CmpOp::kNe, "same"));
+}
+
+TEST(CompareValuesTest, MixedFallsBackToString) {
+  // One side numeric, one not: string comparison applies.
+  EXPECT_TRUE(CompareValues("12", CmpOp::kLt, "9a"));  // '1' < '9'
+}
+
+TEST(CompareValuesTest, AllOperatorNames) {
+  EXPECT_STREQ(CmpOpName(CmpOp::kEq), "=");
+  EXPECT_STREQ(CmpOpName(CmpOp::kNe), "!=");
+  EXPECT_STREQ(CmpOpName(CmpOp::kLt), "<");
+  EXPECT_STREQ(CmpOpName(CmpOp::kLe), "<=");
+  EXPECT_STREQ(CmpOpName(CmpOp::kGt), ">");
+  EXPECT_STREQ(CmpOpName(CmpOp::kGe), ">=");
+}
+
+// --- Attribute steps ---
+
+TEST(AqlAttributeTest, AttributeStepNavigates) {
+  NodeIdGen gen;
+  auto out = RunAql(
+      "for $s in input(0)/r/s where $s/@name = \"a\" return $s",
+      "<r><s name=\"a\"><v>1</v></s><s name=\"b\"><v>2</v></s></r>",
+      &gen);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->FirstChildLabeled(InternLabel("v"))->StringValue(),
+            "1");
+}
+
+TEST(AqlAttributeTest, AttributeInPathAndConstructor) {
+  NodeIdGen gen;
+  auto out = RunAql(
+      "for $s in input(0)/r/s return <n>{ $s/@name }</n>",
+      "<r><s name=\"x\"/></r>", &gen);
+  ASSERT_EQ(out.size(), 1u);
+  // The '@name' child is copied; it re-serializes as an attribute.
+  EXPECT_EQ(SerializeCompact(*out[0]), "<n name=\"x\"/>");
+}
+
+TEST(AqlAttributeTest, RoundTripsThroughToString) {
+  Query q = Query::Parse(
+                "for $s in input(0)//s where $s/@id = 3 return $s")
+                .value();
+  auto q2 = Query::Parse(q.text());
+  ASSERT_TRUE(q2.ok()) << q2.status() << " text: " << q.text();
+  EXPECT_EQ(q2->text(), q.text());
+}
+
+// --- Operand and constructor edges ---
+
+TEST(AqlEdgeTest, DotPathBindsFirstClause) {
+  NodeIdGen gen;
+  auto out = RunAql("for $x in input(0)/r/i where ./v = 1 return $x",
+                 "<r><i><v>1</v></i><i><v>2</v></i></r>", &gen);
+  // Dot refers to the first clause's binding ($x itself here).
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(AqlEdgeTest, LiteralOnlyComparisonIsConstant) {
+  NodeIdGen gen;
+  auto all = RunAql("for $x in input(0)/r/i where 1 < 2 return $x",
+                 "<r><i/><i/></r>", &gen);
+  EXPECT_EQ(all.size(), 2u);
+  auto none = RunAql("for $x in input(0)/r/i where 2 < 1 return $x",
+                  "<r><i/><i/></r>", &gen);
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(AqlEdgeTest, MissingPathYieldsNoValuesAndFailsCompare) {
+  NodeIdGen gen;
+  auto out = RunAql("for $x in input(0)/r/i where $x/zz = 1 return $x",
+                 "<r><i><v>1</v></i></r>", &gen);
+  EXPECT_EQ(out.size(), 0u);  // no zz values -> existential compare false
+}
+
+TEST(AqlEdgeTest, ConstructorWithNoMatchesEmitsNothing) {
+  NodeIdGen gen;
+  auto out = RunAql("for $x in input(0)/r/i return $x/zz",
+                 "<r><i><v>1</v></i></r>", &gen);
+  EXPECT_EQ(out.size(), 0u);  // operand constructor with zero nodes
+}
+
+TEST(AqlEdgeTest, MultiMatchOperandConstructorWraps) {
+  NodeIdGen gen;
+  auto out = RunAql("for $x in input(0)/r return $x/i",
+                 "<r><i>1</i><i>2</i></r>", &gen);
+  ASSERT_EQ(out.size(), 1u);
+  // Two matched nodes wrapped into one <result> tree.
+  EXPECT_EQ(out[0]->label_text(), "result");
+  EXPECT_EQ(out[0]->child_count(), 2u);
+}
+
+TEST(AqlEdgeTest, NestedElementConstructors) {
+  NodeIdGen gen;
+  auto out = RunAql(
+      "for $x in input(0)/r/i return "
+      "<a>{ <b>{ $x/v, \"t\" }</b>, <c/> }</a>",
+      "<r><i><v>9</v></i></r>", &gen);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(SerializeCompact(*out[0]), "<a><b><v>9</v>t</b><c/></a>");
+}
+
+TEST(AqlEdgeTest, VarSourceWithDeeperPath) {
+  NodeIdGen gen;
+  auto out = RunAql(
+      "for $g in input(0)/r/grp for $v in $g/sub/val return $v",
+      "<r><grp><sub><val>1</val><val>2</val></sub></grp>"
+      "<grp><sub><val>3</val></sub></grp></r>",
+      &gen);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(AqlEdgeTest, DescendantFirstStepMatchesRootItself) {
+  NodeIdGen gen;
+  auto out = RunAql("for $x in input(0)//r return <hit/>",
+                 "<r><r/></r>", &gen);
+  // Both the root element and the nested one match //r.
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AqlEdgeTest, TextStepInOperand) {
+  NodeIdGen gen;
+  auto out = RunAql(
+      "for $x in input(0)/r/i where $x/text() = \"k\" return $x",
+      "<r><i>k</i><i>z</i></r>", &gen);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(AqlEdgeTest, CountWithFilter) {
+  NodeIdGen gen;
+  auto out = RunAql(
+      "for $x in input(0)/r/i where $x/v > 1 return count($x)",
+      "<r><i><v>1</v></i><i><v>2</v></i><i><v>3</v></i></r>", &gen);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.back()->StringValue(), "2");
+}
+
+// --- Equivalent formulations agree on random data ---
+
+TEST(AqlConsistencyTest, DescendantEqualsExplicitPathOnFlatData) {
+  Rng rng(31);
+  for (int round = 0; round < 10; ++round) {
+    NodeIdGen gen;
+    TreePtr cat = testing::MakeCatalog(30 + rng.Index(50), &gen, &rng, 4);
+    Query a = Query::Parse(
+                  "for $p in input(0)/catalog/product return $p/name")
+                  .value();
+    Query b =
+        Query::Parse("for $p in input(0)//product return $p/name").value();
+    auto ra = a.Eval({{cat}}, nullptr, &gen).value();
+    auto rb = b.Eval({{cat}}, nullptr, &gen).value();
+    EXPECT_TRUE(testing::ResultsEqual(ra, rb));
+  }
+}
+
+TEST(AqlConsistencyTest, WhereConjunctionEqualsNestedFilters) {
+  Rng rng(32);
+  for (int round = 0; round < 10; ++round) {
+    NodeIdGen gen;
+    TreePtr cat = testing::MakeCatalog(40, &gen, &rng, 4);
+    Query both = Query::Parse(
+                     "for $p in input(0)/catalog/product "
+                     "where $p/price < 500 and contains($p/category, "
+                     "\"c3\") return $p")
+                     .value();
+    Query first = Query::Parse(
+                      "for $p in input(0)/catalog/product "
+                      "where $p/price < 500 return $p")
+                      .value();
+    Query second = Query::Parse(
+                       "for $p in input(0) "
+                       "where contains($p/category, \"c3\") return $p")
+                       .value();
+    auto direct = both.Eval({{cat}}, nullptr, &gen).value();
+    auto staged = second
+                      .Eval({first.Eval({{cat}}, nullptr, &gen).value()},
+                            nullptr, &gen)
+                      .value();
+    EXPECT_TRUE(testing::ResultsEqual(direct, staged));
+  }
+}
+
+TEST(AqlConsistencyTest, DeMorganOnRandomCatalogs) {
+  Rng rng(33);
+  for (int round = 0; round < 10; ++round) {
+    NodeIdGen gen;
+    TreePtr cat = testing::MakeCatalog(40, &gen, &rng, 0);
+    Query a = Query::Parse(
+                  "for $p in input(0)//product "
+                  "where not($p/price < 300 or $p/price > 700) return $p")
+                  .value();
+    Query b = Query::Parse(
+                  "for $p in input(0)//product "
+                  "where not($p/price < 300) and not($p/price > 700) "
+                  "return $p")
+                  .value();
+    auto ra = a.Eval({{cat}}, nullptr, &gen).value();
+    auto rb = b.Eval({{cat}}, nullptr, &gen).value();
+    EXPECT_TRUE(testing::ResultsEqual(ra, rb));
+  }
+}
+
+TEST(AqlConsistencyTest, JoinCommutes) {
+  Rng rng(34);
+  for (int round = 0; round < 6; ++round) {
+    NodeIdGen gen;
+    TreePtr l = testing::MakeCatalog(20, &gen, &rng, 0);
+    TreePtr r = testing::MakeCatalog(20, &gen, &rng, 0);
+    Query ab = Query::Parse(
+                   "for $a in input(0)//product for $b in input(1)//product "
+                   "where $a/price = $b/price return <m>{ $a/name }</m>")
+                   .value();
+    Query ba = Query::Parse(
+                   "for $b in input(1)//product for $a in input(0)//product "
+                   "where $a/price = $b/price return <m>{ $a/name }</m>")
+                   .value();
+    auto rab = ab.Eval({{l}, {r}}, nullptr, &gen).value();
+    auto rba = ba.Eval({{l}, {r}}, nullptr, &gen).value();
+    EXPECT_TRUE(testing::ResultsEqual(rab, rba));
+  }
+}
+
+TEST(AqlConsistencyTest, IncrementalEqualsBatch) {
+  // Pushing trees one by one produces the same multiset as all at once.
+  Rng rng(35);
+  Query q = Query::Parse(
+                "for $a in input(0)/item for $b in input(1)/item "
+                "where $a/k = $b/k return <m>{ $a/k }</m>")
+                .value();
+  for (int round = 0; round < 6; ++round) {
+    NodeIdGen gen;
+    std::vector<TreePtr> left, right;
+    for (int i = 0; i < 12; ++i) {
+      TreePtr t = TreeNode::Element("item", &gen);
+      t->AddChild(MakeTextElement(
+          "k", std::to_string(rng.Uniform(5)), &gen));
+      (i % 2 ? left : right).push_back(t);
+    }
+    auto batch = q.Eval({left, right}, nullptr, &gen).value();
+    std::vector<TreePtr> streamed;
+    QueryInstance inst(
+        q.ast(), nullptr,
+        [&](TreePtr t) { streamed.push_back(std::move(t)); }, &gen);
+    ASSERT_TRUE(inst.Start().ok());
+    // Interleave arrivals adversarially.
+    size_t li = 0, ri = 0;
+    while (li < left.size() || ri < right.size()) {
+      if (li < left.size() && (rng.Bernoulli(0.5) || ri >= right.size())) {
+        ASSERT_TRUE(inst.PushInput(0, left[li++]).ok());
+      } else if (ri < right.size()) {
+        ASSERT_TRUE(inst.PushInput(1, right[ri++]).ok());
+      }
+    }
+    EXPECT_TRUE(testing::ResultsEqual(batch, streamed));
+  }
+}
+
+}  // namespace
+}  // namespace axml

@@ -1,0 +1,307 @@
+// Tests for the network substrate: event loop, topology, network
+// transfer semantics, statistics, and the three discovery catalogs.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/catalog.h"
+#include "net/event_loop.h"
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace axml {
+namespace {
+
+// --- EventLoop ---
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(2.0, [&] { order.push_back(2); });
+  loop.ScheduleAt(1.0, [&] { order.push_back(1); });
+  loop.ScheduleAt(3.0, [&] { order.push_back(3); });
+  EXPECT_EQ(loop.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoopTest, TiesBreakByScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAt(1.0, [&] {
+    loop.ScheduleAfter(0.5, [&] { ++fired; });
+  });
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 1.5);
+}
+
+TEST(EventLoopTest, PastSchedulesClampToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(5.0, [] {});
+  loop.Run();
+  bool ran = false;
+  loop.ScheduleAt(1.0, [&] { ran = true; });  // in the past
+  loop.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(1.0, [&] { ++count; });
+  loop.ScheduleAt(2.0, [&] { ++count; });
+  loop.ScheduleAt(10.0, [&] { ++count; });
+  loop.RunUntil(5.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+// --- Topology ---
+
+TEST(TopologyTest, DefaultAndOverrides) {
+  Topology t(LinkParams{0.010, 1e6});
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(0), PeerId(1)).latency_s, 0.010);
+  t.SetLink(PeerId(0), PeerId(1), LinkParams{0.5, 10});
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(0), PeerId(1)).latency_s, 0.5);
+  // Directed: the reverse keeps the default.
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(1), PeerId(0)).latency_s, 0.010);
+  t.SetLinkSymmetric(PeerId(2), PeerId(3), LinkParams{0.2, 5});
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(3), PeerId(2)).latency_s, 0.2);
+}
+
+TEST(TopologyTest, LoopbackIsFree) {
+  Topology t(LinkParams{0.1, 100});
+  LinkParams self = t.Get(PeerId(1), PeerId(1));
+  EXPECT_DOUBLE_EQ(self.latency_s, 0.0);
+  EXPECT_LT(self.TransferTime(1 << 20), 1e-5);
+}
+
+TEST(TopologyTest, TransferTime) {
+  LinkParams link{0.010, 1000};
+  EXPECT_DOUBLE_EQ(link.TransferTime(500), 0.010 + 0.5);
+}
+
+TEST(TopologyTest, TwoClusters) {
+  Topology t = Topology::TwoClusters(4, 2, LinkParams{0.001, 1e7},
+                                     LinkParams{0.1, 1e5});
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(0), PeerId(1)).latency_s, 0.001);
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(2), PeerId(3)).latency_s, 0.001);
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(0), PeerId(2)).latency_s, 0.1);
+}
+
+TEST(TopologyTest, StarNeighborGraph) {
+  Topology t = Topology::Star(PeerId(0), 4, LinkParams{0.001, 1e7},
+                              LinkParams{0.05, 1e6});
+  EXPECT_TRUE(t.has_neighbor_graph());
+  EXPECT_EQ(t.Neighbors(PeerId(0)).size(), 3u);
+  EXPECT_EQ(t.Neighbors(PeerId(2)).size(), 1u);
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(0), PeerId(3)).latency_s, 0.001);
+  EXPECT_DOUBLE_EQ(t.Get(PeerId(1), PeerId(3)).latency_s, 0.05);
+}
+
+TEST(TopologyTest, RandomUniformWithinBounds) {
+  Rng rng(21);
+  Topology t = Topology::RandomUniform(5, LinkParams{0.001, 1e5},
+                                       LinkParams{0.1, 1e7}, &rng);
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      LinkParams l = t.Get(PeerId(i), PeerId(j));
+      EXPECT_GE(l.latency_s, 0.001);
+      EXPECT_LE(l.latency_s, 0.1);
+    }
+  }
+}
+
+// --- Network ---
+
+TEST(NetworkTest, DeliversWithLatencyAndBandwidth) {
+  EventLoop loop;
+  Network net(&loop, Topology(LinkParams{0.010, 1000}));
+  bool delivered = false;
+  net.Send(PeerId(0), PeerId(1), 500, [&] { delivered = true; });
+  loop.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(loop.now(), 0.010 + 0.5);
+}
+
+TEST(NetworkTest, FifoSerializationPerLink) {
+  EventLoop loop;
+  Network net(&loop, Topology(LinkParams{0.0, 1000}));
+  std::vector<double> arrivals;
+  // Two 1000-byte messages, same link: the second waits for the first's
+  // transmission to finish.
+  net.Send(PeerId(0), PeerId(1), 1000,
+           [&] { arrivals.push_back(loop.now()); });
+  net.Send(PeerId(0), PeerId(1), 1000,
+           [&] { arrivals.push_back(loop.now()); });
+  loop.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 1.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 2.0);
+}
+
+TEST(NetworkTest, DistinctLinksDoNotInterfere) {
+  EventLoop loop;
+  Network net(&loop, Topology(LinkParams{0.0, 1000}));
+  std::vector<double> arrivals;
+  net.Send(PeerId(0), PeerId(1), 1000,
+           [&] { arrivals.push_back(loop.now()); });
+  net.Send(PeerId(0), PeerId(2), 1000,
+           [&] { arrivals.push_back(loop.now()); });
+  loop.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 1.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 1.0);
+}
+
+TEST(NetworkTest, StatsAccounting) {
+  EventLoop loop;
+  Network net(&loop, Topology(LinkParams{0.001, 1e6}));
+  net.Send(PeerId(0), PeerId(1), 100, [] {});
+  net.Send(PeerId(0), PeerId(1), 200, [] {});
+  net.Send(PeerId(2), PeerId(2), 50, [] {});  // loopback
+  loop.Run();
+  const NetStats& s = net.stats();
+  EXPECT_EQ(s.total_messages(), 3u);
+  EXPECT_EQ(s.total_bytes(), 350u);
+  EXPECT_EQ(s.remote_messages(), 2u);
+  EXPECT_EQ(s.remote_bytes(), 300u);
+  EXPECT_EQ(s.Pair(PeerId(0), PeerId(1)).messages, 2u);
+  EXPECT_EQ(s.Pair(PeerId(0), PeerId(1)).bytes, 300u);
+  EXPECT_EQ(s.Pair(PeerId(1), PeerId(0)).messages, 0u);
+}
+
+TEST(NetworkTest, ControlRoundtrip) {
+  EventLoop loop;
+  Network net(&loop, Topology(LinkParams{0.001, 1e6}));
+  bool done = false;
+  net.ControlRoundtrip(3, 192, 0.25, [&] { done = true; });
+  loop.Run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(loop.now(), 0.25);
+  EXPECT_EQ(net.stats().control_messages(), 3u);
+  EXPECT_EQ(net.stats().control_bytes(), 192u);
+}
+
+// --- Catalogs ---
+
+class CatalogKindTest : public ::testing::Test {
+ protected:
+  EventLoop loop_;
+};
+
+TEST_F(CatalogKindTest, CentralChargesRoundTripToServer) {
+  Network net(&loop_, Topology(LinkParams{0.020, 1e6}));
+  CentralCatalog cat(PeerId(0));
+  cat.set_peer_count(10);
+  cat.Register(ResourceKind::kDocument, "d", PeerId(3));
+  LookupResult r = cat.LookupNow(ResourceKind::kDocument, "d", PeerId(5),
+                                 net);
+  ASSERT_EQ(r.holders.size(), 1u);
+  EXPECT_EQ(r.holders[0], PeerId(3));
+  EXPECT_EQ(r.messages, 2u);
+  EXPECT_NEAR(r.delay_s, 2 * (0.020 + 64.0 / 1e6), 1e-9);
+  // Lookup from the server itself is (nearly) free.
+  LookupResult local = cat.LookupNow(ResourceKind::kDocument, "d",
+                                     PeerId(0), net);
+  EXPECT_LT(local.delay_s, r.delay_s);
+}
+
+TEST_F(CatalogKindTest, DhtScalesLogarithmically) {
+  Network net(&loop_, Topology(LinkParams{0.010, 1e6}));
+  DhtCatalog cat;
+  cat.Register(ResourceKind::kService, "s", PeerId(1));
+  cat.set_peer_count(16);
+  LookupResult r16 = cat.LookupNow(ResourceKind::kService, "s", PeerId(0),
+                                   net);
+  cat.set_peer_count(1024);
+  LookupResult r1k = cat.LookupNow(ResourceKind::kService, "s", PeerId(0),
+                                   net);
+  EXPECT_EQ(r16.messages, 5u);   // log2(16)=4 hops + response
+  EXPECT_EQ(r1k.messages, 11u);  // log2(1024)=10 hops + response
+  EXPECT_LT(r16.delay_s, r1k.delay_s);
+  ASSERT_EQ(r1k.holders.size(), 1u);
+}
+
+TEST_F(CatalogKindTest, FloodVisitsNeighborGraph) {
+  Topology topo(LinkParams{0.010, 1e6});
+  // Chain 0-1-2-3.
+  topo.AddNeighborEdge(PeerId(0), PeerId(1));
+  topo.AddNeighborEdge(PeerId(1), PeerId(2));
+  topo.AddNeighborEdge(PeerId(2), PeerId(3));
+  Network net(&loop_, topo);
+  FloodCatalog cat(/*ttl=*/7);
+  cat.set_peer_count(4);
+  cat.Register(ResourceKind::kDocument, "d", PeerId(3));
+  LookupResult r = cat.LookupNow(ResourceKind::kDocument, "d", PeerId(0),
+                                 net);
+  ASSERT_EQ(r.holders.size(), 1u);
+  EXPECT_EQ(r.holders[0], PeerId(3));
+  EXPECT_GE(r.messages, 3u);  // every edge crossed at least once
+  EXPECT_NEAR(r.delay_s, 2 * 0.010 * 3, 1e-9);  // depth 3, both ways
+}
+
+TEST_F(CatalogKindTest, FloodTtlLimitsReach) {
+  Topology topo(LinkParams{0.010, 1e6});
+  topo.AddNeighborEdge(PeerId(0), PeerId(1));
+  topo.AddNeighborEdge(PeerId(1), PeerId(2));
+  topo.AddNeighborEdge(PeerId(2), PeerId(3));
+  Network net(&loop_, topo);
+  FloodCatalog cat(/*ttl=*/2);
+  cat.set_peer_count(4);
+  cat.Register(ResourceKind::kDocument, "d", PeerId(3));
+  LookupResult r = cat.LookupNow(ResourceKind::kDocument, "d", PeerId(0),
+                                 net);
+  EXPECT_TRUE(r.holders.empty());  // peer 3 is 3 hops away, TTL is 2
+}
+
+TEST_F(CatalogKindTest, AsyncLookupChargesControlTraffic) {
+  Network net(&loop_, Topology(LinkParams{0.010, 1e6}));
+  CentralCatalog cat(PeerId(0));
+  cat.set_peer_count(4);
+  cat.Register(ResourceKind::kDocument, "d", PeerId(2));
+  bool called = false;
+  cat.Lookup(ResourceKind::kDocument, "d", PeerId(1), &net,
+             [&](const LookupResult& r) {
+               called = true;
+               EXPECT_EQ(r.holders.size(), 1u);
+             });
+  loop_.Run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(net.stats().control_messages(), 2u);
+  EXPECT_GT(loop_.now(), 0.0);
+}
+
+TEST_F(CatalogKindTest, UnregisterRemovesHolder) {
+  Network net(&loop_, Topology(LinkParams{0.010, 1e6}));
+  CentralCatalog cat(PeerId(0));
+  cat.Register(ResourceKind::kDocument, "d", PeerId(1));
+  cat.Register(ResourceKind::kDocument, "d", PeerId(2));
+  cat.Unregister(ResourceKind::kDocument, "d", PeerId(1));
+  LookupResult r = cat.LookupNow(ResourceKind::kDocument, "d", PeerId(3),
+                                 net);
+  ASSERT_EQ(r.holders.size(), 1u);
+  EXPECT_EQ(r.holders[0], PeerId(2));
+  // Unknown resources return no holders but still cost a lookup.
+  LookupResult miss = cat.LookupNow(ResourceKind::kDocument, "zz",
+                                    PeerId(3), net);
+  EXPECT_TRUE(miss.holders.empty());
+  EXPECT_GT(miss.messages, 0u);
+}
+
+}  // namespace
+}  // namespace axml

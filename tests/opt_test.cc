@@ -1,0 +1,399 @@
+// Tests for the optimizer layer: cost model sanity, per-rule proposal
+// shapes, and end-to-end optimization decisions.
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "opt/optimizer.h"
+#include "opt/rewrite.h"
+#include "test_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+
+namespace axml {
+namespace {
+
+class OptTest : public ::testing::Test {
+ protected:
+  OptTest() : sys_(Topology(LinkParams{0.010, 1e6})) {
+    p0_ = sys_.AddPeer("p0");
+    p1_ = sys_.AddPeer("p1");
+    p2_ = sys_.AddPeer("p2");
+    Rng rng(7);
+    TreePtr cat = testing::MakeCatalog(200, sys_.peer(p1_)->gen(), &rng);
+    EXPECT_TRUE(sys_.InstallDocument(p1_, "cat", cat).ok());
+  }
+
+  AxmlSystem sys_;
+  PeerId p0_, p1_, p2_;
+};
+
+// --- Cost model ---
+
+TEST_F(OptTest, RemoteDocCostsMoreThanLocal) {
+  CostModel cm(&sys_);
+  CostEstimate remote = cm.Estimate(p0_, Expr::Doc("cat", p1_));
+  CostEstimate local = cm.Estimate(p1_, Expr::Doc("cat", p1_));
+  EXPECT_GT(remote.time_s, local.time_s);
+  EXPECT_GT(remote.remote_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(local.remote_bytes, 0.0);
+}
+
+TEST_F(OptTest, FlowUsesDocStats) {
+  CostModel cm(&sys_);
+  Flow f = cm.EstimateFlow(p1_, Expr::Doc("cat", p1_));
+  const TreeStats* st = cm.DocStats(p1_, "cat");
+  ASSERT_NE(st, nullptr);
+  EXPECT_DOUBLE_EQ(f.bytes, static_cast<double>(st->serialized_bytes));
+  EXPECT_EQ(cm.DocStats(p1_, "missing"), nullptr);
+  EXPECT_EQ(cm.DocStats(PeerId(77), "cat"), nullptr);
+}
+
+TEST_F(OptTest, SelectiveQueryShrinksFlow) {
+  CostModel cm(&sys_);
+  Query narrow = Query::Parse(
+                     "for $p in input(0)/catalog/product "
+                     "where $p/price < 100 return $p")
+                     .value();
+  Query wide = Query::Parse(
+                   "for $p in input(0)/catalog/product return $p")
+                   .value();
+  Flow in = cm.EstimateFlow(p1_, Expr::Doc("cat", p1_));
+  Flow fn = cm.EstimateFlow(
+      p1_, Expr::Apply(narrow, p1_, {Expr::Doc("cat", p1_)}));
+  Flow fw = cm.EstimateFlow(
+      p1_, Expr::Apply(wide, p1_, {Expr::Doc("cat", p1_)}));
+  EXPECT_LT(fn.bytes, fw.bytes);
+  EXPECT_LT(fw.bytes, in.bytes + 1);
+}
+
+TEST_F(OptTest, StatsBasedSelectivityTracksBound) {
+  CostModel cm(&sys_);
+  const TreeStats* st = cm.DocStats(p1_, "cat");
+  Query q10 = Query::Parse(
+                  "for $p in input(0)/catalog/product "
+                  "where $p/price < 10 return $p")
+                  .value();
+  Query q900 = Query::Parse(
+                   "for $p in input(0)/catalog/product "
+                   "where $p/price < 900 return $p")
+                   .value();
+  EXPECT_LT(cm.EstimateQuerySelectivity(q10, st),
+            cm.EstimateQuerySelectivity(q900, st));
+}
+
+TEST_F(OptTest, EvalAtAddsShippingBothWays) {
+  CostModel cm(&sys_);
+  ExprPtr body = Expr::Doc("cat", p1_);
+  CostEstimate direct = cm.Estimate(p0_, body);
+  CostEstimate via_p2 = cm.Estimate(p0_, Expr::EvalAt(p2_, body));
+  EXPECT_GT(via_p2.time_s, direct.time_s);
+  EXPECT_GT(via_p2.remote_bytes, direct.remote_bytes);
+}
+
+TEST_F(OptTest, SeqCostsAreAdditive) {
+  CostModel cm(&sys_);
+  ExprPtr a = Expr::Doc("cat", p1_);
+  CostEstimate single = cm.Estimate(p0_, a);
+  CostEstimate both = cm.Estimate(p0_, Expr::Seq(a, a));
+  EXPECT_NEAR(both.time_s, 2 * single.time_s, 1e-9);
+}
+
+TEST_F(OptTest, ForwardedCallSkipsReturnTransfer) {
+  Query q = Query::Parse("for $x in input(0) return $x").value();
+  ASSERT_TRUE(
+      sys_.InstallService(p1_, Service::Declarative("echo", q)).ok());
+  NodeIdGen tmp(p2_);
+  CostModel cm(&sys_);
+  TreePtr param = ParseXml("<m>x</m>", sys_.peer(p0_)->gen()).value();
+  ExprPtr back = Expr::Call(p1_, "echo", {Expr::Tree(param, p0_)});
+  ExprPtr fwd = Expr::Call(p1_, "echo", {Expr::Tree(param, p0_)},
+                           {NodeLocation{tmp.Next(), p1_}});
+  // Forwarding to a node on the provider itself avoids the return hop.
+  EXPECT_LT(cm.Estimate(p0_, fwd).time_s, cm.Estimate(p0_, back).time_s);
+}
+
+// --- Rule proposal shapes ---
+
+RewriteContext MakeCtx(AxmlSystem* sys, CostModel* cm, uint64_t* counter) {
+  RewriteContext ctx;
+  ctx.sys = sys;
+  ctx.cost = cm;
+  ctx.name_counter = counter;
+  return ctx;
+}
+
+TEST_F(OptTest, DelegationProposesAllOtherPeers) {
+  CostModel cm(&sys_);
+  uint64_t counter = 0;
+  RewriteContext ctx = MakeCtx(&sys_, &cm, &counter);
+  Query q = Query::Parse("for $x in input(0) return $x").value();
+  ExprPtr e = Expr::Apply(q, p0_, {Expr::Doc("cat", p1_)});
+  std::vector<ExprPtr> alts;
+  MakeDelegationRule()->Propose(p0_, e, &ctx, &alts);
+  ASSERT_EQ(alts.size(), 2u);  // p1 and p2
+  for (const auto& a : alts) {
+    EXPECT_EQ(a->kind(), Expr::Kind::kEvalAt);
+    EXPECT_EQ(a->body(), e);
+  }
+}
+
+TEST_F(OptTest, DelegationIgnoresPlainData) {
+  CostModel cm(&sys_);
+  uint64_t counter = 0;
+  RewriteContext ctx = MakeCtx(&sys_, &cm, &counter);
+  std::vector<ExprPtr> alts;
+  MakeDelegationRule()->Propose(p0_, Expr::Doc("cat", p1_), &ctx, &alts);
+  EXPECT_TRUE(alts.empty());
+}
+
+TEST_F(OptTest, PushdownSplitsSelectionTowardData) {
+  CostModel cm(&sys_);
+  uint64_t counter = 0;
+  RewriteContext ctx = MakeCtx(&sys_, &cm, &counter);
+  Query q = Query::Parse(
+                "for $p in input(0)/catalog/product "
+                "where $p/price < 100 return <r>{ $p/name }</r>")
+                .value();
+  ExprPtr e = Expr::Apply(q, p0_, {Expr::Doc("cat", p1_)});
+  std::vector<ExprPtr> alts;
+  MakeSelectionPushdownRule()->Propose(p0_, e, &ctx, &alts);
+  ASSERT_EQ(alts.size(), 1u);
+  const ExprPtr& alt = alts[0];
+  ASSERT_EQ(alt->kind(), Expr::Kind::kApply);
+  // The argument became a delegated filter at the data peer.
+  ASSERT_EQ(alt->args().size(), 1u);
+  EXPECT_EQ(alt->args()[0]->kind(), Expr::Kind::kEvalAt);
+  EXPECT_EQ(alt->args()[0]->eval_where(), p1_);
+}
+
+TEST_F(OptTest, PushdownSkipsGenericAndComputedArgs) {
+  CostModel cm(&sys_);
+  uint64_t counter = 0;
+  RewriteContext ctx = MakeCtx(&sys_, &cm, &counter);
+  Query q = Query::Parse(
+                "for $p in input(0)//x where $p/v < 1 return $p")
+                .value();
+  std::vector<ExprPtr> alts;
+  MakeSelectionPushdownRule()->Propose(
+      p0_, Expr::Apply(q, p0_, {Expr::GenericDoc("ecat")}), &ctx, &alts);
+  EXPECT_TRUE(alts.empty());
+}
+
+TEST_F(OptTest, IntermediaryRuleProposesBothDirections) {
+  CostModel cm(&sys_);
+  uint64_t counter = 0;
+  RewriteContext ctx = MakeCtx(&sys_, &cm, &counter);
+  // Insertion: doc@p1 consumed at p0 may stop at p2.
+  std::vector<ExprPtr> ins;
+  MakeIntermediaryStopRule()->Propose(p0_, Expr::Doc("cat", p1_), &ctx,
+                                      &ins);
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0]->kind(), Expr::Kind::kEvalAt);
+  EXPECT_EQ(ins[0]->eval_where(), p2_);
+  // Removal: the wrapped form proposes the unwrapped one.
+  std::vector<ExprPtr> rem;
+  MakeIntermediaryStopRule()->Propose(p0_, ins[0], &ctx, &rem);
+  ASSERT_EQ(rem.size(), 1u);
+  EXPECT_EQ(rem[0]->ToString(), Expr::Doc("cat", p1_)->ToString());
+}
+
+TEST_F(OptTest, TransferCacheDetectsSharedRemoteArg) {
+  CostModel cm(&sys_);
+  uint64_t counter = 0;
+  RewriteContext ctx = MakeCtx(&sys_, &cm, &counter);
+  Query q2 = Query::Parse(
+                 "for $a in input(0)//product for $b in input(1)//product "
+                 "where $a/name = $b/name return <m/>")
+                 .value();
+  ExprPtr shared = Expr::Doc("cat", p1_);
+  ExprPtr e = Expr::Apply(q2, p0_, {shared, shared});
+  std::vector<ExprPtr> alts;
+  MakeTransferCacheRule()->Propose(p0_, e, &ctx, &alts);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0]->kind(), Expr::Kind::kSeq);
+  // Both uses now read the cache document.
+  const ExprPtr& rewritten = alts[0]->then();
+  EXPECT_EQ(rewritten->args()[0]->kind(), Expr::Kind::kDoc);
+  EXPECT_EQ(rewritten->args()[0]->doc_peer(), p0_);
+  EXPECT_EQ(rewritten->args()[0]->doc_name(),
+            rewritten->args()[1]->doc_name());
+  // Distinct args: no proposal.
+  std::vector<ExprPtr> none;
+  MakeTransferCacheRule()->Propose(
+      p0_,
+      Expr::Apply(q2, p0_, {Expr::Doc("cat", p1_), Expr::Doc("x", p2_)}),
+      &ctx, &none);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(OptTest, PushQueryOverCallComposesAtProvider) {
+  Query body = Query::Parse("for $x in input(0)//product return $x").value();
+  ASSERT_TRUE(
+      sys_.InstallService(p1_, Service::Declarative("feed", body)).ok());
+  CostModel cm(&sys_);
+  uint64_t counter = 0;
+  RewriteContext ctx = MakeCtx(&sys_, &cm, &counter);
+  Query outer = Query::Parse(
+                    "for $p in input(0) where $p/price < 10 return $p")
+                    .value();
+  NodeIdGen tmp(p0_);
+  TreePtr param = ParseXml("<since>1</since>", &tmp).value();
+  ExprPtr call = Expr::Call(p1_, "feed", {Expr::Tree(param, p0_)});
+  ExprPtr e = Expr::Apply(outer, p0_, {call});
+  std::vector<ExprPtr> alts;
+  MakePushQueryOverCallRule()->Propose(p0_, e, &ctx, &alts);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0]->kind(), Expr::Kind::kEvalAt);
+  EXPECT_EQ(alts[0]->eval_where(), p1_);
+  // Native services are opaque: no rewrite through them.
+  Service native = Service::Native(
+      "opaque", 0,
+      [](const std::vector<TreePtr>&, Peer*)
+          -> Result<std::vector<TreePtr>> {
+        return std::vector<TreePtr>{};
+      });
+  ASSERT_TRUE(sys_.InstallService(p2_, native).ok());
+  std::vector<ExprPtr> none;
+  MakePushQueryOverCallRule()->Propose(
+      p0_, Expr::Apply(outer, p0_, {Expr::Call(p2_, "opaque", {})}), &ctx,
+      &none);
+  EXPECT_TRUE(none.empty());
+}
+
+// --- Optimizer end-to-end ---
+
+TEST_F(OptTest, OptimizerPushesSelectionToData) {
+  Query q = Query::Parse(
+                "for $p in input(0)/catalog/product "
+                "where $p/price < 50 return <r>{ $p/name }</r>")
+                .value();
+  ExprPtr naive = Expr::Apply(q, p0_, {Expr::Doc("cat", p1_)});
+  Optimizer opt(&sys_);
+  OptimizedPlan plan = opt.Optimize(p0_, naive);
+  ASSERT_NE(plan.expr, nullptr);
+  CostModel cm(&sys_);
+  EXPECT_LT(plan.cost.Scalar({}), cm.Estimate(p0_, naive).Scalar({}));
+  EXPECT_FALSE(plan.rules_applied.empty());
+  EXPECT_GT(opt.candidates_explored(), 0u);
+  // The winning plan mentions pushdown.
+  bool used_pushdown = false;
+  for (const auto& r : plan.rules_applied) {
+    used_pushdown = used_pushdown || r.find("pushdown") == 0;
+  }
+  EXPECT_TRUE(used_pushdown) << plan.ToString();
+}
+
+TEST_F(OptTest, OptimizerKeepsDirectPlanWhenNothingHelps) {
+  // A local query over a local doc: no rewrite should beat it.
+  Query q = Query::Parse("for $x in input(0)//product return $x").value();
+  ExprPtr direct = Expr::Apply(q, p1_, {Expr::Doc("cat", p1_)});
+  Optimizer opt(&sys_);
+  OptimizedPlan plan = opt.Optimize(p1_, direct);
+  CostModel cm(&sys_);
+  EXPECT_LE(plan.cost.Scalar({}),
+            cm.Estimate(p1_, direct).Scalar({}) + 1e-12);
+}
+
+TEST_F(OptTest, OptimizedPlanEvaluatesEquivalently) {
+  Query q = Query::Parse(
+                "for $p in input(0)/catalog/product "
+                "where $p/price < 200 return <hit>{ $p/name }</hit>")
+                .value();
+  ExprPtr naive = Expr::Apply(q, p0_, {Expr::Doc("cat", p1_)});
+  Optimizer opt(&sys_);
+  OptimizedPlan plan = opt.Optimize(p0_, naive);
+  Evaluator ev(&sys_);
+  auto direct = ev.Eval(p0_, naive);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  auto optimized = ev.Eval(p0_, plan.expr);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+  EXPECT_TRUE(
+      testing::ResultsEqual(direct->results, optimized->results))
+      << plan.ToString();
+}
+
+TEST_F(OptTest, ByteWeightChangesPreferences) {
+  // With a huge per-byte penalty the optimizer must avoid strategies
+  // that move more bytes even if marginally faster.
+  Query q = Query::Parse(
+                "for $p in input(0)/catalog/product "
+                "where $p/price < 50 return $p")
+                .value();
+  ExprPtr naive = Expr::Apply(q, p0_, {Expr::Doc("cat", p1_)});
+  OptimizerOptions heavy;
+  heavy.weights.byte_weight = 1.0;
+  Optimizer opt(&sys_, heavy);
+  OptimizedPlan plan = opt.Optimize(p0_, naive);
+  CostModel cm(&sys_);
+  EXPECT_LT(plan.cost.remote_bytes,
+            cm.Estimate(p0_, naive).remote_bytes);
+}
+
+TEST_F(OptTest, DocSourceBytesCountsServiceBodies) {
+  CostModel cm(&sys_);
+  Query body = Query::Parse(
+                   "for $p in doc(\"cat\")/catalog/product "
+                   "for $k in input(0) where $p/price < $k/max return $p")
+                   .value();
+  // Read on the hosting peer: the catalog's bytes are charged.
+  EXPECT_GT(cm.DocSourceBytes(body, p1_), 0.0);
+  // Read elsewhere (no such document): nothing is charged.
+  EXPECT_DOUBLE_EQ(cm.DocSourceBytes(body, p2_), 0.0);
+  Query no_docs = Query::Parse("for $x in input(0) return $x").value();
+  EXPECT_DOUBLE_EQ(cm.DocSourceBytes(no_docs, p1_), 0.0);
+}
+
+TEST_F(OptTest, CallOutputFlowIncludesProviderDocs) {
+  Query body = Query::Parse(
+                   "for $p in doc(\"cat\")/catalog/product "
+                   "for $k in input(0) where $p/price < $k/max return $p")
+                   .value();
+  ASSERT_TRUE(
+      sys_.InstallService(p1_, Service::Declarative("feed", body)).ok());
+  NodeIdGen tmp(p0_);
+  TreePtr k = ParseXml("<k><max>900</max></k>", &tmp).value();
+  CostModel cm(&sys_);
+  Flow f = cm.EstimateFlow(
+      p0_, Expr::Call(p1_, "feed", {Expr::Tree(k, p0_)}));
+  // The feed's volume is driven by the provider-side catalog, which is
+  // far larger than the tiny parameter.
+  EXPECT_GT(f.bytes, 1000.0);
+}
+
+TEST_F(OptTest, CustomRuleSetRestrictsSearch) {
+  Query q = Query::Parse(
+                "for $p in input(0)/catalog/product "
+                "where $p/price < 50 return $p")
+                .value();
+  ExprPtr naive = Expr::Apply(q, p0_, {Expr::Doc("cat", p1_)});
+  // With an empty rule set, the optimizer can only return the direct
+  // strategy.
+  Optimizer empty(&sys_, OptimizerOptions{}, {});
+  OptimizedPlan plan = empty.Optimize(p0_, naive);
+  EXPECT_EQ(plan.expr->ToString(), naive->ToString());
+  EXPECT_TRUE(plan.rules_applied.empty());
+  EXPECT_EQ(empty.candidates_explored(), 0u);
+  // With only the pushdown rule it still finds the Example-1 plan.
+  std::vector<std::unique_ptr<RewriteRule>> only_pushdown;
+  only_pushdown.push_back(MakeSelectionPushdownRule());
+  Optimizer restricted(&sys_, OptimizerOptions{},
+                       std::move(only_pushdown));
+  OptimizedPlan p2 = restricted.Optimize(p0_, naive);
+  ASSERT_EQ(p2.rules_applied.size(), 1u);
+  EXPECT_EQ(p2.rules_applied[0], "pushdown(11/Ex.1)");
+}
+
+TEST_F(OptTest, PlanToStringIsInformative) {
+  Query q = Query::Parse("for $x in input(0) return $x").value();
+  Optimizer opt(&sys_);
+  OptimizedPlan plan =
+      opt.Optimize(p0_, Expr::Apply(q, p0_, {Expr::Doc("cat", p1_)}));
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("plan:"), std::string::npos);
+  EXPECT_NE(s.find("cost:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace axml

@@ -1,0 +1,117 @@
+// Tests for the evaluation trace (EvalOptions::trace): the
+// observability surface a user debugs distributed plans with.
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "xml/xml_parser.h"
+
+namespace axml {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : sys_(Topology(LinkParams{0.010, 1.0e6})) {
+    p0_ = sys_.AddPeer("p0");
+    p1_ = sys_.AddPeer("p1");
+  }
+  AxmlSystem sys_;
+  PeerId p0_, p1_;
+};
+
+TEST_F(TraceTest, DisabledByDefault) {
+  ASSERT_TRUE(sys_.InstallDocumentXml(p1_, "d", "<r/>").ok());
+  Evaluator ev(&sys_);
+  ASSERT_TRUE(ev.Eval(p0_, Expr::Doc("d", p1_)).ok());
+  EXPECT_TRUE(ev.trace().empty());
+  EXPECT_TRUE(ev.FormatTrace().empty());
+}
+
+TEST_F(TraceTest, RecordsShipsWithTimesAndSizes) {
+  ASSERT_TRUE(sys_.InstallDocumentXml(p1_, "d", "<r><i/></r>").ok());
+  EvalOptions opts;
+  opts.trace = true;
+  Evaluator ev(&sys_, opts);
+  ASSERT_TRUE(ev.Eval(p0_, Expr::Doc("d", p1_)).ok());
+  ASSERT_GE(ev.trace().size(), 2u);  // eval@ + ship
+  EXPECT_NE(ev.trace()[0].what.find("eval@p0"), std::string::npos);
+  bool saw_ship = false;
+  for (const TraceEvent& e : ev.trace()) {
+    if (e.what.find("ship p1->p0") != std::string::npos) {
+      saw_ship = true;
+      EXPECT_NE(e.what.find("B <r>"), std::string::npos);
+    }
+    EXPECT_GE(e.time, 0.0);
+  }
+  EXPECT_TRUE(saw_ship);
+  // Times are non-decreasing.
+  for (size_t i = 1; i < ev.trace().size(); ++i) {
+    EXPECT_GE(ev.trace()[i].time, ev.trace()[i - 1].time);
+  }
+}
+
+TEST_F(TraceTest, RecordsServiceInvocationAndPick) {
+  Query echo = Query::Parse("for $x in input(0) return $x").value();
+  ASSERT_TRUE(
+      sys_.InstallService(p1_, Service::Declarative("echo", echo)).ok());
+  NodeIdGen tmp;
+  TreePtr content = ParseXml("<d/>", &tmp).value();
+  ASSERT_TRUE(sys_.InstallReplicatedDocument("ed", "d", content,
+                                             {p1_}).ok());
+  EvalOptions opts;
+  opts.trace = true;
+  Evaluator ev(&sys_, opts);
+  TreePtr param = ParseXml("<m/>", sys_.peer(p0_)->gen()).value();
+  ASSERT_TRUE(
+      ev.Eval(p0_, Expr::Call(p1_, "echo", {Expr::Tree(param, p0_)}))
+          .ok());
+  std::string trace = ev.FormatTrace();
+  EXPECT_NE(trace.find("invoke echo@p1"), std::string::npos);
+
+  ASSERT_TRUE(ev.Eval(p0_, Expr::GenericDoc("ed")).ok());
+  EXPECT_NE(ev.FormatTrace().find("pickDoc ed@any -> d@p1"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, RecordsDelegationAndInstalls) {
+  ASSERT_TRUE(sys_.InstallDocumentXml(p1_, "d", "<r/>").ok());
+  EvalOptions opts;
+  opts.trace = true;
+  Evaluator ev(&sys_, opts);
+  ASSERT_TRUE(
+      ev.Eval(p0_, Expr::EvalAt(p1_, Expr::Doc("d", p1_))).ok());
+  EXPECT_NE(ev.FormatTrace().find("delegate expr p0->p1"),
+            std::string::npos);
+
+  Query q = Query::Parse("for $x in input(0) return $x").value();
+  ASSERT_TRUE(ev.Eval(p0_, Expr::ShipQuery(p1_, q, p0_, "svc")).ok());
+  EXPECT_NE(ev.FormatTrace().find("installed service svc@p1"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, ClearedBetweenEvals) {
+  ASSERT_TRUE(sys_.InstallDocumentXml(p1_, "d", "<r/>").ok());
+  EvalOptions opts;
+  opts.trace = true;
+  Evaluator ev(&sys_, opts);
+  ASSERT_TRUE(ev.Eval(p0_, Expr::Doc("d", p1_)).ok());
+  size_t first = ev.trace().size();
+  ASSERT_TRUE(ev.Eval(p0_, Expr::Doc("d", p1_)).ok());
+  EXPECT_EQ(ev.trace().size(), first);  // not accumulated across evals
+}
+
+TEST_F(TraceTest, FormatIsOneLinePerEvent) {
+  ASSERT_TRUE(sys_.InstallDocumentXml(p1_, "d", "<r/>").ok());
+  EvalOptions opts;
+  opts.trace = true;
+  Evaluator ev(&sys_, opts);
+  ASSERT_TRUE(ev.Eval(p0_, Expr::Doc("d", p1_)).ok());
+  std::string formatted = ev.FormatTrace();
+  size_t lines = static_cast<size_t>(
+      std::count(formatted.begin(), formatted.end(), '\n'));
+  EXPECT_EQ(lines, ev.trace().size());
+  EXPECT_NE(formatted.find("s] "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace axml

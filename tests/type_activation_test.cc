@@ -1,0 +1,204 @@
+// Tests for type-driven call activation (the §4 "ongoing work"
+// extension; see type_activation.h).
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "peer/type_activation.h"
+#include "xml/xml_parser.h"
+
+namespace axml {
+namespace {
+
+class TypeActivationTest : public ::testing::Test {
+ protected:
+  TypeActivationTest() : sys_(Topology(LinkParams{0.010, 1.0e6})) {
+    host_ = sys_.AddPeer("host");
+    provider_ = sys_.AddPeer("provider");
+
+    // A typed service producing <price>number</price> responses.
+    Signature price_sig;
+    price_sig.in = {SchemaType::Any()};
+    price_sig.out = PriceType();
+    Query body = Query::Parse(
+                     "for $x in input(0) return <price>{ \"42\" }</price>")
+                     .value();
+    EXPECT_TRUE(sys_.InstallService(
+                        provider_,
+                        Service::Declarative("getPrice", body, price_sig))
+                    .ok());
+    // A typed service producing <review> elements.
+    Signature review_sig;
+    review_sig.in = {SchemaType::Any()};
+    review_sig.out = ReviewType();
+    Query rbody = Query::Parse(
+                      "for $x in input(0) return <review>{ \"ok\" }"
+                      "</review>")
+                      .value();
+    EXPECT_TRUE(
+        sys_.InstallService(
+                provider_,
+                Service::Declarative("getReview", rbody, review_sig))
+            .ok());
+    // An untyped service (output type unknown -> optimistic Any).
+    EXPECT_TRUE(sys_.InstallService(
+                        provider_,
+                        Service::Declarative("mystery", Query::Identity()))
+                    .ok());
+  }
+
+  static SchemaTypePtr PriceType() {
+    return SchemaType::Element("price", {One(SchemaType::Number())});
+  }
+  static SchemaTypePtr ReviewType() {
+    return SchemaType::Element("review", {One(SchemaType::Text())});
+  }
+  static SchemaTypePtr TitleType() {
+    return SchemaType::Element("title", {One(SchemaType::Text())});
+  }
+
+  TreePtr Parse(const std::string& xml) {
+    return ParseXml(xml, sys_.peer(host_)->gen()).value();
+  }
+
+  AxmlSystem sys_;
+  PeerId host_, provider_;
+};
+
+constexpr const char* kScPrice =
+    "<sc><peer>provider</peer><service>getPrice</service>"
+    "<param1><q/></param1></sc>";
+constexpr const char* kScReview =
+    "<sc><peer>provider</peer><service>getReview</service>"
+    "<param1><q/></param1></sc>";
+
+TEST_F(TypeActivationTest, RequiredCallIsPlanned) {
+  // Target: book{title, price}. The price is missing; the sc provides it.
+  TreePtr doc = Parse(std::string("<book><title>t</title>") + kScPrice +
+                      "</book>");
+  auto target = SchemaType::Element(
+      "book", {One(TitleType()), One(PriceType())});
+  auto plan = PlanActivationsForType(doc, target, sys_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->achievable);
+  ASSERT_EQ(plan->activate.size(), 1u);
+  EXPECT_TRUE(plan->forbid.empty());
+  EXPECT_TRUE(plan->optional.empty());
+}
+
+TEST_F(TypeActivationTest, SatisfiedTypeNeedsNoActivation) {
+  TreePtr doc = Parse(std::string("<book><title>t</title>"
+                                  "<price>3</price>") +
+                      kScPrice + "</book>");
+  // price already present with max_occurs 1: the call must NOT fire.
+  auto target = SchemaType::Element(
+      "book", {One(TitleType()), One(PriceType())});
+  auto plan = PlanActivationsForType(doc, target, sys_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->achievable);
+  EXPECT_TRUE(plan->activate.empty());
+  ASSERT_EQ(plan->forbid.size(), 1u);
+}
+
+TEST_F(TypeActivationTest, OptionalWhenParticleHasRoom) {
+  TreePtr doc = Parse(std::string("<book><title>t</title>") + kScReview +
+                      "</book>");
+  // review is 0..*: fits but is not required.
+  auto target = SchemaType::Element(
+      "book", {One(TitleType()), Star(ReviewType())});
+  auto plan = PlanActivationsForType(doc, target, sys_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->activate.empty());
+  EXPECT_TRUE(plan->forbid.empty());
+  ASSERT_EQ(plan->optional.size(), 1u);
+}
+
+TEST_F(TypeActivationTest, WrongServiceOutputIsForbidden) {
+  TreePtr doc = Parse(std::string("<book><title>t</title>"
+                                  "<price>3</price>") +
+                      kScReview + "</book>");
+  // Target has no review particle at all.
+  auto target = SchemaType::Element(
+      "book", {One(TitleType()), One(PriceType())});
+  auto plan = PlanActivationsForType(doc, target, sys_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->forbid.size(), 1u);
+  EXPECT_TRUE(plan->activate.empty());
+}
+
+TEST_F(TypeActivationTest, UnfillableDeficitIsUnachievable) {
+  // Needs a price, but only a review service is embedded.
+  TreePtr doc = Parse(std::string("<book><title>t</title>") + kScReview +
+                      "</book>");
+  auto target = SchemaType::Element(
+      "book", {One(TitleType()), One(PriceType())});
+  auto plan = PlanActivationsForType(doc, target, sys_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan->achievable);
+}
+
+TEST_F(TypeActivationTest, WrongRootShapeFails) {
+  TreePtr doc = Parse("<magazine/>");
+  auto target = SchemaType::Element("book", {});
+  auto plan = PlanActivationsForType(doc, target, sys_);
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  // Stray concrete children are equally fatal.
+  TreePtr stray = Parse("<book><zz/></book>");
+  EXPECT_FALSE(PlanActivationsForType(stray, target, sys_).ok());
+}
+
+TEST_F(TypeActivationTest, UntypedServiceIsOptimisticallyUsable) {
+  TreePtr doc = Parse(
+      "<book><title>t</title><sc><peer>provider</peer>"
+      "<service>mystery</service><param1><q/></param1></sc></book>");
+  auto target = SchemaType::Element(
+      "book", {One(TitleType()), One(PriceType())});
+  auto plan = PlanActivationsForType(doc, target, sys_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->achievable);
+  EXPECT_EQ(plan->activate.size(), 1u);  // Any-typed output may fill it
+}
+
+TEST_F(TypeActivationTest, NestedCallsArePlannedRecursively) {
+  TreePtr doc = Parse(std::string("<shelf><book><title>t</title>") +
+                      kScPrice + "</book></shelf>");
+  auto book = SchemaType::Element(
+      "book", {One(TitleType()), One(PriceType())});
+  auto shelf = SchemaType::Element("shelf", {Plus(book)});
+  auto plan = PlanActivationsForType(doc, shelf, sys_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->achievable);
+  EXPECT_EQ(plan->activate.size(), 1u);
+}
+
+TEST_F(TypeActivationTest, ExecutingThePlanReachesTheType) {
+  // The end-to-end story: plan, activate exactly the planned calls,
+  // run to quiescence, check the document now matches the target.
+  TreePtr doc = Parse(std::string("<book><title>t</title>") + kScPrice +
+                      "</book>");
+  auto target = SchemaType::Element(
+      "book",
+      {One(TitleType()), One(PriceType()),
+       // The activated sc element itself stays in the document; admit it.
+       Star(SchemaType::Element("sc", {Star(SchemaType::Any())}))});
+  Evaluator ev(&sys_);
+  ASSERT_TRUE(ev.InstallAxmlDocument(host_, "book", doc).ok());
+  auto plan = PlanActivationsForType(doc, target, sys_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(target->Matches(*doc));  // not yet
+  for (NodeId call : plan->activate) {
+    ASSERT_TRUE(ev.ActivateCall(host_, call).ok());
+  }
+  ev.RunToQuiescence();
+  EXPECT_TRUE(target->Matches(*doc)) << "plan execution missed the type";
+}
+
+TEST_F(TypeActivationTest, NullArgumentsRejected) {
+  EXPECT_FALSE(
+      PlanActivationsForType(nullptr, SchemaType::Any(), sys_).ok());
+  TreePtr doc = Parse("<x/>");
+  EXPECT_FALSE(PlanActivationsForType(doc, nullptr, sys_).ok());
+}
+
+}  // namespace
+}  // namespace axml
