@@ -46,6 +46,18 @@ inline TreePtr MakeCatalog(size_t n_products, NodeIdGen* gen, Rng* rng,
   return catalog;
 }
 
+/// Records the standard simulated counters on `state`: virtual seconds
+/// since `t0`, remote traffic, and the result count.
+inline void RecordStandardCounters(benchmark::State& state, AxmlSystem* sys,
+                                   SimTime t0, size_t results) {
+  state.counters["sim_s"] = sys->loop().now() - t0;
+  state.counters["remote_KB"] =
+      static_cast<double>(sys->network().stats().remote_bytes()) / 1024.0;
+  state.counters["msgs"] =
+      static_cast<double>(sys->network().stats().remote_messages());
+  state.counters["results"] = static_cast<double>(results);
+}
+
 /// Runs eval@at(e) on a fresh evaluator and records the standard
 /// counters on `state`. Aborts the benchmark on evaluation errors.
 inline void EvalAndRecord(benchmark::State& state, AxmlSystem* sys,
@@ -58,12 +70,7 @@ inline void EvalAndRecord(benchmark::State& state, AxmlSystem* sys,
     state.SkipWithError(out.status().ToString().c_str());
     return;
   }
-  state.counters["sim_s"] = sys->loop().now() - t0;
-  state.counters["remote_KB"] =
-      static_cast<double>(sys->network().stats().remote_bytes()) / 1024.0;
-  state.counters["msgs"] =
-      static_cast<double>(sys->network().stats().remote_messages());
-  state.counters["results"] = static_cast<double>(out->results.size());
+  RecordStandardCounters(state, sys, t0, out->results.size());
 }
 
 }  // namespace bench

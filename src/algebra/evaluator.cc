@@ -64,12 +64,19 @@ uint64_t Evaluator::RunToQuiescence() {
     finalizers_.pop_front();
     fn();
   }
+  // Any in-flight transfer registration still present is dead — no
+  // scheduled event remains to land it (a failure path bailed before
+  // the Send). Drop them so a later Deploy cannot coalesce onto one.
+  inflight_.clear();
   return n;
 }
 
 Result<EvalOutcome> Evaluator::Eval(PeerId p, const ExprPtr& e) {
   async_status_ = Status::OK();
   trace_.clear();
+  // A failed prior evaluation may have stranded in-flight transfer
+  // registrations; a fresh Eval must not coalesce onto them.
+  inflight_.clear();
   Trace(StrCat("eval@", p.ToString(), " ", e == nullptr ? "<null>"
                                                         : e->ToString()));
   EvalOutcome out;
@@ -243,23 +250,103 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
         StrCat("document peer ", owner.ToString(), " unknown")));
     return;
   }
-  TreePtr root = host->GetDocument(e->doc_name());
+  const DocName doc_name = e->doc_name();
+  if (owner != ctx && options_.use_replica_cache) {
+    // Replica fast path: a fresh cached copy of the remote document is
+    // read locally — a transfer the cache's hit stats account for. A
+    // stale copy is dropped by this very lookup (versioned
+    // invalidation) and the read falls through to the wire.
+    if (TreePtr copy = sys_->replicas().LookupFresh(ctx, owner,
+                                                    doc_name)) {
+      Trace(StrCat("replica-hit ", doc_name, "@", owner.ToString(),
+                   " read at ", ctx.ToString(), " (0B on the wire)"));
+      // Deliver a clone, as the ship this hit replaces would have
+      // (§3.2: sends copy their data-model instances). Consumers must
+      // never hold the cache blob itself — a same-peer send could graft
+      // and later mutate it behind its digest.
+      Peer* reader = sys_->peer(ctx);
+      TreePtr fresh = copy->Clone(reader->gen());
+      sys_->loop().Post(
+          [fresh = std::move(fresh), emit = std::move(emit)] {
+            emit(fresh);
+          });
+      return;
+    }
+    // Coalesce with a transfer of the same copy already in flight (two
+    // subexpressions reading the same remote source — the very shape of
+    // rule (13)): the second reader waits for the first's copy.
+    auto flight = inflight_.find({ctx, owner, doc_name});
+    if (flight != inflight_.end()) {
+      Trace(StrCat("replica-coalesce ", doc_name, "@", owner.ToString(),
+                   " read at ", ctx.ToString(), " joins in-flight copy"));
+      flight->second.push_back(std::move(emit));
+      return;
+    }
+    inflight_.emplace(std::make_tuple(ctx, owner, doc_name),
+                      std::vector<EmitFn>{});
+  }
+  TreePtr root = host->GetDocument(doc_name);
   if (root == nullptr) {
-    Fail(Status::NotFound(StrCat("document \"", e->doc_name(),
+    inflight_.erase({ctx, owner, doc_name});
+    Fail(Status::NotFound(StrCat("document \"", doc_name,
                                  "\" not found on ", host->name())));
     return;
   }
   EmitFn deliver =
-      owner == ctx ? std::move(emit)
-                   : EmitFn([this, owner, ctx, emit](TreePtr t) {
-                       Ship(owner, ctx, t, emit);
-                     });
+      owner == ctx
+          ? std::move(emit)
+          : EmitFn([this, owner, ctx, doc_name, emit](TreePtr t) {
+              // Ship clones the content now; remember which origin
+              // version that snapshot corresponds to (a mutation during
+              // the wire delay must not brand it fresh).
+              const uint64_t snap_version =
+                  sys_->replicas().Version(owner, doc_name);
+              Ship(owner, ctx, t, [this, owner, ctx, doc_name,
+                                   snap_version, emit](TreePtr landed) {
+                // Materialize the transferred tree as a replica: later
+                // reads (here or via d@any) hit the copy. Trees still
+                // carrying service calls are excluded — a copy freezes
+                // their activation state.
+                // The landed clone becomes the cache blob (and the
+                // installed local copy); every consumer — the reader
+                // that triggered the transfer and any coalesced
+                // waiters — gets its own clone of it, mirroring what a
+                // per-reader ship would have delivered.
+                bool cached = false;
+                if (options_.use_replica_cache &&
+                    !landed->ContainsServiceCall()) {
+                  cached = sys_->replicas().InsertCopy(
+                      ctx, owner, doc_name, landed, snap_version);
+                  if (cached) {
+                    Trace(StrCat("replica-insert ", doc_name, "@",
+                                 owner.ToString(), " cached at ",
+                                 ctx.ToString()));
+                  }
+                }
+                NodeIdGen* gen = sys_->peer(ctx)->gen();
+                emit(cached ? landed->Clone(gen) : landed);
+                // Wake the readers that coalesced onto this transfer.
+                auto flight = inflight_.find({ctx, owner, doc_name});
+                if (flight != inflight_.end()) {
+                  std::vector<EmitFn> waiters =
+                      std::move(flight->second);
+                  inflight_.erase(flight);
+                  const uint64_t bytes = landed->SerializedSize();
+                  for (EmitFn& w : waiters) {
+                    sys_->replicas().CacheFor(ctx)->RecordCoalescedHit(
+                        bytes);
+                    w(landed->Clone(gen));
+                  }
+                }
+              });
+            });
   if (root->ContainsServiceCall()) {
     // Lazy activation (§2.2): the query needs the document's value, so
     // its lazy calls fire now; the document itself accumulates the
     // responses, and its root is emitted at quiescence.
     Status s = ActivateLazyCalls(owner, e->doc_name());
     if (!s.ok()) {
+      inflight_.erase({ctx, owner, doc_name});
       Fail(s);
       return;
     }

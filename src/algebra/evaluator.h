@@ -39,7 +39,9 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_set>
 #include <vector>
 
@@ -56,6 +58,12 @@ struct EvalOptions {
   bool charge_discovery = true;
   /// Enforce service signatures on parameters and responses.
   bool type_check = true;
+  /// Route remote document reads through the replica subsystem
+  /// (src/replica/): a fresh cached copy is read locally for 0 wire
+  /// bytes, and a transferred document is inserted into the reader's
+  /// transfer cache and advertised in the catalog / generic classes.
+  /// Off by default — the paper's baseline semantics always transfer.
+  bool use_replica_cache = false;
   /// Record a timestamped trace of distributed events (ships, service
   /// starts, installs, activations, generic picks). See
   /// Evaluator::trace().
@@ -175,6 +183,11 @@ class Evaluator {
   /// sc nodes already activated (activation is idempotent, and after-call
   /// chains must not loop).
   std::unordered_set<NodeId> activated_;
+  /// In-flight transfer coalescing (replica cache only): readers of a
+  /// (reader, owner, doc) whose transfer is already underway wait for
+  /// that copy instead of issuing their own.
+  std::map<std::tuple<PeerId, PeerId, DocName>, std::vector<EmitFn>>
+      inflight_;
   std::vector<TraceEvent> trace_;
 };
 

@@ -29,6 +29,18 @@ const std::vector<PeerId>* Catalog::Holders(ResourceKind kind,
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+bool Catalog::IsAdvertised(ResourceKind kind, const std::string& name,
+                           PeerId holder) const {
+  const std::vector<PeerId>* h = Holders(kind, name);
+  return h != nullptr && std::find(h->begin(), h->end(), holder) != h->end();
+}
+
+size_t Catalog::HolderCount(ResourceKind kind,
+                            const std::string& name) const {
+  const std::vector<PeerId>* h = Holders(kind, name);
+  return h == nullptr ? 0 : h->size();
+}
+
 // --- CentralCatalog ---
 
 LookupResult CentralCatalog::LookupNow(ResourceKind kind,

@@ -62,6 +62,14 @@ class Catalog {
   virtual void Unregister(ResourceKind kind, const std::string& name,
                           PeerId holder);
 
+  /// True when `holder` currently advertises `name`. Free (no modeled
+  /// traffic): used by tests and the replica layer to check registration
+  /// state without a lookup.
+  bool IsAdvertised(ResourceKind kind, const std::string& name,
+                    PeerId holder) const;
+  /// Number of peers advertising `name` (free, like IsAdvertised).
+  size_t HolderCount(ResourceKind kind, const std::string& name) const;
+
   /// Resolves `name` from peer `from`: charges modeled traffic on `net`
   /// and invokes `cb` after the modeled delay.
   virtual void Lookup(ResourceKind kind, const std::string& name,

@@ -132,6 +132,16 @@ CostEstimate CostModel::TransferCost(PeerId from, PeerId to,
   return c;
 }
 
+CostEstimate CostModel::DocTransferCost(PeerId reader, PeerId owner,
+                                        const DocName& name,
+                                        double bytes) const {
+  if (assume_replica_cache_ &&
+      sys_->replicas().HasFresh(reader, owner, name)) {
+    return CostEstimate{};  // a cache hit costs 0 bytes on the wire
+  }
+  return TransferCost(owner, reader, bytes);
+}
+
 CostEstimate CostModel::Estimate(PeerId at, const ExprPtr& e) const {
   return Walk(at, e).cost;
 }
@@ -152,8 +162,11 @@ CostModel::Visit CostModel::Walk(PeerId at, const ExprPtr& e) const {
     case Expr::Kind::kDoc: {
       PeerId owner = e->doc_peer();
       double bytes = 1024;  // default guess for unknown documents
+      DocName name = e->doc_name();
       if (e->is_generic_doc()) {
-        // Assume the pick policy finds the cheapest member.
+        // Assume the pick policy finds the cheapest member. Cached
+        // replicas are advertised as class members, so a fresh local
+        // copy enters this scan as a zero-cost candidate.
         const auto* members =
             sys_->generics().DocumentMembers(e->doc_name());
         if (members != nullptr && !members->empty()) {
@@ -163,20 +176,26 @@ CostModel::Visit CostModel::Walk(PeerId at, const ExprPtr& e) const {
             double b = st != nullptr
                            ? static_cast<double>(st->serialized_bytes)
                            : bytes;
-            double t = TransferCost(m.peer, at, b).time_s;
+            double t = DocTransferCost(at, m.peer, m.name, b).time_s;
             if (best_time < 0 || t < best_time) {
               best_time = t;
               owner = m.peer;
+              name = m.name;
               bytes = b;
             }
           }
         }
       } else if (const TreeStats* st = DocStats(owner, e->doc_name())) {
         bytes = static_cast<double>(st->serialized_bytes);
+      } else if (uint64_t cached =
+                     sys_->replicas().FreshCopyBytes(at, owner, name)) {
+        // Origin unknown to the stats cache but a fresh copy is at hand;
+        // size the flow from the copy.
+        bytes = static_cast<double>(cached);
       }
       v.flow.bytes = bytes;
       v.flow.trees = 1;
-      v.cost += TransferCost(owner, at, bytes);
+      v.cost += DocTransferCost(at, owner, name, bytes);
       return v;
     }
     case Expr::Kind::kApply: {

@@ -63,9 +63,17 @@ struct Flow {
 
 /// Estimates evaluation cost against the system's topology, documents
 /// and statistics.
+///
+/// `assume_replica_cache` declares how plans will be *executed*: when
+/// true, the evaluator runs with EvalOptions::use_replica_cache and a
+/// remote document the reader holds fresh is priced at 0 wire bytes;
+/// when false (default), remote reads always pay the transfer — a plan
+/// wanting the copy must say so explicitly (the rule-13 rewrite), which
+/// keeps the model honest for the default evaluator.
 class CostModel {
  public:
-  explicit CostModel(AxmlSystem* sys) : sys_(sys) {}
+  explicit CostModel(AxmlSystem* sys, bool assume_replica_cache = false)
+      : sys_(sys), assume_replica_cache_(assume_replica_cache) {}
 
   /// Cost of eval@at(e).
   CostEstimate Estimate(PeerId at, const ExprPtr& e) const;
@@ -90,6 +98,16 @@ class CostModel {
   /// Transfer estimate for `bytes` on from->to (0 when from==to).
   CostEstimate TransferCost(PeerId from, PeerId to, double bytes) const;
 
+  /// Cache-state-aware transfer estimate for reading document
+  /// `name`@owner from `reader`: under assume_replica_cache, a fresh
+  /// cached copy at the reader makes the read local — 0 bytes on the
+  /// wire (the replica subsystem's whole point; rule (13) becomes a
+  /// cost-based decision through this).
+  CostEstimate DocTransferCost(PeerId reader, PeerId owner,
+                               const DocName& name, double bytes) const;
+
+  bool assume_replica_cache() const { return assume_replica_cache_; }
+
  private:
   struct Visit {
     Flow flow;
@@ -98,6 +116,7 @@ class CostModel {
   Visit Walk(PeerId at, const ExprPtr& e) const;
 
   AxmlSystem* sys_;
+  bool assume_replica_cache_;
   mutable std::map<std::string, TreeStats> stats_cache_;
 };
 

@@ -21,7 +21,10 @@ Optimizer::Optimizer(AxmlSystem* sys, OptimizerOptions options)
 
 Optimizer::Optimizer(AxmlSystem* sys, OptimizerOptions options,
                      std::vector<std::unique_ptr<RewriteRule>> rules)
-    : sys_(sys), options_(options), cost_(sys), rules_(std::move(rules)) {}
+    : sys_(sys),
+      options_(options),
+      cost_(sys, options.assume_replica_cache),
+      rules_(std::move(rules)) {}
 
 PeerId Optimizer::ChildContext(PeerId at, const ExprPtr& e, size_t i) {
   (void)i;

@@ -20,6 +20,11 @@ namespace axml {
 
 struct OptimizerOptions {
   CostWeights weights;
+  /// Cost plans as if they will run with EvalOptions::use_replica_cache
+  /// (a fresh cached remote doc read is free). Leave false when plans
+  /// execute on a default evaluator — the rule-13 rewrite then makes
+  /// cached reads explicit instead. See CostModel.
+  bool assume_replica_cache = false;
   /// Candidates kept between rounds.
   size_t beam_width = 8;
   /// Maximum rewrite rounds (each round rewrites one more position).

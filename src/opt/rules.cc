@@ -128,7 +128,12 @@ class IntermediaryStopRule : public RewriteRule {
 
 /// Rule (13): when two subexpressions both transfer the same remote
 /// source, materialize it once as a local cache document and read the
-/// copy. "This may be worth it if t is large."
+/// copy. "This may be worth it if t is large." When the evaluating peer
+/// already holds a fresh replica of the source (transfer cache,
+/// src/replica/), the materialization step is skipped entirely and every
+/// use reads the advertised local copy — the crossover between the two
+/// shapes is then left to the cost model, whose transfer estimate for a
+/// cached document is 0 bytes on the wire.
 class TransferCacheRule : public RewriteRule {
  public:
   const char* name() const override { return "transfer-cache(13)"; }
@@ -136,8 +141,37 @@ class TransferCacheRule : public RewriteRule {
   void Propose(PeerId at, const ExprPtr& e, RewriteContext* ctx,
                std::vector<ExprPtr>* out) const override {
     if (e->kind() != Expr::Kind::kApply) return;
-    // Find a pair of identical remote data arguments.
+    // A remote document the evaluating peer holds fresh: read the local
+    // copy instead — no install leg, no lost parallelism. The copy is
+    // installed under the origin's document name at `at` (replica
+    // advertisement), so Doc(name, at) resolves to it. Like every
+    // cost-based choice here (doc statistics included), the plan is
+    // valid for the Σ it was optimized against: a mutation or eviction
+    // between optimize and eval calls for re-optimization, exactly as
+    // it would invalidate the paper's hand-materialized rule-13 copy.
     const auto& args = e->args();
+    for (size_t i = 0; i < args.size(); ++i) {
+      const ExprPtr& a = args[i];
+      if (a->kind() != Expr::Kind::kDoc || a->is_generic_doc() ||
+          a->doc_peer() == at) {
+        continue;
+      }
+      if (!ctx->sys->replicas().HasFreshInstalled(at, a->doc_peer(),
+                                                  a->doc_name())) {
+        continue;
+      }
+      std::vector<ExprPtr> new_args = args;
+      for (size_t j = 0; j < new_args.size(); ++j) {
+        if (SameSource(a, new_args[j])) {
+          new_args[j] = Expr::Doc(a->doc_name(), at);
+        }
+      }
+      out->push_back(
+          Expr::Apply(e->query(), e->query_peer(), new_args));
+      return;
+    }
+    // Otherwise: find a pair of identical remote data arguments worth
+    // materializing once.
     for (size_t i = 0; i < args.size(); ++i) {
       if (!IsRemoteData(args[i], at)) continue;
       bool shared = false;

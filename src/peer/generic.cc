@@ -16,6 +16,8 @@ const char* PickPolicyName(PickPolicy p) {
       return "nearest";
     case PickPolicy::kLeastLoaded:
       return "least_loaded";
+    case PickPolicy::kCacheAware:
+      return "cache_aware";
   }
   return "?";
 }
@@ -24,6 +26,11 @@ void GenericCatalog::AddDocumentMember(const std::string& class_name,
                                        ClassMember member) {
   auto& v = doc_classes_[class_name];
   if (std::find(v.begin(), v.end(), member) == v.end()) {
+    auto& classes = doc_member_classes_[{member.peer, member.name}];
+    if (std::find(classes.begin(), classes.end(), class_name) ==
+        classes.end()) {
+      classes.push_back(class_name);
+    }
     v.push_back(std::move(member));
   }
 }
@@ -43,6 +50,13 @@ void GenericCatalog::RemoveDocumentMember(const std::string& class_name,
   auto& v = it->second;
   v.erase(std::remove(v.begin(), v.end(), member), v.end());
   if (v.empty()) doc_classes_.erase(it);
+  auto rev = doc_member_classes_.find({member.peer, member.name});
+  if (rev != doc_member_classes_.end()) {
+    auto& classes = rev->second;
+    classes.erase(std::remove(classes.begin(), classes.end(), class_name),
+                  classes.end());
+    if (classes.empty()) doc_member_classes_.erase(rev);
+  }
 }
 
 void GenericCatalog::RemoveServiceMember(const std::string& class_name,
@@ -66,9 +80,28 @@ const std::vector<ClassMember>* GenericCatalog::ServiceMembers(
   return it == svc_classes_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string> GenericCatalog::DocumentClassesOf(
+    const ClassMember& member) const {
+  auto it = doc_member_classes_.find({member.peer, member.name});
+  return it == doc_member_classes_.end() ? std::vector<std::string>{}
+                                         : it->second;
+}
+
 Result<ClassMember> GenericCatalog::PickDocument(
     const std::string& class_name, PeerId from, PickPolicy policy,
     const Network& net, uint64_t nominal_bytes) {
+  if (doc_validator_) {
+    // Freshness sweep: a stale cached copy must not serve d@any. The
+    // validator retracts stale members itself (possibly several, when a
+    // retraction cascades); sweep a snapshot, then pick from what's left.
+    auto it = doc_classes_.find(class_name);
+    if (it != doc_classes_.end()) {
+      const std::vector<ClassMember> snapshot = it->second;
+      for (const ClassMember& m : snapshot) {
+        (void)doc_validator_(class_name, m);
+      }
+    }
+  }
   return Pick(doc_classes_, "document", class_name, from, policy, net,
               nominal_bytes);
 }
@@ -116,6 +149,24 @@ Result<ClassMember> GenericCatalog::Pick(
         uint64_t load = PickCount(m.peer);
         if (chosen == nullptr || load < best) {
           best = load;
+          chosen = &m;
+        }
+      }
+      break;
+    }
+    case PickPolicy::kCacheAware: {
+      // Like kNearest but network-distance-aware for the real payload:
+      // each member is ranked by the estimated time to move *its* copy
+      // (size hint) over its link to the caller. A co-located replica
+      // rides the free loopback link and wins outright.
+      double best = 0;
+      for (const auto& m : members) {
+        uint64_t bytes =
+            size_hint_ ? size_hint_(m) : nominal_bytes;
+        if (bytes == 0) bytes = nominal_bytes;
+        double t = net.topology().Get(m.peer, from).TransferTime(bytes);
+        if (chosen == nullptr || t < best) {
+          best = t;
           chosen = &m;
         }
       }

@@ -16,6 +16,7 @@
 #ifndef AXML_PEER_GENERIC_H_
 #define AXML_PEER_GENERIC_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -42,6 +43,10 @@ enum class PickPolicy {
   kNearest,      ///< member whose link from the caller is fastest for a
                  ///< nominal payload
   kLeastLoaded,  ///< member with the fewest picks so far (greedy balance)
+  kCacheAware,   ///< member with the fastest estimated transfer of its
+                 ///< *actual* payload (per-member size hint); a replica
+                 ///< co-located with the caller rides the free loopback
+                 ///< link and wins outright
 };
 
 const char* PickPolicyName(PickPolicy p);
@@ -63,6 +68,10 @@ class GenericCatalog {
       const std::string& class_name) const;
   const std::vector<ClassMember>* ServiceMembers(
       const std::string& class_name) const;
+
+  /// Names of every document class `member` belongs to (replica
+  /// advertisement joins a cached copy to its origin's classes).
+  std::vector<std::string> DocumentClassesOf(const ClassMember& member) const;
 
   /// pickDoc (def. (9)): chooses a member of document class `class_name`
   /// for caller `from` under `policy`. `net` provides link estimates for
@@ -88,6 +97,24 @@ class GenericCatalog {
   /// Reseeds the kRandom policy for reproducibility.
   void SeedRandom(uint64_t seed) { rng_.Seed(seed); }
 
+  /// Freshness gate consulted before every document pick: members failing
+  /// it (stale cached copies) are removed from the class on the spot. The
+  /// validator may itself remove members (the ReplicaManager retracts a
+  /// stale copy's advertisements); PickDocument re-reads the class after
+  /// the sweep. Unset = every member validates.
+  using MemberValidator =
+      std::function<bool(const std::string& class_name, const ClassMember&)>;
+  void set_document_validator(MemberValidator fn) {
+    doc_validator_ = std::move(fn);
+  }
+
+  /// Per-member payload-size estimate for kCacheAware (actual serialized
+  /// bytes of that member's copy). Unset = `nominal_bytes` for everyone.
+  using MemberSizeHint = std::function<uint64_t(const ClassMember&)>;
+  void set_member_size_hint(MemberSizeHint fn) {
+    size_hint_ = std::move(fn);
+  }
+
  private:
   Result<ClassMember> Pick(
       const std::map<std::string, std::vector<ClassMember>>& classes,
@@ -96,9 +123,16 @@ class GenericCatalog {
 
   std::map<std::string, std::vector<ClassMember>> doc_classes_;
   std::map<std::string, std::vector<ClassMember>> svc_classes_;
+  /// Reverse index: document member -> class names. Kept in lockstep
+  /// with doc_classes_; DocumentClassesOf runs on every replica
+  /// advertisement and retraction, so it must not scan every class.
+  std::map<std::pair<PeerId, std::string>, std::vector<std::string>>
+      doc_member_classes_;
   std::map<PeerId, uint64_t> pick_counts_;
   PickPolicy default_policy_ = PickPolicy::kNearest;
   Rng rng_;
+  MemberValidator doc_validator_;
+  MemberSizeHint size_hint_;
 };
 
 }  // namespace axml

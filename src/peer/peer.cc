@@ -12,12 +12,14 @@ Status Peer::InstallDocument(DocName name, TreePtr root) {
     return Status::AlreadyExists(
         StrCat("document \"", name, "\" already exists on peer ", name_));
   }
-  docs_.emplace(std::move(name), std::move(root));
+  auto it = docs_.emplace(std::move(name), std::move(root)).first;
+  NotifyMutation(it->first);
   return Status::OK();
 }
 
 void Peer::PutDocument(DocName name, TreePtr root) {
-  docs_[std::move(name)] = std::move(root);
+  auto it = docs_.insert_or_assign(std::move(name), std::move(root)).first;
+  NotifyMutation(it->first);
 }
 
 Status Peer::RemoveDocument(const DocName& name) {
@@ -25,6 +27,7 @@ Status Peer::RemoveDocument(const DocName& name) {
     return Status::NotFound(
         StrCat("document \"", name, "\" not found on peer ", name_));
   }
+  NotifyMutation(name);
   return Status::OK();
 }
 
@@ -52,7 +55,16 @@ DocName Peer::FindDocumentOfNode(NodeId id) const {
 }
 
 Status Peer::AppendUnderNode(NodeId target, TreePtr tree) {
-  TreeNode* node = FindNode(target);
+  // One scan finds both the node and its enclosing document (the
+  // mutation listener needs the name to bump the right version).
+  TreeNode* node = nullptr;
+  DocName doc;
+  for (auto& [name, root] : docs_) {
+    if ((node = root->FindNode(target)) != nullptr) {
+      doc = name;
+      break;
+    }
+  }
   if (node == nullptr) {
     return Status::NotFound(StrCat("node ", target.ToString(),
                                    " not found on peer ", name_));
@@ -61,6 +73,7 @@ Status Peer::AppendUnderNode(NodeId target, TreePtr tree) {
     return Status::InvalidArgument("cannot append under a text node");
   }
   node->AddChild(std::move(tree));
+  NotifyMutation(doc);
   return Status::OK();
 }
 

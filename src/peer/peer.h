@@ -9,6 +9,7 @@
 #ifndef AXML_PEER_PEER_H_
 #define AXML_PEER_PEER_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -83,13 +84,27 @@ class Peer {
   /// Resolver for doc(...) references in queries evaluated at this peer.
   DocResolver AsDocResolver() const;
 
+  /// Called after every document mutation on this peer (install, put,
+  /// remove, append-under-node) with the affected name. AxmlSystem wires
+  /// this to the ReplicaManager so mutations bump document versions and
+  /// invalidate stale replicas.
+  using MutationListener = std::function<void(const DocName&)>;
+  void set_mutation_listener(MutationListener fn) {
+    on_mutation_ = std::move(fn);
+  }
+
  private:
+  void NotifyMutation(const DocName& name) {
+    if (on_mutation_) on_mutation_(name);
+  }
+
   PeerId id_;
   std::string name_;
   NodeIdGen gen_;
   double compute_speed_ = 1.0e6;
   std::map<DocName, TreePtr> docs_;
   std::map<ServiceName, Service> services_;
+  MutationListener on_mutation_;
 };
 
 }  // namespace axml

@@ -11,7 +11,31 @@ namespace axml {
 AxmlSystem::AxmlSystem() : AxmlSystem(Topology(LinkParams{})) {}
 
 AxmlSystem::AxmlSystem(Topology topology)
-    : network_(std::make_unique<Network>(&loop_, std::move(topology))) {}
+    : network_(std::make_unique<Network>(&loop_, std::move(topology))) {
+  replicas_.Bind(this);
+  generics_.set_document_validator(
+      [this](const std::string& cls, const ClassMember& m) {
+        return replicas_.ValidateMember(cls, m);
+      });
+  // Serialized sizes are memoized per (member, doc version) — computing
+  // one walks the whole tree, and the pick consults every member.
+  auto size_memo = std::make_shared<
+      std::map<std::pair<PeerId, DocName>, std::pair<uint64_t, uint64_t>>>();
+  generics_.set_member_size_hint(
+      [this, size_memo](const ClassMember& m) -> uint64_t {
+        const uint64_t version = replicas_.Version(m.peer, m.name);
+        auto it = size_memo->find({m.peer, m.name});
+        if (it != size_memo->end() && it->second.first == version) {
+          return it->second.second;
+        }
+        const Peer* holder = peer(m.peer);
+        TreePtr root =
+            holder == nullptr ? nullptr : holder->GetDocument(m.name);
+        const uint64_t bytes = root == nullptr ? 0 : root->SerializedSize();
+        (*size_memo)[{m.peer, m.name}] = {version, bytes};
+        return bytes;
+      });
+}
 
 PeerId AxmlSystem::AddPeer(std::string name) {
   AXML_CHECK(name != "any") << "\"any\" is reserved (§2.3)";
@@ -19,6 +43,8 @@ PeerId AxmlSystem::AddPeer(std::string name) {
       << "duplicate peer name " << name;
   PeerId id(static_cast<uint32_t>(peers_.size()));
   peers_.push_back(std::make_unique<Peer>(id, std::move(name)));
+  peers_.back()->set_mutation_listener(
+      [this, id](const DocName& doc) { replicas_.NoteMutation(id, doc); });
   if (catalog_ == nullptr) {
     catalog_ = std::make_unique<CentralCatalog>(id);
   }
@@ -113,6 +139,9 @@ std::string AxmlSystem::StateFingerprint() const {
   for (const auto& p : peers_) {
     out += StrCat("peer ", p->name(), "\n");
     for (const auto& [name, root] : p->documents()) {
+      // Cached replica copies are soft state, reconstructible from their
+      // origins; a Σ with and without them is the same Σ.
+      if (replicas_.IsCachedCopy(p->id(), name)) continue;
       out += StrCat("  doc ", name, " = ", CanonicalForm(*root), "\n");
     }
     for (const auto& [name, svc] : p->services()) {
@@ -132,7 +161,11 @@ std::string AxmlSystem::DumpState() const {
     out += StrCat("=== peer ", p->name(), " (", p->id().ToString(),
                   ") ===\n");
     for (const auto& [name, root] : p->documents()) {
-      out += StrCat("--- doc ", name, " ---\n", SerializePretty(*root));
+      out += StrCat("--- doc ", name,
+                    replicas_.IsCachedCopy(p->id(), name)
+                        ? " (cached replica) ---\n"
+                        : " ---\n",
+                    SerializePretty(*root));
     }
     for (const auto& [name, svc] : p->services()) {
       out += StrCat("--- service ", name, " ---\n",

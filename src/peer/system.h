@@ -22,6 +22,7 @@
 #include "net/network.h"
 #include "peer/generic.h"
 #include "peer/peer.h"
+#include "replica/replica_manager.h"
 
 namespace axml {
 
@@ -57,6 +58,12 @@ class AxmlSystem {
 
   GenericCatalog& generics() { return generics_; }
 
+  /// Replica placement, transfer caches and versioned invalidation
+  /// (src/replica/). Peer document mutations bump versions here; the
+  /// evaluator and the cost model consult it for cache-aware reads.
+  ReplicaManager& replicas() { return replicas_; }
+  const ReplicaManager& replicas() const { return replicas_; }
+
   // --- State manipulation helpers (register resources in the catalog) ---
 
   /// Installs a document on `p` and advertises it.
@@ -78,7 +85,8 @@ class AxmlSystem {
 
   /// Canonical digest of Σ: every (peer, doc name, canonical tree) plus
   /// service inventories. Two runs ending in equal fingerprints ended in
-  /// equivalent states.
+  /// equivalent states. Cached replica copies are *soft* state and are
+  /// skipped — Σ-equivalence is judged on durable documents only.
   std::string StateFingerprint() const;
 
   /// Pretty multi-line dump of Σ for debugging and examples.
@@ -90,6 +98,7 @@ class AxmlSystem {
   std::vector<std::unique_ptr<Peer>> peers_;
   std::unique_ptr<Catalog> catalog_;
   GenericCatalog generics_;
+  ReplicaManager replicas_;
 };
 
 }  // namespace axml

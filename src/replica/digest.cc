@@ -1,0 +1,34 @@
+#include "replica/digest.h"
+
+#include <cstdio>
+
+#include "xml/tree_equal.h"
+
+namespace axml {
+
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string ContentDigest::ToString() const {
+  char buf[34];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+ContentDigest DigestOf(const TreeNode& node) {
+  return ContentDigest{TreeHashUnordered(node), Fnv1a(CanonicalForm(node))};
+}
+
+}  // namespace axml

@@ -1,0 +1,41 @@
+// Content digests for replica deduplication.
+//
+// The transfer cache is content-addressed in the style of package-delivery
+// blob stores: a materialized copy is identified by a digest of its
+// *canonical* tree form (tree_equal.h), so two copies of unordered-equal
+// trees — however they were obtained, from whichever origin — share one
+// stored blob. The digest combines the order-insensitive structural hash
+// with an FNV-1a over the canonical serialization; a collision requires
+// both 64-bit halves to agree on unequal trees.
+
+#ifndef AXML_REPLICA_DIGEST_H_
+#define AXML_REPLICA_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/tree.h"
+
+namespace axml {
+
+/// 128-bit content digest of one tree's canonical form.
+struct ContentDigest {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const ContentDigest&) const = default;
+  bool operator<(const ContentDigest& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+
+  /// Lowercase hex, e.g. "3f2a...e1" (for traces and dumps).
+  std::string ToString() const;
+};
+
+/// Digest of `node`'s canonical (order-insensitive) form. Unordered-equal
+/// trees digest equal; node identifiers do not participate.
+ContentDigest DigestOf(const TreeNode& node);
+
+}  // namespace axml
+
+#endif  // AXML_REPLICA_DIGEST_H_

@@ -1,0 +1,215 @@
+#include "replica/replica_manager.h"
+
+#include "common/logging.h"
+#include "net/catalog.h"
+#include "peer/peer.h"
+#include "peer/system.h"
+
+namespace axml {
+
+uint64_t ReplicaManager::Version(PeerId owner, const DocName& name) const {
+  auto it = versions_.find(ReplicaKey{owner, name});
+  return it == versions_.end() ? 0 : it->second;
+}
+
+void ReplicaManager::NoteMutation(PeerId owner, const DocName& name) {
+  ++versions_[ReplicaKey{owner, name}];
+
+  // A durable write onto a document slot we were using for a cached copy
+  // (e.g. send(d@p, ...) landing on the copy's name) promotes the slot:
+  // the copy ceases to exist, the document stays. The mutated tree may
+  // alias cache blobs (content addressing shares them), so every entry of
+  // this peer's cache holding that blob is dropped.
+  auto it = installed_.find({owner, name});
+  if (it == installed_.end()) return;
+  const PeerId origin = it->second;
+  installed_.erase(it);
+  auto cache_it = caches_.find(owner);
+  if (TransferCache* cache = cache_it == caches_.end()
+                                 ? nullptr
+                                 : cache_it->second.get()) {
+    ContentDigest digest;
+    bool have_digest = false;
+    if (const TransferCache::Entry* e =
+            cache->Peek(ReplicaKey{origin, name})) {
+      digest = e->digest;
+      have_digest = true;
+    }
+    cache->Erase(ReplicaKey{origin, name}, /*invalidation=*/true);
+    if (have_digest) {
+      for (const ReplicaKey& alias : cache->KeysWithDigest(digest)) {
+        cache->Erase(alias, /*invalidation=*/true);
+      }
+    }
+  }
+  // A durable put keeps the catalog entry (the peer genuinely holds a
+  // document of this name now); a removal must retract it — the listener
+  // fires for both, so check which one happened. Membership in the
+  // origin's classes goes either way: the write may have broken
+  // equivalence.
+  if (sys_ != nullptr) {
+    const Peer* holder = sys_->peer(owner);
+    const bool still_exists = holder != nullptr && holder->HasDocument(name);
+    if (!still_exists && sys_->catalog() != nullptr) {
+      sys_->catalog()->Unregister(ResourceKind::kDocument, name, owner);
+    }
+    for (const std::string& cls :
+         sys_->generics().DocumentClassesOf(ClassMember{name, owner})) {
+      sys_->generics().RemoveDocumentMember(cls, ClassMember{name, owner});
+    }
+  }
+}
+
+TransferCache* ReplicaManager::CacheFor(PeerId peer) {
+  auto it = caches_.find(peer);
+  if (it != caches_.end()) return it->second.get();
+  auto cache = std::make_unique<TransferCache>(default_budget_);
+  cache->set_evict_listener(
+      [this, peer](const ReplicaKey& key, const TransferCache::Entry&) {
+        RetractAdvertisements(peer, key);
+      });
+  return caches_.emplace(peer, std::move(cache)).first->second.get();
+}
+
+const TransferCache* ReplicaManager::FindCache(PeerId peer) const {
+  auto it = caches_.find(peer);
+  return it == caches_.end() ? nullptr : it->second.get();
+}
+
+bool ReplicaManager::InsertCopy(PeerId reader, PeerId origin,
+                                const DocName& name, const TreePtr& landed,
+                                uint64_t snapshot_version) {
+  if (sys_ == nullptr || reader == origin || !origin.is_concrete()) {
+    return false;
+  }
+  Peer* holder = sys_->peer(reader);
+  if (holder == nullptr || landed == nullptr) return false;
+  if (snapshot_version != Version(origin, name)) {
+    return false;  // the origin moved on while the copy was on the wire
+  }
+
+  const ReplicaKey key{origin, name};
+  TransferCache* cache = CacheFor(reader);
+  // Put retracts an older copy of the same key first (evict listener), so
+  // the install guard below sees a clean slot.
+  if (!cache->Put(key, landed, DigestOf(*landed), snapshot_version)) {
+    return false;  // over budget: not worth caching
+  }
+  const TransferCache::Entry* entry = cache->Peek(key);
+  if (entry == nullptr) return false;  // evicted immediately by the budget
+
+  // Install + advertise, unless the local name is taken — by the reader's
+  // own document or by a copy from another origin (the cache still
+  // serves repeated reads either way). The installed document is a
+  // *clone*: local reads hand trees out unshared-with-the-cache, so no
+  // consumer can mutate the content-addressed blob behind its digest.
+  if (installed_.count({reader, name}) > 0 || holder->HasDocument(name)) {
+    return true;  // cached, but the local name slot is taken
+  }
+  holder->PutDocument(name, entry->tree->Clone(holder->gen()));
+  installed_[{reader, name}] = origin;
+  if (sys_->catalog() != nullptr) {
+    sys_->catalog()->Register(ResourceKind::kDocument, name, reader);
+  }
+  for (const std::string& cls :
+       sys_->generics().DocumentClassesOf(ClassMember{name, origin})) {
+    sys_->generics().AddDocumentMember(cls, ClassMember{name, reader});
+  }
+  return true;
+}
+
+TreePtr ReplicaManager::LookupFresh(PeerId reader, PeerId origin,
+                                    const DocName& name) {
+  if (reader == origin || !origin.is_concrete()) return nullptr;
+  return CacheFor(reader)->Get(ReplicaKey{origin, name},
+                               Version(origin, name));
+}
+
+bool ReplicaManager::HasFresh(PeerId reader, PeerId origin,
+                              const DocName& name) const {
+  return FreshCopyBytes(reader, origin, name) > 0;
+}
+
+uint64_t ReplicaManager::FreshCopyBytes(PeerId reader, PeerId origin,
+                                        const DocName& name) const {
+  const TransferCache* cache = FindCache(reader);
+  if (cache == nullptr) return 0;
+  const TransferCache::Entry* e = cache->Peek(ReplicaKey{origin, name});
+  if (e == nullptr || e->origin_version != Version(origin, name)) return 0;
+  return e->bytes;
+}
+
+bool ReplicaManager::IsCachedCopy(PeerId peer, const DocName& name) const {
+  return installed_.count({peer, name}) > 0;
+}
+
+bool ReplicaManager::HasFreshInstalled(PeerId reader, PeerId origin,
+                                       const DocName& name) const {
+  auto it = installed_.find({reader, name});
+  return it != installed_.end() && it->second == origin &&
+         HasFresh(reader, origin, name);
+}
+
+bool ReplicaManager::ValidateMember(const std::string& /*class_name*/,
+                                    const ClassMember& member) {
+  auto it = installed_.find({member.peer, member.name});
+  if (it == installed_.end()) return true;  // durable member
+  const PeerId origin = it->second;
+  if (HasFresh(member.peer, origin, member.name)) return true;
+  DropCopy(member.peer, origin, member.name);
+  return false;
+}
+
+bool ReplicaManager::DropCopy(PeerId reader, PeerId origin,
+                              const DocName& name) {
+  auto it = caches_.find(reader);
+  if (it == caches_.end()) return false;
+  return it->second->Erase(ReplicaKey{origin, name},
+                           /*invalidation=*/true);
+}
+
+void ReplicaManager::DropAllCopies() {
+  for (auto& [peer, cache] : caches_) cache->Clear();
+}
+
+TransferCacheStats ReplicaManager::TotalStats() const {
+  TransferCacheStats total;
+  for (const auto& [peer, cache] : caches_) {
+    const TransferCacheStats& s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.inserts += s.inserts;
+    total.evictions += s.evictions;
+    total.invalidations += s.invalidations;
+    total.bytes_saved += s.bytes_saved;
+    total.bytes_deduped += s.bytes_deduped;
+  }
+  return total;
+}
+
+void ReplicaManager::ResetStats() {
+  for (auto& [peer, cache] : caches_) cache->ResetStats();
+}
+
+void ReplicaManager::RetractAdvertisements(PeerId reader,
+                                           const ReplicaKey& key) {
+  auto it = installed_.find({reader, key.name});
+  if (it == installed_.end() || it->second != key.origin) {
+    return;  // cache-only copy, nothing advertised
+  }
+  installed_.erase(it);
+  if (sys_ == nullptr) return;
+  if (Peer* holder = sys_->peer(reader)) {
+    (void)holder->RemoveDocument(key.name);
+  }
+  if (sys_->catalog() != nullptr) {
+    sys_->catalog()->Unregister(ResourceKind::kDocument, key.name, reader);
+  }
+  for (const std::string& cls : sys_->generics().DocumentClassesOf(
+           ClassMember{key.name, reader})) {
+    sys_->generics().RemoveDocumentMember(cls,
+                                          ClassMember{key.name, reader});
+  }
+}
+
+}  // namespace axml

@@ -1,0 +1,151 @@
+// Replica placement and versioned invalidation.
+//
+// The paper's rule (13) materializes a transferred tree as a local copy;
+// its generic documents (def. 9) read "any" member of an equivalence
+// class. Both presuppose a runtime notion of *replicas*: who holds a
+// copy, how fresh it is, and when reading a copy beats a transfer. The
+// ReplicaManager is that layer:
+//
+//  - every (owner peer, doc name) carries a version, bumped whenever the
+//    owner mutates the document (Peer's mutation listener);
+//  - each peer owns a TransferCache of materialized remote copies tagged
+//    with the origin version at copy time;
+//  - a fresh copy is installed as a local document and *advertised*: the
+//    discovery catalog lists the caching peer as a holder, and the copy
+//    joins every generic class the origin belongs to — so d@any
+//    resolution routes to the nearest fresh copy;
+//  - a stale copy is dropped on the next lookup: evicted from the cache,
+//    removed as a local document, Catalog::Unregister'ed, and withdrawn
+//    from its generic classes.
+//
+// Cached copies are soft state: AxmlSystem::StateFingerprint skips them,
+// so Σ-equivalence (the rule-equivalence property) is judged on durable
+// documents only.
+
+#ifndef AXML_REPLICA_REPLICA_MANAGER_H_
+#define AXML_REPLICA_REPLICA_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/ids.h"
+#include "peer/generic.h"
+#include "replica/transfer_cache.h"
+#include "xml/tree.h"
+
+namespace axml {
+
+class AxmlSystem;
+
+/// Owns every peer's transfer cache and the document version table.
+class ReplicaManager {
+ public:
+  ReplicaManager() = default;
+  ReplicaManager(const ReplicaManager&) = delete;
+  ReplicaManager& operator=(const ReplicaManager&) = delete;
+
+  /// Ties the manager to its system (called by AxmlSystem's constructor;
+  /// the manager touches peers, the catalog and the generic registry when
+  /// advertising or retracting copies).
+  void Bind(AxmlSystem* sys) { sys_ = sys; }
+
+  // --- Document versions ---
+
+  /// Current version of `name` on `owner`; 1 for a document never
+  /// mutated since install.
+  uint64_t Version(PeerId owner, const DocName& name) const;
+
+  /// Records a mutation of `name` on `owner` (wired to Peer's mutation
+  /// listener: PutDocument, AppendUnderNode, RemoveDocument). Copies made
+  /// at earlier versions become stale and are dropped on their next
+  /// lookup.
+  void NoteMutation(PeerId owner, const DocName& name);
+
+  // --- Per-peer caches ---
+
+  /// The transfer cache of `peer`, created on first use with the default
+  /// byte budget.
+  TransferCache* CacheFor(PeerId peer);
+  /// nullptr when `peer` never cached anything.
+  const TransferCache* FindCache(PeerId peer) const;
+
+  /// Budget applied to caches created after this call.
+  void set_default_byte_budget(uint64_t bytes) { default_budget_ = bytes; }
+  uint64_t default_byte_budget() const { return default_budget_; }
+
+  // --- Copies ---
+
+  /// Records that `landed` — a copy of origin's `name` — materialized at
+  /// `reader`: inserts it into reader's transfer cache and, when the
+  /// reader holds no unrelated document of that name, installs it as a
+  /// local document and advertises it (catalog + generic classes of the
+  /// origin). `snapshot_version` is the origin's version *when the
+  /// content was copied for shipping* — passing the landing-time version
+  /// would brand content cloned before a mid-flight mutation as fresh.
+  /// Returns false without caching when the snapshot is already stale,
+  /// the tree exceeds the cache budget, or the copy is not cacheable.
+  bool InsertCopy(PeerId reader, PeerId origin, const DocName& name,
+                  const TreePtr& landed, uint64_t snapshot_version);
+
+  /// The fresh cached copy of origin's `name` held by `reader`, or
+  /// nullptr. A stale copy is dropped (cache, local document, catalog,
+  /// generic classes) before returning the miss. Counts hit/miss stats.
+  TreePtr LookupFresh(PeerId reader, PeerId origin, const DocName& name);
+
+  /// True when `reader` holds a fresh copy of origin's `name`. No side
+  /// effects and no stats — the cost model probes with this.
+  bool HasFresh(PeerId reader, PeerId origin, const DocName& name) const;
+
+  /// Serialized size of the fresh copy, 0 when absent.
+  uint64_t FreshCopyBytes(PeerId reader, PeerId origin,
+                          const DocName& name) const;
+
+  /// True when document `name` on `peer` is soft replica state (skipped
+  /// by StateFingerprint).
+  bool IsCachedCopy(PeerId peer, const DocName& name) const;
+
+  /// True when `reader` holds a fresh copy of origin's `name` that is
+  /// also *installed* as reader's local document of that name. Only then
+  /// may a rewrite substitute Doc(name, reader) for Doc(name, origin) —
+  /// a cache-only copy (local name taken by an unrelated document or a
+  /// copy from another origin) must not be read by name.
+  bool HasFreshInstalled(PeerId reader, PeerId origin,
+                         const DocName& name) const;
+
+  /// Generic-pick validation hook: a member that is a cached copy must be
+  /// fresh to stay in its class; a stale one is dropped (with all its
+  /// advertisements) and the call returns false. Durable members always
+  /// validate.
+  bool ValidateMember(const std::string& class_name,
+                      const ClassMember& member);
+
+  /// Drops one copy (fresh or stale) with its advertisements; returns
+  /// true when it existed.
+  bool DropCopy(PeerId reader, PeerId origin, const DocName& name);
+  /// Drops every cached copy on every peer (benches reset between runs).
+  void DropAllCopies();
+
+  /// Sum of every peer's cache counters.
+  TransferCacheStats TotalStats() const;
+  void ResetStats();
+
+ private:
+  /// Retracts the local document + catalog + generic-class advertisements
+  /// of the copy `key` held at `reader`. Invoked by the caches' evict
+  /// listeners, so budget evictions retract advertisements too.
+  void RetractAdvertisements(PeerId reader, const ReplicaKey& key);
+
+  AxmlSystem* sys_ = nullptr;
+  uint64_t default_budget_ = TransferCache::kDefaultByteBudget;
+  std::map<PeerId, std::unique_ptr<TransferCache>> caches_;
+  std::map<ReplicaKey, uint64_t> versions_;  ///< key = (owner, name)
+  /// (reader, local doc name) -> origin, for copies installed as local
+  /// documents. Guards against shadowing a reader's own documents and
+  /// lets IsCachedCopy answer without scanning caches.
+  std::map<std::pair<PeerId, DocName>, PeerId> installed_;
+};
+
+}  // namespace axml
+
+#endif  // AXML_REPLICA_REPLICA_MANAGER_H_

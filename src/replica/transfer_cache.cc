@@ -1,0 +1,128 @@
+#include "replica/transfer_cache.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace axml {
+
+std::string ReplicaKey::ToString() const {
+  return StrCat(name, "@", origin.ToString());
+}
+
+std::string TransferCacheStats::ToString() const {
+  return StrCat("hits=", hits, " misses=", misses, " inserts=", inserts,
+                " evictions=", evictions,
+                " invalidations=", invalidations,
+                " bytes_saved=", bytes_saved,
+                " bytes_deduped=", bytes_deduped);
+}
+
+bool TransferCache::Put(const ReplicaKey& key, TreePtr tree,
+                        ContentDigest digest, uint64_t origin_version) {
+  AXML_CHECK(tree != nullptr);
+  const uint64_t bytes = tree->SerializedSize();
+  if (bytes > byte_budget_) return false;
+
+  auto existing = entries_.find(key);
+  if (existing != entries_.end()) {
+    Drop(existing, nullptr);
+  }
+
+  auto [blob_it, fresh_blob] = blobs_.try_emplace(digest);
+  Blob& blob = blob_it->second;
+  if (fresh_blob) {
+    blob.tree = std::move(tree);
+    blob.bytes = bytes;
+    resident_bytes_ += bytes;
+  } else {
+    // Content-addressed sharing: an equal blob is already resident; the
+    // new copy aliases it and costs no additional budget.
+    stats_.bytes_deduped += bytes;
+  }
+  ++blob.refs;
+
+  lru_.push_front(key);
+  Slot slot;
+  slot.entry = Entry{blob.tree, digest, origin_version, blob.bytes};
+  slot.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(slot));
+  ++stats_.inserts;
+
+  EvictToBudget();
+  return entries_.count(key) > 0;
+}
+
+TreePtr TransferCache::Get(const ReplicaKey& key,
+                           uint64_t expected_version) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.entry.origin_version != expected_version) {
+    Drop(it, &stats_.invalidations);
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++stats_.hits;
+  stats_.bytes_saved += it->second.entry.bytes;
+  return it->second.entry.tree;
+}
+
+const TransferCache::Entry* TransferCache::Peek(
+    const ReplicaKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second.entry;
+}
+
+bool TransferCache::Erase(const ReplicaKey& key, bool invalidation) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  Drop(it, invalidation ? &stats_.invalidations : nullptr);
+  return true;
+}
+
+void TransferCache::Clear() {
+  while (!entries_.empty()) {
+    Drop(entries_.begin(), nullptr);
+  }
+}
+
+std::vector<ReplicaKey> TransferCache::KeysWithDigest(
+    const ContentDigest& digest) const {
+  std::vector<ReplicaKey> keys;
+  for (const auto& [key, slot] : entries_) {
+    if (slot.entry.digest == digest) keys.push_back(key);
+  }
+  return keys;
+}
+
+void TransferCache::set_byte_budget(uint64_t budget) {
+  byte_budget_ = budget;
+  EvictToBudget();
+}
+
+void TransferCache::Drop(std::map<ReplicaKey, Slot>::iterator it,
+                         uint64_t* counter) {
+  if (on_evict_) on_evict_(it->first, it->second.entry);
+  auto blob_it = blobs_.find(it->second.entry.digest);
+  AXML_CHECK(blob_it != blobs_.end());
+  if (--blob_it->second.refs == 0) {
+    resident_bytes_ -= blob_it->second.bytes;
+    blobs_.erase(blob_it);
+  }
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  if (counter != nullptr) ++*counter;
+}
+
+void TransferCache::EvictToBudget() {
+  while (resident_bytes_ > byte_budget_ && !lru_.empty()) {
+    auto victim = entries_.find(lru_.back());
+    AXML_CHECK(victim != entries_.end());
+    Drop(victim, &stats_.evictions);
+  }
+}
+
+}  // namespace axml

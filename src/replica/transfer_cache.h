@@ -1,0 +1,161 @@
+// Per-peer transfer cache: a byte-budgeted LRU of materialized remote
+// trees.
+//
+// Rule (13) of the paper materializes a transferred tree as a local copy
+// so it can be read twice; this cache is the runtime home of those
+// copies. Entries are keyed by (origin peer, doc name) — the identity of
+// the remote source — and store the content digest and the origin's
+// document version at copy time, so the ReplicaManager can detect stale
+// copies. Storage is content-addressed: entries whose trees are
+// unordered-equal share one blob, and the byte budget charges each blob
+// once (identical content replicated from several mirrors costs one
+// slot).
+
+#ifndef AXML_REPLICA_TRANSFER_CACHE_H_
+#define AXML_REPLICA_TRANSFER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "replica/digest.h"
+#include "xml/tree.h"
+
+namespace axml {
+
+/// Identity of one cached copy: where the original lives.
+struct ReplicaKey {
+  PeerId origin;
+  DocName name;
+
+  bool operator==(const ReplicaKey&) const = default;
+  bool operator<(const ReplicaKey& o) const {
+    return origin != o.origin ? origin < o.origin : name < o.name;
+  }
+
+  /// "d@p1" for traces.
+  std::string ToString() const;
+};
+
+/// Counters for one cache (benches report these; EXP-4's crossover is
+/// visible in bytes_saved, not just wall clock).
+struct TransferCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;      ///< entries dropped by the byte budget
+  uint64_t invalidations = 0;  ///< entries dropped as stale
+  /// Serialized bytes of hit entries: wire transfers the cache avoided.
+  uint64_t bytes_saved = 0;
+  /// Bytes not stored again because an equal blob was already resident.
+  uint64_t bytes_deduped = 0;
+
+  std::string ToString() const;
+};
+
+/// Byte-budgeted LRU of materialized remote trees with content-addressed
+/// blob sharing. One instance per caching peer (owned by ReplicaManager).
+class TransferCache {
+ public:
+  static constexpr uint64_t kDefaultByteBudget = 4ull << 20;  // 4 MiB
+
+  explicit TransferCache(uint64_t byte_budget = kDefaultByteBudget)
+      : byte_budget_(byte_budget) {}
+
+  TransferCache(const TransferCache&) = delete;
+  TransferCache& operator=(const TransferCache&) = delete;
+
+  /// One cached copy.
+  struct Entry {
+    TreePtr tree;  ///< shared blob (content-equal entries alias one tree)
+    ContentDigest digest;
+    uint64_t origin_version = 0;
+    uint64_t bytes = 0;  ///< serialized size of the blob
+  };
+
+  /// Called just before an entry leaves the cache (eviction, staleness
+  /// drop, or overwrite), so the owner can retract advertisements.
+  using EvictListener = std::function<void(const ReplicaKey&, const Entry&)>;
+  void set_evict_listener(EvictListener fn) { on_evict_ = std::move(fn); }
+
+  /// Inserts (or overwrites) the copy for `key`, evicting LRU entries
+  /// until the budget holds. Returns false — and caches nothing — when
+  /// the tree alone exceeds the budget. A blob equal to an already
+  /// resident one is shared, not stored twice.
+  bool Put(const ReplicaKey& key, TreePtr tree, ContentDigest digest,
+           uint64_t origin_version);
+
+  /// The cached copy for `key` iff present *and* its origin_version
+  /// equals `expected_version`; refreshes LRU and counts a hit. A present
+  /// but stale entry is dropped (invalidation) and counts a miss, as does
+  /// an absent key. Returns nullptr on miss.
+  TreePtr Get(const ReplicaKey& key, uint64_t expected_version);
+
+  /// Read-only view with no LRU or stats side effects; nullptr if absent.
+  const Entry* Peek(const ReplicaKey& key) const;
+
+  /// Drops `key`; `invalidation` selects which counter the drop charges.
+  /// Returns true when the entry existed.
+  bool Erase(const ReplicaKey& key, bool invalidation = false);
+
+  /// Drops everything (budget and stats are kept).
+  void Clear();
+
+  /// Keys whose entries share `digest`'s blob (used when a blob is about
+  /// to be mutated in place and every alias must go).
+  std::vector<ReplicaKey> KeysWithDigest(const ContentDigest& digest) const;
+
+  size_t entry_count() const { return entries_.size(); }
+  /// Distinct blobs resident (dedup makes this <= entry_count()).
+  size_t blob_count() const { return blobs_.size(); }
+  /// Unique blob bytes currently held.
+  uint64_t resident_bytes() const { return resident_bytes_; }
+
+  uint64_t byte_budget() const { return byte_budget_; }
+  /// Shrinking the budget evicts immediately.
+  void set_byte_budget(uint64_t budget);
+
+  const TransferCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TransferCacheStats{}; }
+
+  /// Counts a transfer avoided by joining an in-flight copy (the
+  /// evaluator's read coalescing); the copy itself is recorded by the
+  /// Put that follows the landing.
+  void RecordCoalescedHit(uint64_t bytes) {
+    ++stats_.hits;
+    stats_.bytes_saved += bytes;
+  }
+
+ private:
+  struct Blob {
+    TreePtr tree;
+    uint64_t bytes = 0;
+    uint32_t refs = 0;
+  };
+  struct Slot {
+    Entry entry;
+    std::list<ReplicaKey>::iterator lru_pos;
+  };
+
+  /// Unlinks `it`'s entry, releasing its blob reference. Runs the evict
+  /// listener first.
+  void Drop(std::map<ReplicaKey, Slot>::iterator it, uint64_t* counter);
+  /// Evicts LRU entries until resident_bytes_ <= byte_budget_.
+  void EvictToBudget();
+
+  uint64_t byte_budget_;
+  std::map<ReplicaKey, Slot> entries_;
+  std::map<ContentDigest, Blob> blobs_;
+  std::list<ReplicaKey> lru_;  ///< front = most recently used
+  uint64_t resident_bytes_ = 0;
+  TransferCacheStats stats_;
+  EvictListener on_evict_;
+};
+
+}  // namespace axml
+
+#endif  // AXML_REPLICA_TRANSFER_CACHE_H_

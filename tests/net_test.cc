@@ -303,5 +303,38 @@ TEST_F(CatalogKindTest, UnregisterRemovesHolder) {
   EXPECT_GT(miss.messages, 0u);
 }
 
+TEST_F(CatalogKindTest, RegisterUnregisterRoundTrips) {
+  Network net(&loop_, Topology(LinkParams{0.010, 1e6}));
+  // The round-trip contract is implementation-independent; check it on
+  // all three catalog structures.
+  CentralCatalog central(PeerId(0));
+  DhtCatalog dht;
+  FloodCatalog flood;
+  for (Catalog* cat :
+       std::initializer_list<Catalog*>{&central, &dht, &flood}) {
+    cat->set_peer_count(4);
+    EXPECT_FALSE(cat->IsAdvertised(ResourceKind::kDocument, "d", PeerId(1)));
+    cat->Register(ResourceKind::kDocument, "d", PeerId(1));
+    EXPECT_TRUE(cat->IsAdvertised(ResourceKind::kDocument, "d", PeerId(1)));
+    EXPECT_EQ(cat->HolderCount(ResourceKind::kDocument, "d"), 1u);
+    // Registration is idempotent.
+    cat->Register(ResourceKind::kDocument, "d", PeerId(1));
+    EXPECT_EQ(cat->HolderCount(ResourceKind::kDocument, "d"), 1u);
+    // Document and service namespaces are disjoint.
+    EXPECT_FALSE(cat->IsAdvertised(ResourceKind::kService, "d", PeerId(1)));
+    LookupResult r =
+        cat->LookupNow(ResourceKind::kDocument, "d", PeerId(2), net);
+    ASSERT_EQ(r.holders.size(), 1u);
+    EXPECT_EQ(r.holders[0], PeerId(1));
+    cat->Unregister(ResourceKind::kDocument, "d", PeerId(1));
+    EXPECT_FALSE(cat->IsAdvertised(ResourceKind::kDocument, "d", PeerId(1)));
+    EXPECT_EQ(cat->HolderCount(ResourceKind::kDocument, "d"), 0u);
+    // Unregistering an absent holder is a no-op.
+    cat->Unregister(ResourceKind::kDocument, "d", PeerId(1));
+    EXPECT_TRUE(cat->LookupNow(ResourceKind::kDocument, "d", PeerId(2), net)
+                    .holders.empty());
+  }
+}
+
 }  // namespace
 }  // namespace axml

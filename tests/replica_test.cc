@@ -1,0 +1,601 @@
+// Tests for the replica & transfer-cache subsystem (src/replica/):
+// content digests, the byte-budgeted LRU with blob dedup, versioned
+// invalidation wired through Peer mutations, catalog-advertised copies
+// serving d@any, and the cache-aware optimizer integration.
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "net/catalog.h"
+#include "opt/optimizer.h"
+#include "replica/digest.h"
+#include "replica/replica_manager.h"
+#include "replica/transfer_cache.h"
+#include "test_util.h"
+#include "xml/tree_equal.h"
+
+namespace axml {
+namespace {
+
+using testing::MakeCatalog;
+using testing::ResultsEqual;
+
+TreePtr Leafy(const char* label, const char* text, NodeIdGen* gen) {
+  return MakeTextElement(label, text, gen);
+}
+
+// --- ContentDigest ---
+
+TEST(DigestTest, UnorderedEqualTreesDigestEqual) {
+  NodeIdGen g1, g2;
+  TreePtr a = MakeElement("r", {Leafy("x", "1", &g1), Leafy("y", "2", &g1)},
+                          &g1);
+  // Same content, different sibling order and different node ids.
+  TreePtr b = MakeElement("r", {Leafy("y", "2", &g2), Leafy("x", "1", &g2)},
+                          &g2);
+  EXPECT_EQ(DigestOf(*a), DigestOf(*b));
+  EXPECT_EQ(DigestOf(*a).ToString(), DigestOf(*b).ToString());
+}
+
+TEST(DigestTest, DifferentContentDigestsDiffer) {
+  NodeIdGen gen;
+  TreePtr a = Leafy("x", "1", &gen);
+  TreePtr b = Leafy("x", "2", &gen);
+  EXPECT_NE(DigestOf(*a), DigestOf(*b));
+}
+
+// --- TransferCache (unit) ---
+
+TEST(TransferCacheTest, HitAfterPutAndVersionedInvalidation) {
+  TransferCache cache(1 << 20);
+  NodeIdGen gen;
+  TreePtr t = Leafy("d", "payload", &gen);
+  ReplicaKey key{PeerId(1), "d"};
+  ASSERT_TRUE(cache.Put(key, t, DigestOf(*t), /*origin_version=*/3));
+
+  EXPECT_EQ(cache.Get(key, 3), t);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().bytes_saved, t->SerializedSize());
+
+  // A version bump at the origin makes the copy stale: dropped on lookup.
+  EXPECT_EQ(cache.Get(key, 4), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+TEST(TransferCacheTest, LruEvictsAtByteBudget) {
+  NodeIdGen gen;
+  Rng rng(7);
+  TreePtr t1 = MakeCatalog(8, &gen, &rng);
+  TreePtr t2 = MakeCatalog(8, &gen, &rng);
+  TreePtr t3 = MakeCatalog(8, &gen, &rng);
+  // Budget holds two catalogs but not three.
+  TransferCache cache(t1->SerializedSize() + t2->SerializedSize() +
+                      t3->SerializedSize() / 2);
+
+  ReplicaKey k1{PeerId(1), "d1"}, k2{PeerId(1), "d2"}, k3{PeerId(1), "d3"};
+  ASSERT_TRUE(cache.Put(k1, t1, DigestOf(*t1), 1));
+  ASSERT_TRUE(cache.Put(k2, t2, DigestOf(*t2), 1));
+  // Touch k1 so k2 becomes least recently used.
+  EXPECT_NE(cache.Get(k1, 1), nullptr);
+  ASSERT_TRUE(cache.Put(k3, t3, DigestOf(*t3), 1));
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Peek(k1), nullptr);
+  EXPECT_EQ(cache.Peek(k2), nullptr);  // the LRU victim
+  EXPECT_NE(cache.Peek(k3), nullptr);
+  EXPECT_LE(cache.resident_bytes(), cache.byte_budget());
+}
+
+TEST(TransferCacheTest, OverBudgetTreeIsRefused) {
+  NodeIdGen gen;
+  Rng rng(7);
+  TreePtr big = MakeCatalog(64, &gen, &rng);
+  TransferCache cache(big->SerializedSize() - 1);
+  EXPECT_FALSE(
+      cache.Put(ReplicaKey{PeerId(0), "big"}, big, DigestOf(*big), 1));
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(TransferCacheTest, IdenticalContentSharesOneBlob) {
+  NodeIdGen g1, g2;
+  Rng r1(42), r2(42);  // same seed -> identical content, fresh node ids
+  TreePtr a = MakeCatalog(16, &g1, &r1);
+  TreePtr b = MakeCatalog(16, &g2, &r2);
+  ASSERT_TRUE(TreesEqualUnordered(*a, *b));
+
+  TransferCache cache(1 << 20);
+  cache.Put(ReplicaKey{PeerId(1), "d"}, a, DigestOf(*a), 1);
+  cache.Put(ReplicaKey{PeerId(2), "d"}, b, DigestOf(*b), 1);
+
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.blob_count(), 1u);  // content-addressed: one stored blob
+  EXPECT_EQ(cache.resident_bytes(), a->SerializedSize());
+  EXPECT_EQ(cache.stats().bytes_deduped, b->SerializedSize());
+  // Both keys serve the shared blob.
+  EXPECT_EQ(cache.Get(ReplicaKey{PeerId(1), "d"}, 1),
+            cache.Get(ReplicaKey{PeerId(2), "d"}, 1));
+}
+
+TEST(TransferCacheTest, ShrinkingBudgetEvictsImmediately) {
+  NodeIdGen gen;
+  Rng rng(7);
+  TransferCache cache(1 << 20);
+  for (int i = 0; i < 4; ++i) {
+    TreePtr t = MakeCatalog(8, &gen, &rng);
+    cache.Put(ReplicaKey{PeerId(1), StrCat("d", i)}, t, DigestOf(*t), 1);
+  }
+  ASSERT_EQ(cache.entry_count(), 4u);
+  cache.set_byte_budget(1);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+}
+
+// --- ReplicaManager + evaluator integration ---
+
+struct TwoPeers {
+  AxmlSystem sys{Topology(LinkParams{0.050, 1.0e6})};
+  PeerId origin, client;
+  Query q;
+
+  explicit TwoPeers(size_t n_products = 32) {
+    origin = sys.AddPeer("origin");
+    client = sys.AddPeer("client");
+    Rng rng(13);
+    TreePtr t = MakeCatalog(n_products, sys.peer(origin)->gen(), &rng);
+    EXPECT_TRUE(sys.InstallDocument(origin, "d", t).ok());
+    q = Query::Parse(
+            "for $p in input(0)/catalog/product "
+            "where $p/price < 900 return <r>{ $p/name }</r>")
+            .value();
+  }
+
+  ExprPtr Read() const {
+    return Expr::Apply(q, client, {Expr::Doc("d", origin)});
+  }
+};
+
+EvalOptions CachingOptions() {
+  EvalOptions opts;
+  opts.use_replica_cache = true;
+  return opts;
+}
+
+TEST(ReplicaManagerTest, RepeatedReadHitsCacheAndSkipsTheWire) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+
+  f.sys.network().mutable_stats()->Reset();
+  auto first = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(f.sys.network().stats().remote_bytes(), 0u);
+
+  // The transfer materialized a copy: advertised in the catalog and
+  // installed as a local document.
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+  EXPECT_TRUE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_TRUE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                            f.client));
+  EXPECT_TRUE(f.sys.peer(f.client)->HasDocument("d"));
+
+  // The second read is served locally: zero data bytes on the wire.
+  f.sys.network().mutable_stats()->Reset();
+  auto second = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(f.sys.network().stats().remote_bytes(), 0u);
+  EXPECT_TRUE(ResultsEqual(first->results, second->results));
+
+  const TransferCache* cache = f.sys.replicas().FindCache(f.client);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().misses, 1u);
+  EXPECT_GT(cache->stats().bytes_saved, 0u);
+}
+
+TEST(ReplicaManagerTest, ConcurrentReadsOfOneSourceCoalesceToOneTransfer) {
+  TwoPeers f;
+  Query join = Query::Parse(
+                   "for $a in input(0)/catalog/product "
+                   "for $b in input(1)/catalog/product "
+                   "where $a/name = $b/name and $a/price < 500 "
+                   "return <m>{ $a/name }</m>")
+                   .value();
+  ExprPtr shared = Expr::Doc("d", f.origin);
+  ExprPtr e = Expr::Apply(join, f.client, {shared, shared});
+
+  // Baseline: both inputs transfer.
+  Evaluator plain(&f.sys);
+  f.sys.network().mutable_stats()->Reset();
+  auto base = plain.Eval(f.client, e);
+  ASSERT_TRUE(base.ok());
+  const uint64_t both = f.sys.network().stats().remote_bytes();
+
+  // Replica-aware: the second read joins the first's in-flight transfer —
+  // rule (13)'s savings without the materialization step or the lost
+  // parallelism.
+  Evaluator caching(&f.sys, CachingOptions());
+  f.sys.replicas().DropAllCopies();
+  f.sys.network().mutable_stats()->Reset();
+  auto coalesced = caching.Eval(f.client, e);
+  ASSERT_TRUE(coalesced.ok());
+  EXPECT_EQ(f.sys.network().stats().remote_bytes(), both / 2);
+  EXPECT_TRUE(ResultsEqual(base->results, coalesced->results));
+
+  const TransferCache* cache = f.sys.replicas().FindCache(f.client);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->stats().hits, 1u);  // the coalesced reader
+  EXPECT_GT(cache->stats().bytes_saved, 0u);
+}
+
+TEST(ReplicaManagerTest, OriginMutationInvalidatesOnNextLookup) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+
+  // Rewrite the document at the origin: the version bumps, the copy
+  // goes stale.
+  Rng rng(99);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(8, f.sys.peer(f.origin)->gen(), &rng));
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+
+  // The next read drops the stale copy and transfers the new content.
+  f.sys.network().mutable_stats()->Reset();
+  auto fresh = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(f.sys.network().stats().remote_bytes(), 0u);
+  EXPECT_LE(fresh->results.size(), 8u);  // the new, smaller document
+
+  const TransferCache* cache = f.sys.replicas().FindCache(f.client);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->stats().invalidations, 1u);
+  // Re-cached at the new version.
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+}
+
+TEST(ReplicaManagerTest, AppendUnderNodeBumpsTheVersionToo) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+
+  Peer* origin = f.sys.peer(f.origin);
+  NodeId root_id = origin->GetDocument("d")->id();
+  ASSERT_TRUE(origin
+                  ->AppendUnderNode(root_id,
+                                    Leafy("product", "late", origin->gen()))
+                  .ok());
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+}
+
+TEST(ReplicaManagerTest, StaleDropRetractsAllAdvertisements) {
+  TwoPeers f;
+  f.sys.generics().AddDocumentMember("ed", ClassMember{"d", f.origin});
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+
+  // The copy joined the origin's equivalence class.
+  const auto* members = f.sys.generics().DocumentMembers("ed");
+  ASSERT_NE(members, nullptr);
+  EXPECT_EQ(members->size(), 2u);
+
+  // Stale it, then force the drop via a lookup.
+  Rng rng(5);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(4, f.sys.peer(f.origin)->gen(), &rng));
+  EXPECT_EQ(f.sys.replicas().LookupFresh(f.client, f.origin, "d"), nullptr);
+
+  EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_FALSE(f.sys.peer(f.client)->HasDocument("d"));
+  EXPECT_FALSE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                             f.client));
+  members = f.sys.generics().DocumentMembers("ed");
+  ASSERT_NE(members, nullptr);
+  EXPECT_EQ(members->size(), 1u);  // only the durable origin remains
+}
+
+TEST(ReplicaManagerTest, LruEvictionRetractsAdvertisements) {
+  TwoPeers f;
+  Rng rng(21);
+  TreePtr second = MakeCatalog(32, f.sys.peer(f.origin)->gen(), &rng);
+  ASSERT_TRUE(f.sys.InstallDocument(f.origin, "d2", second).ok());
+  // Budget fits one catalog only; set before the client's cache exists.
+  f.sys.replicas().set_default_byte_budget(second->SerializedSize() + 64);
+
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+
+  ExprPtr read2 = Expr::Apply(f.q, f.client, {Expr::Doc("d2", f.origin)});
+  ASSERT_TRUE(ev.Eval(f.client, read2).ok());
+
+  // Caching d2 evicted d over the byte budget; its advertisements went
+  // with it.
+  EXPECT_TRUE(f.sys.replicas().IsCachedCopy(f.client, "d2"));
+  EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_FALSE(f.sys.peer(f.client)->HasDocument("d"));
+  EXPECT_FALSE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                             f.client));
+}
+
+TEST(ReplicaManagerTest, MidFlightMutationIsNotCachedAsFresh) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Deploy(f.client, f.Read(), [](TreePtr) {}).ok());
+  // The origin rewrites the document while the copy is on the wire
+  // (link latency is 50ms; fire mid-transfer).
+  f.sys.loop().ScheduleAfter(0.001, [&f] {
+    Rng rng(55);
+    f.sys.peer(f.origin)->PutDocument(
+        "d", MakeCatalog(4, f.sys.peer(f.origin)->gen(), &rng));
+  });
+  ev.RunToQuiescence();
+  // The landed tree is a pre-mutation snapshot; it must not be branded
+  // fresh at the post-mutation version.
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+  EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+}
+
+TEST(ReplicaManagerTest, RemovingAnInstalledCopyRetractsTheCatalogEntry) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                            f.client));
+
+  // Client code removes the installed copy directly: no phantom holder
+  // may stay behind in the catalog.
+  ASSERT_TRUE(f.sys.peer(f.client)->RemoveDocument("d").ok());
+  EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_FALSE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                             f.client));
+}
+
+TEST(ReplicaManagerTest, CacheBlobIsIsolatedFromTheInstalledDocument) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  TreePtr blob = f.sys.replicas().LookupFresh(f.client, f.origin, "d");
+  ASSERT_NE(blob, nullptr);
+  const std::string pristine = CanonicalForm(*blob);
+
+  // Mutate the installed document's tree directly (no listener fires for
+  // raw tree edits): the content-addressed blob must be unaffected.
+  TreePtr installed = f.sys.peer(f.client)->GetDocument("d");
+  ASSERT_NE(installed, nullptr);
+  EXPECT_NE(installed, blob);
+  installed->AddChild(
+      Leafy("graffiti", "x", f.sys.peer(f.client)->gen()));
+  EXPECT_EQ(CanonicalForm(
+                *f.sys.replicas().LookupFresh(f.client, f.origin, "d")),
+            pristine);
+}
+
+TEST(ReplicaManagerTest, DurableWriteOntoCopySlotPromotesIt) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+
+  // The client writes its own document over the copy's name: the slot is
+  // promoted — the document stays, the cache entry goes.
+  Peer* client = f.sys.peer(f.client);
+  TreePtr own = Leafy("mine", "1", client->gen());
+  client->PutDocument("d", own);
+
+  EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_EQ(client->GetDocument("d"), own);
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+}
+
+// --- d@any routed to the nearest fresh replica ---
+
+struct GenericFixture {
+  AxmlSystem sys{Topology(LinkParams{0.080, 5.0e5})};  // slow WAN
+  PeerId origin, client;
+  Query q;
+
+  GenericFixture() {
+    origin = sys.AddPeer("origin");
+    client = sys.AddPeer("client");
+    Rng rng(13);
+    TreePtr t = MakeCatalog(24, sys.peer(origin)->gen(), &rng);
+    EXPECT_TRUE(sys.InstallReplicatedDocument("ed", "d", t, {origin}).ok());
+    q = Query::Parse(
+            "for $p in input(0)/catalog/product "
+            "where $p/price < 900 return <r>{ $p/name }</r>")
+            .value();
+  }
+
+  ExprPtr ReadAny() const {
+    return Expr::Apply(q, client, {Expr::GenericDoc("ed")});
+  }
+};
+
+TEST(GenericReplicaTest, DAnyResolvesToFreshLocalCopyForZeroBytes) {
+  GenericFixture f;
+  EvalOptions opts = CachingOptions();
+  opts.pick_policy = PickPolicy::kCacheAware;
+  Evaluator ev(&f.sys, opts);
+
+  // Cold read: the only member is the origin; the transfer caches and
+  // advertises a copy at the client.
+  auto cold = ev.Eval(f.client, f.ReadAny());
+  ASSERT_TRUE(cold.ok());
+  const auto* members = f.sys.generics().DocumentMembers("ed");
+  ASSERT_NE(members, nullptr);
+  ASSERT_EQ(members->size(), 2u);
+
+  // Warm read: the pick routes to the co-located fresh copy; no data
+  // bytes cross the wire (discovery is control traffic, counted apart).
+  f.sys.network().mutable_stats()->Reset();
+  auto warm = ev.Eval(f.client, f.ReadAny());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(f.sys.network().stats().remote_bytes(), 0u);
+  EXPECT_TRUE(ResultsEqual(cold->results, warm->results));
+}
+
+TEST(GenericReplicaTest, StaleReplicaIsSweptOutOfTheClassOnPick) {
+  GenericFixture f;
+  EvalOptions opts = CachingOptions();
+  opts.pick_policy = PickPolicy::kCacheAware;
+  Evaluator ev(&f.sys, opts);
+  ASSERT_TRUE(ev.Eval(f.client, f.ReadAny()).ok());
+  ASSERT_EQ(f.sys.generics().DocumentMembers("ed")->size(), 2u);
+
+  // Mutate the origin; the client's advertised copy is now a lie.
+  Rng rng(3);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(6, f.sys.peer(f.origin)->gen(), &rng));
+
+  // The next d@any read sweeps the stale member during the pick and
+  // falls back to the origin — results reflect the new content.
+  f.sys.network().mutable_stats()->Reset();
+  auto fresh = ev.Eval(f.client, f.ReadAny());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(f.sys.network().stats().remote_bytes(), 0u);
+  EXPECT_LE(fresh->results.size(), 6u);
+  // The re-transfer re-advertised a fresh copy.
+  EXPECT_EQ(f.sys.generics().DocumentMembers("ed")->size(), 2u);
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+}
+
+TEST(GenericReplicaTest, FingerprintUnchangedByCachingAndInvalidation) {
+  // Two identical systems; only one routes reads through the replica
+  // cache. Σ-fingerprints must agree at every step: cached copies are
+  // soft state.
+  GenericFixture cached, plain;
+  EvalOptions copts = CachingOptions();
+  copts.pick_policy = PickPolicy::kCacheAware;
+  Evaluator cev(&cached.sys, copts);
+  Evaluator pev(&plain.sys, EvalOptions{});
+
+  ASSERT_TRUE(cev.Eval(cached.client, cached.ReadAny()).ok());
+  ASSERT_TRUE(pev.Eval(plain.client, plain.ReadAny()).ok());
+  EXPECT_EQ(cached.sys.StateFingerprint(), plain.sys.StateFingerprint());
+
+  // Same durable mutation on both; the cached system invalidates on its
+  // next read. Fingerprints stay in lockstep.
+  Rng r1(77), r2(77);
+  cached.sys.peer(cached.origin)
+      ->PutDocument("d", MakeCatalog(10, cached.sys.peer(cached.origin)->gen(),
+                                     &r1));
+  plain.sys.peer(plain.origin)
+      ->PutDocument("d", MakeCatalog(10, plain.sys.peer(plain.origin)->gen(),
+                                     &r2));
+  EXPECT_EQ(cached.sys.StateFingerprint(), plain.sys.StateFingerprint());
+
+  ASSERT_TRUE(cev.Eval(cached.client, cached.ReadAny()).ok());
+  ASSERT_TRUE(pev.Eval(plain.client, plain.ReadAny()).ok());
+  EXPECT_EQ(cached.sys.StateFingerprint(), plain.sys.StateFingerprint());
+}
+
+// --- Optimizer integration ---
+
+TEST(ReplicaOptimizerTest, CostModelChargesZeroWireBytesForFreshCopy) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  CostModel cache_aware(&f.sys, /*assume_replica_cache=*/true);
+  CostModel plain(&f.sys);
+
+  ExprPtr read = f.Read();
+  CostEstimate before = cache_aware.Estimate(f.client, read);
+  EXPECT_GT(before.remote_bytes, 0.0);
+
+  ASSERT_TRUE(ev.Eval(f.client, read).ok());  // warm the cache
+  CostEstimate after = cache_aware.Estimate(f.client, read);
+  EXPECT_EQ(after.remote_bytes, 0.0);
+  EXPECT_LT(after.time_s, before.time_s);
+
+  // The default model prices for a default evaluator, which will pay
+  // the transfer no matter what the cache holds.
+  CostEstimate conservative = plain.Estimate(f.client, read);
+  EXPECT_GT(conservative.remote_bytes, 0.0);
+}
+
+TEST(ReplicaOptimizerTest, Rule13ReadsTheCopyInsteadOfMaterializing) {
+  TwoPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  Query join = Query::Parse(
+                   "for $a in input(0)/catalog/product "
+                   "for $b in input(1)/catalog/product "
+                   "where $a/name = $b/name and $a/price < 500 "
+                   "return <m>{ $a/name }</m>")
+                   .value();
+  ExprPtr shared = Expr::Doc("d", f.origin);
+  ExprPtr e = Expr::Apply(join, f.client, {shared, shared});
+
+  // Cold: the optimizer may or may not materialize (cost decides), but
+  // the chosen plan costs wire bytes.
+  Optimizer cold_opt(&f.sys);
+  OptimizedPlan cold = cold_opt.Optimize(f.client, e);
+  EXPECT_GT(cold.cost.remote_bytes, 0.0);
+
+  // Warm the cache, re-optimize: rule (13) proposes reading the
+  // advertised local copy, which is strictly cheaper than transferring
+  // twice, so the optimizer *selects* it — and the plan stays cheap on
+  // a default evaluator (it names the copy explicitly).
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  Optimizer warm_opt(&f.sys);
+  OptimizedPlan warm = warm_opt.Optimize(f.client, e);
+  EXPECT_EQ(warm.cost.remote_bytes, 0.0);
+  ASSERT_FALSE(warm.rules_applied.empty());
+  EXPECT_EQ(warm.rules_applied.front(), std::string("transfer-cache(13)"));
+  ASSERT_EQ(warm.expr->kind(), Expr::Kind::kApply);
+  for (const ExprPtr& arg : warm.expr->args()) {
+    EXPECT_EQ(arg->kind(), Expr::Kind::kDoc);
+    EXPECT_EQ(arg->doc_peer(), f.client);
+  }
+  const ExprPtr cached_read = warm.expr;
+
+  // The proposal is equivalent — and needs no replica-aware evaluator:
+  // the copy is a real document at the client.
+  Evaluator plain(&f.sys);
+  auto base = plain.Eval(f.client, e);
+  auto best = plain.Eval(f.client, cached_read);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(best.ok());
+  EXPECT_TRUE(ResultsEqual(base->results, best->results));
+}
+
+TEST(ReplicaOptimizerTest, Rule13NeverRewritesToAShadowedName) {
+  // The client owns its own document "d" (unrelated content), so the
+  // remote copy is cache-only — never installed under the local name.
+  // Rewriting Doc(d, origin) -> Doc(d, client) would silently read the
+  // wrong document; the rule must not propose it.
+  TwoPeers f;
+  Peer* client = f.sys.peer(f.client);
+  client->PutDocument("d", Leafy("mine", "not-the-catalog", client->gen()));
+
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  // Cached (repeated reads are still served)...
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+  // ...but not installed: the local name belongs to the client's own doc.
+  EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_FALSE(
+      f.sys.replicas().HasFreshInstalled(f.client, f.origin, "d"));
+
+  CostModel cost(&f.sys);
+  uint64_t names = 0;
+  RewriteContext ctx{&f.sys, &cost, &names};
+  std::vector<ExprPtr> proposals;
+  ExprPtr shared = Expr::Doc("d", f.origin);
+  MakeTransferCacheRule()->Propose(f.client,
+                                   Expr::Apply(f.q, f.client, {shared}),
+                                   &ctx, &proposals);
+  for (const ExprPtr& p : proposals) {
+    for (const ExprPtr& arg : p->args()) {
+      if (arg->kind() == Expr::Kind::kDoc) {
+        EXPECT_NE(arg->doc_peer(), f.client)
+            << "rewrite reads the client's unrelated \"d\"";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axml
