@@ -1,0 +1,141 @@
+// Push-based replica refresh on a write-heavy workload.
+//
+// Claim under test: lazy invalidation (drop-on-lookup) leaves stale
+// advertisements live between a mutation and the next read and puts the
+// whole re-transfer on the read path; push-based refresh retracts at
+// mutation time for the price of one small notification per holder, and
+// eager refresh additionally moves the re-transfer off the read path
+// entirely — reads stay local no matter how often the origin writes.
+//
+// Workload: one origin, several reader peers, all holding cached copies.
+// Each round mutates the document at the origin, then every reader runs
+// the query again. Sweep: document size.
+//
+// Strategies (RefreshPolicy):
+//   Lazy         — PR 1 baseline: stale copies dropped on their next
+//                  lookup; every post-write read pays the transfer.
+//   PushDrop     — holders retract at mutation time (coherent catalog);
+//                  reads still re-pull on demand.
+//   EagerRefresh — the origin ships the new version on mutation; reads
+//                  hit the re-materialized copy locally.
+//
+// Beyond the standard counters, each benchmark reports notify traffic
+// (notify_msgs / notify_KB), push shipments (refresh_KB), and cache
+// hits, so the lazy-vs-push cost split is visible: Lazy and PushDrop
+// move the same data bytes, PushDrop adds notify_KB but never serves a
+// stale advertisement, EagerRefresh converts read-path misses into
+// cache_hits at the same wire volume.
+
+#include "bench_common.h"
+
+namespace axml {
+namespace {
+
+constexpr int kReaders = 3;
+constexpr int kWriteRounds = 6;
+
+struct Setup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId origin;
+  std::vector<PeerId> readers;
+  Query q;
+};
+
+Setup Build(int64_t n_products) {
+  Setup s;
+  s.sys = std::make_unique<AxmlSystem>(Topology(LinkParams{0.040, 2.0e6}));
+  s.origin = s.sys->AddPeer("origin");
+  for (int i = 0; i < kReaders; ++i) {
+    s.readers.push_back(s.sys->AddPeer(StrCat("r", i)));
+  }
+  Rng rng(13);
+  TreePtr t = bench::MakeCatalog(static_cast<size_t>(n_products),
+                                 s.sys->peer(s.origin)->gen(), &rng);
+  (void)s.sys->InstallDocument(s.origin, "d", t);
+  s.q = Query::Parse(
+            "for $p in input(0)/catalog/product "
+            "where $p/price < 900 return <r>{ $p/name }</r>")
+            .value();
+  return s;
+}
+
+void RunWriteHeavy(benchmark::State& state, RefreshPolicy policy) {
+  Setup s = Build(state.range(0));
+  s.sys->replicas().set_refresh_policy(policy);
+  EvalOptions opts;
+  opts.use_replica_cache = true;
+  Evaluator ev(s.sys.get(), opts);
+  Rng mut_rng(99);
+
+  for (auto _ : state) {
+    s.sys->replicas().DropAllCopies();
+    s.sys->replicas().ResetStats();
+    s.sys->network().mutable_stats()->Reset();
+    const SimTime t0 = s.sys->loop().now();
+    size_t results = 0;
+
+    auto read_all = [&] {
+      for (PeerId r : s.readers) {
+        auto out =
+            ev.Eval(r, Expr::Apply(s.q, r, {Expr::Doc("d", s.origin)}));
+        if (!out.ok()) {
+          state.SkipWithError(out.status().ToString().c_str());
+          return false;
+        }
+        results += out->results.size();
+      }
+      return true;
+    };
+
+    if (!read_all()) return;  // warm: every reader holds a copy
+    for (int round = 0; round < kWriteRounds; ++round) {
+      Peer* origin = s.sys->peer(s.origin);
+      origin->PutDocument(
+          "d", bench::MakeCatalog(static_cast<size_t>(state.range(0)),
+                                  origin->gen(), &mut_rng));
+      // Push shipments (and pending notifies) land before the reads —
+      // the write-path cost the push policies pay so reads stay local.
+      s.sys->RunToQuiescence();
+      if (!read_all()) return;
+    }
+
+    bench::RecordStandardCounters(state, s.sys.get(), t0, results);
+    const TransferCacheStats cs = s.sys->replicas().TotalStats();
+    const SubscriptionStats& ss = s.sys->replicas().subscription_stats();
+    const NetStats& ns = s.sys->network().stats();
+    state.counters["cache_hits"] = static_cast<double>(cs.hits);
+    state.counters["notify_msgs"] = static_cast<double>(ns.notify_messages());
+    state.counters["notify_KB"] =
+        static_cast<double>(ns.notify_bytes()) / 1024.0;
+    state.counters["refresh_KB"] =
+        static_cast<double>(ss.refresh_bytes) / 1024.0;
+  }
+}
+
+void BM_PushRefresh_Lazy(benchmark::State& state) {
+  RunWriteHeavy(state, RefreshPolicy::kLazy);
+}
+
+void BM_PushRefresh_PushDrop(benchmark::State& state) {
+  RunWriteHeavy(state, RefreshPolicy::kDrop);
+}
+
+void BM_PushRefresh_EagerRefresh(benchmark::State& state) {
+  RunWriteHeavy(state, RefreshPolicy::kEagerRefresh);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {8, 64, 512}) {
+    b->Args({n});
+  }
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_PushRefresh_Lazy)->Apply(Sweep);
+BENCHMARK(BM_PushRefresh_PushDrop)->Apply(Sweep);
+BENCHMARK(BM_PushRefresh_EagerRefresh)->Apply(Sweep);
+
+}  // namespace
+}  // namespace axml
+
+BENCHMARK_MAIN();

@@ -282,6 +282,20 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
       flight->second.push_back(std::move(emit));
       return;
     }
+    // An eager-refresh shipment of this very document is already on the
+    // wire (the origin pushed after a mutation): starting our own
+    // transfer would ship the same bytes twice. Wait for the push to
+    // land, then retry the read — it hits the re-materialized copy, or
+    // falls through to the wire if the shipment was canceled.
+    if (sys_->replicas().IsRefreshInFlight(ctx, owner, doc_name)) {
+      Trace(StrCat("replica-refresh-wait ", doc_name, "@",
+                   owner.ToString(), " read at ", ctx.ToString(),
+                   " joins in-flight push refresh"));
+      AtQuiescence([this, ctx, e, emit = std::move(emit)]() mutable {
+        DeployExpr(ctx, e, std::move(emit));
+      });
+      return;
+    }
     inflight_.emplace(std::make_tuple(ctx, owner, doc_name),
                       std::vector<EmitFn>{});
   }

@@ -21,6 +21,12 @@ void NetStats::RecordControl(uint64_t messages, uint64_t bytes) {
   control_bytes_ += bytes;
 }
 
+void NetStats::RecordNotify(PeerId from, PeerId to, uint64_t bytes) {
+  Record(from, to, bytes);
+  ++notify_messages_;
+  notify_bytes_ += bytes;
+}
+
 void NetStats::Reset() { *this = NetStats(); }
 
 PairStats NetStats::Pair(PeerId from, PeerId to) const {
@@ -33,7 +39,9 @@ std::string NetStats::ToString() const {
                 " remote_messages=", remote_messages_,
                 " remote_bytes=", remote_bytes_,
                 " control_messages=", control_messages_,
-                " control_bytes=", control_bytes_);
+                " control_bytes=", control_bytes_,
+                " notify_messages=", notify_messages_,
+                " notify_bytes=", notify_bytes_);
 }
 
 }  // namespace axml

@@ -27,12 +27,18 @@ class NetStats {
   /// Charges abstract control traffic (catalog lookups etc.) that is not
   /// tied to a single link.
   void RecordControl(uint64_t messages, uint64_t bytes);
+  /// Records a replica-invalidation notification (origin -> copy
+  /// holder): counted like any link message *and* tallied apart, so the
+  /// push-refresh benches can report notify traffic next to data bytes.
+  void RecordNotify(PeerId from, PeerId to, uint64_t bytes);
   void Reset();
 
   uint64_t total_messages() const { return total_messages_; }
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t control_messages() const { return control_messages_; }
   uint64_t control_bytes() const { return control_bytes_; }
+  uint64_t notify_messages() const { return notify_messages_; }
+  uint64_t notify_bytes() const { return notify_bytes_; }
   /// Bytes that actually crossed between distinct peers (loopback
   /// excluded).
   uint64_t remote_bytes() const { return remote_bytes_; }
@@ -53,6 +59,8 @@ class NetStats {
   uint64_t remote_bytes_ = 0;
   uint64_t control_messages_ = 0;
   uint64_t control_bytes_ = 0;
+  uint64_t notify_messages_ = 0;
+  uint64_t notify_bytes_ = 0;
   std::unordered_map<uint64_t, PairStats> pairs_;
 };
 

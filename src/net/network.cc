@@ -11,7 +11,19 @@ void Network::Send(PeerId from, PeerId to, uint64_t bytes,
   AXML_CHECK(from.is_concrete());
   AXML_CHECK(to.is_concrete());
   stats_.Record(from, to, bytes);
+  ScheduleDelivery(from, to, bytes, std::move(on_deliver));
+}
 
+void Network::SendNotify(PeerId from, PeerId to, uint64_t bytes,
+                         DeliverFn on_deliver) {
+  AXML_CHECK(from.is_concrete());
+  AXML_CHECK(to.is_concrete());
+  stats_.RecordNotify(from, to, bytes);
+  ScheduleDelivery(from, to, bytes, std::move(on_deliver));
+}
+
+void Network::ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
+                               DeliverFn on_deliver) {
   const LinkParams link = topology_.Get(from, to);
   const double transmit =
       static_cast<double>(bytes) / link.bandwidth_bps;

@@ -37,6 +37,11 @@ class Network {
   /// (propagation overlaps, as on a real pipe).
   void Send(PeerId from, PeerId to, uint64_t bytes, DeliverFn on_deliver);
 
+  /// Like Send, but tallied as replica-invalidation notify traffic
+  /// (NetStats::notify_messages/bytes) on top of the link accounting.
+  void SendNotify(PeerId from, PeerId to, uint64_t bytes,
+                  DeliverFn on_deliver);
+
   /// Charges control-plane traffic (e.g. catalog lookups) and runs
   /// `on_done` after `delay`.
   void ControlRoundtrip(uint64_t messages, uint64_t bytes, SimTime delay,
@@ -59,6 +64,11 @@ class Network {
   static uint64_t Key(PeerId a, PeerId b) {
     return (static_cast<uint64_t>(a.index()) << 32) | b.index();
   }
+
+  /// Shared FIFO-link scheduling behind Send/SendNotify (stats already
+  /// recorded by the caller).
+  void ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
+                        DeliverFn on_deliver);
 
   EventLoop* loop_;
   Topology topology_;

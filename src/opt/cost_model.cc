@@ -135,8 +135,12 @@ CostEstimate CostModel::TransferCost(PeerId from, PeerId to,
 CostEstimate CostModel::DocTransferCost(PeerId reader, PeerId owner,
                                         const DocName& name,
                                         double bytes) const {
+  // ExpectedFresh, not HasFresh: under RefreshPolicy::kEagerRefresh a
+  // mutation drops the copy but its replacement is already on the wire —
+  // the fresh-copy assumption plans are priced on does not decay at
+  // mutation time. (Under kDrop/kLazy the two probes agree.)
   if (assume_replica_cache_ &&
-      sys_->replicas().HasFresh(reader, owner, name)) {
+      sys_->replicas().ExpectedFresh(reader, owner, name)) {
     return CostEstimate{};  // a cache hit costs 0 bytes on the wire
   }
   return TransferCost(owner, reader, bytes);

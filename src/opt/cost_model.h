@@ -102,7 +102,9 @@ class CostModel {
   /// `name`@owner from `reader`: under assume_replica_cache, a fresh
   /// cached copy at the reader makes the read local — 0 bytes on the
   /// wire (the replica subsystem's whole point; rule (13) becomes a
-  /// cost-based decision through this).
+  /// cost-based decision through this). An eager-refresh shipment in
+  /// flight counts as fresh too: the mutation that displaced the copy
+  /// already paid for its replacement.
   CostEstimate DocTransferCost(PeerId reader, PeerId owner,
                                const DocName& name, double bytes) const;
 

@@ -85,17 +85,26 @@ class Peer {
   DocResolver AsDocResolver() const;
 
   /// Called after every document mutation on this peer (install, put,
-  /// remove, append-under-node) with the affected name. AxmlSystem wires
-  /// this to the ReplicaManager so mutations bump document versions and
-  /// invalidate stale replicas.
+  /// remove, append-under-node) with the affected name. Listeners fan
+  /// out in registration order: AxmlSystem wires the first one to the
+  /// ReplicaManager (version bump + push to copy holders); tests and
+  /// benches append their own (e.g. mutation counters) without
+  /// disturbing the replica wiring.
   using MutationListener = std::function<void(const DocName&)>;
+  void add_mutation_listener(MutationListener fn) {
+    on_mutation_.push_back(std::move(fn));
+  }
+  /// Replaces every registered listener (legacy single-listener hook).
   void set_mutation_listener(MutationListener fn) {
-    on_mutation_ = std::move(fn);
+    on_mutation_.clear();
+    on_mutation_.push_back(std::move(fn));
   }
 
  private:
   void NotifyMutation(const DocName& name) {
-    if (on_mutation_) on_mutation_(name);
+    for (const MutationListener& fn : on_mutation_) {
+      if (fn) fn(name);
+    }
   }
 
   PeerId id_;
@@ -104,7 +113,7 @@ class Peer {
   double compute_speed_ = 1.0e6;
   std::map<DocName, TreePtr> docs_;
   std::map<ServiceName, Service> services_;
-  MutationListener on_mutation_;
+  std::vector<MutationListener> on_mutation_;
 };
 
 }  // namespace axml

@@ -43,7 +43,7 @@ PeerId AxmlSystem::AddPeer(std::string name) {
       << "duplicate peer name " << name;
   PeerId id(static_cast<uint32_t>(peers_.size()));
   peers_.push_back(std::make_unique<Peer>(id, std::move(name)));
-  peers_.back()->set_mutation_listener(
+  peers_.back()->add_mutation_listener(
       [this, id](const DocName& doc) { replicas_.NoteMutation(id, doc); });
   if (catalog_ == nullptr) {
     catalog_ = std::make_unique<CentralCatalog>(id);

@@ -9,11 +9,22 @@ namespace axml {
 
 uint64_t ReplicaManager::Version(PeerId owner, const DocName& name) const {
   auto it = versions_.find(ReplicaKey{owner, name});
-  return it == versions_.end() ? 0 : it->second;
+  return it == versions_.end() ? 1 : it->second;
 }
 
 void ReplicaManager::NoteMutation(PeerId owner, const DocName& name) {
-  ++versions_[ReplicaKey{owner, name}];
+  // A never-mutated document is at version 1 (the header's contract), so
+  // the first mutation must land on 2 — default-constructing the slot at
+  // 0 and incrementing would leave it indistinguishable from fresh.
+  ++versions_.try_emplace(ReplicaKey{owner, name}, 1).first->second;
+
+  // Push to copy holders first: under kDrop/kEagerRefresh every
+  // subscriber's copy and advertisements are retracted before this call
+  // returns — no stale advertisement survives into the window between
+  // this mutation and the next read.
+  if (refresh_policy_ != RefreshPolicy::kLazy && sys_ != nullptr) {
+    PushInvalidate(ReplicaKey{owner, name});
+  }
 
   // A durable write onto a document slot we were using for a cached copy
   // (e.g. send(d@p, ...) landing on the copy's name) promotes the slot:
@@ -53,8 +64,12 @@ void ReplicaManager::NoteMutation(PeerId owner, const DocName& name) {
     if (!still_exists && sys_->catalog() != nullptr) {
       sys_->catalog()->Unregister(ResourceKind::kDocument, name, owner);
     }
-    for (const std::string& cls :
-         sys_->generics().DocumentClassesOf(ClassMember{name, owner})) {
+    // Explicit snapshot: DocumentClassesOf returns its vector by value,
+    // but RemoveDocumentMember rewrites the registry's reverse index
+    // underneath us — never iterate the registry's own storage here.
+    const std::vector<std::string> classes =
+        sys_->generics().DocumentClassesOf(ClassMember{name, owner});
+    for (const std::string& cls : classes) {
       sys_->generics().RemoveDocumentMember(cls, ClassMember{name, owner});
     }
   }
@@ -66,6 +81,9 @@ TransferCache* ReplicaManager::CacheFor(PeerId peer) {
   auto cache = std::make_unique<TransferCache>(default_budget_);
   cache->set_evict_listener(
       [this, peer](const ReplicaKey& key, const TransferCache::Entry&) {
+        // Any exit from the cache — staleness, budget eviction,
+        // overwrite — ends the origin's obligation to notify this peer.
+        subscriptions_.Unsubscribe(key, peer);
         RetractAdvertisements(peer, key);
       });
   return caches_.emplace(peer, std::move(cache)).first->second.get();
@@ -98,6 +116,11 @@ bool ReplicaManager::InsertCopy(PeerId reader, PeerId origin,
   const TransferCache::Entry* entry = cache->Peek(key);
   if (entry == nullptr) return false;  // evicted immediately by the budget
 
+  // The origin now owes this reader a push on every mutation of `name`
+  // (cache-only copies included: they serve reads too and must not go
+  // stale silently).
+  subscriptions_.Subscribe(key, reader);
+
   // Install + advertise, unless the local name is taken — by the reader's
   // own document or by a copy from another origin (the cache still
   // serves repeated reads either way). The installed document is a
@@ -121,8 +144,16 @@ bool ReplicaManager::InsertCopy(PeerId reader, PeerId origin,
 TreePtr ReplicaManager::LookupFresh(PeerId reader, PeerId origin,
                                     const DocName& name) {
   if (reader == origin || !origin.is_concrete()) return nullptr;
-  return CacheFor(reader)->Get(ReplicaKey{origin, name},
-                               Version(origin, name));
+  // A miss from a peer that never cached anything must not allocate a
+  // TransferCache (plus evict listener) for it — readers that never
+  // insert would each leak an empty cache. The miss is tallied
+  // manager-side so TotalStats stays truthful.
+  auto it = caches_.find(reader);
+  if (it == caches_.end()) {
+    ++uncached_misses_;
+    return nullptr;
+  }
+  return it->second->Get(ReplicaKey{origin, name}, Version(origin, name));
 }
 
 bool ReplicaManager::HasFresh(PeerId reader, PeerId origin,
@@ -170,10 +201,19 @@ bool ReplicaManager::DropCopy(PeerId reader, PeerId origin,
 
 void ReplicaManager::DropAllCopies() {
   for (auto& [peer, cache] : caches_) cache->Clear();
+  // Cancel in-flight refresh shipments: their landing callbacks see the
+  // erased flight token and discard the payload, so a reset cannot be
+  // undone by a late arrival.
+  for (const auto& [flight, generation] : refresh_inflight_) {
+    subscriptions_.Unsubscribe(/*key=*/flight.second,
+                               /*holder=*/flight.first);
+  }
+  refresh_inflight_.clear();
 }
 
 TransferCacheStats ReplicaManager::TotalStats() const {
   TransferCacheStats total;
+  total.misses = uncached_misses_;
   for (const auto& [peer, cache] : caches_) {
     const TransferCacheStats& s = cache->stats();
     total.hits += s.hits;
@@ -189,6 +229,20 @@ TransferCacheStats ReplicaManager::TotalStats() const {
 
 void ReplicaManager::ResetStats() {
   for (auto& [peer, cache] : caches_) cache->ResetStats();
+  subscription_stats_ = SubscriptionStats{};
+  uncached_misses_ = 0;
+  refresh_spent_.clear();
+}
+
+bool ReplicaManager::IsRefreshInFlight(PeerId reader, PeerId origin,
+                                       const DocName& name) const {
+  return refresh_inflight_.count({reader, ReplicaKey{origin, name}}) > 0;
+}
+
+bool ReplicaManager::ExpectedFresh(PeerId reader, PeerId origin,
+                                   const DocName& name) const {
+  return HasFresh(reader, origin, name) ||
+         IsRefreshInFlight(reader, origin, name);
 }
 
 void ReplicaManager::RetractAdvertisements(PeerId reader,
@@ -205,11 +259,99 @@ void ReplicaManager::RetractAdvertisements(PeerId reader,
   if (sys_->catalog() != nullptr) {
     sys_->catalog()->Unregister(ResourceKind::kDocument, key.name, reader);
   }
-  for (const std::string& cls : sys_->generics().DocumentClassesOf(
-           ClassMember{key.name, reader})) {
+  // Explicit snapshot, as in NoteMutation: RemoveDocumentMember rewrites
+  // the registry's reverse index this list came from.
+  const std::vector<std::string> classes =
+      sys_->generics().DocumentClassesOf(ClassMember{key.name, reader});
+  for (const std::string& cls : classes) {
     sys_->generics().RemoveDocumentMember(cls,
                                           ClassMember{key.name, reader});
   }
+}
+
+void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
+  // Snapshot: dropping a copy unsubscribes its holder mid-iteration.
+  const std::vector<PeerId> holders = subscriptions_.HoldersOf(key);
+  for (PeerId holder : holders) {
+    ++subscription_stats_.notifies;
+    // The notification is wire traffic on the origin->holder link;
+    // NetStats tallies it apart from data transfers.
+    sys_->network().SendNotify(key.origin, holder, kNotifyMsgBytes, [] {});
+    // Coherence is synchronous: copy and advertisements are gone before
+    // the mutating call returns — no lookup can ever see them stale.
+    if (DropCopy(holder, key.origin, key.name)) {
+      ++subscription_stats_.drops;
+    }
+    if (refresh_policy_ == RefreshPolicy::kEagerRefresh &&
+        StartRefresh(holder, key, /*retry=*/false)) {
+      // The holder stays subscribed while its copy re-materializes, so a
+      // mutation overtaking the shipment is pushed (and coalesced) too.
+      subscriptions_.Subscribe(key, holder);
+    }
+  }
+}
+
+bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
+                                  bool retry) {
+  const auto flight = std::make_pair(holder, key);
+  if (refresh_inflight_.count(flight) > 0) {
+    // A shipment is already on the wire; its landing check catches the
+    // newer version with one catch-up pull.
+    ++subscription_stats_.coalesced;
+    return true;
+  }
+  const Peer* origin = sys_->peer(key.origin);
+  Peer* dest = sys_->peer(holder);
+  if (origin == nullptr || dest == nullptr) return false;
+  TreePtr root = origin->GetDocument(key.name);
+  // A removed document has nothing to push; a tree still carrying
+  // service calls is excluded, as on the evaluator's insert path — a
+  // copy would freeze its activation state.
+  if (root == nullptr || root->ContainsServiceCall()) return false;
+  const uint64_t bytes = root->SerializedSize();
+  uint64_t& spent = refresh_spent_[holder];
+  if (spent > refresh_budget_bytes_ ||
+      bytes > refresh_budget_bytes_ - spent) {
+    ++subscription_stats_.budget_denied;
+    return false;
+  }
+  spent += bytes;
+  if (retry) ++subscription_stats_.retries;
+  const uint64_t generation = ++refresh_generation_;
+  refresh_inflight_[flight] = generation;
+  // Snapshot now: the shipped content is the version at send time; a
+  // mid-flight mutation must not brand it fresh (InsertCopy compares).
+  const uint64_t snap_version = Version(key.origin, key.name);
+  TreePtr shipped = root->Clone(dest->gen());
+  sys_->network().Send(
+      key.origin, holder, bytes,
+      [this, holder, key, shipped, snap_version, bytes, generation] {
+        auto it = refresh_inflight_.find({holder, key});
+        if (it == refresh_inflight_.end() || it->second != generation) {
+          // Canceled (DropAllCopies) while on the wire — and possibly
+          // superseded by a newer shipment for the same pair, whose
+          // token must stay untouched.
+          return;
+        }
+        refresh_inflight_.erase(it);
+        if (InsertCopy(holder, key.origin, key.name, shipped,
+                       snap_version)) {
+          ++subscription_stats_.refreshes;
+          subscription_stats_.refresh_bytes += bytes;
+        } else if (Version(key.origin, key.name) != snap_version) {
+          // The origin moved on while this was on the wire: one
+          // catch-up shipment brings the holder current. If it cannot
+          // launch (budget), the holder's flight-subscription ends.
+          if (!StartRefresh(holder, key, /*retry=*/true)) {
+            subscriptions_.Unsubscribe(key, holder);
+          }
+        } else {
+          // Landed at the right version but would not cache (over the
+          // holder's cache budget): stop pushing to this holder.
+          subscriptions_.Unsubscribe(key, holder);
+        }
+      });
+  return true;
 }
 
 }  // namespace axml

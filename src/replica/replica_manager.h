@@ -14,9 +14,19 @@
 //    discovery catalog lists the caching peer as a holder, and the copy
 //    joins every generic class the origin belongs to — so d@any
 //    resolution routes to the nearest fresh copy;
-//  - a stale copy is dropped on the next lookup: evicted from the cache,
-//    removed as a local document, Catalog::Unregister'ed, and withdrawn
-//    from its generic classes.
+//  - every successful cache insert *subscribes* the holder at the origin
+//    (SubscriptionTable); a mutation at the origin pushes to every
+//    subscribed holder immediately — under RefreshPolicy::kDrop the
+//    holder's copy and all its advertisements are retracted at mutation
+//    time (never a stale advertisement between a write and the next
+//    read); under kEagerRefresh the origin additionally ships the new
+//    version through the transfer path, re-materializing the copy
+//    without a read asking for it (per-holder byte budget, in-flight
+//    coalescing of back-to-back mutations);
+//  - under RefreshPolicy::kLazy (the PR 1 baseline) a stale copy is
+//    instead dropped on its next lookup: evicted from the cache, removed
+//    as a local document, Catalog::Unregister'ed, and withdrawn from its
+//    generic classes.
 //
 // Cached copies are soft state: AxmlSystem::StateFingerprint skips them,
 // so Σ-equivalence (the rule-equivalence property) is judged on durable
@@ -28,9 +38,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/ids.h"
 #include "peer/generic.h"
+#include "replica/subscription.h"
 #include "replica/transfer_cache.h"
 #include "xml/tree.h"
 
@@ -52,15 +64,54 @@ class ReplicaManager {
 
   // --- Document versions ---
 
-  /// Current version of `name` on `owner`; 1 for a document never
-  /// mutated since install.
+  /// Current version of `name` on `owner`. Always >= 1: exactly 1 for a
+  /// name this manager never saw a mutation for, and incremented on
+  /// every mutation-listener event — the installing write included, so
+  /// an installed document sits at 2 and no mutation history can ever
+  /// collide with the never-seen default. (The seed returned 0 for
+  /// never-seen names while documenting 1, which made the first-ever
+  /// listener event land on 1 — indistinguishable from never-seen.)
   uint64_t Version(PeerId owner, const DocName& name) const;
 
   /// Records a mutation of `name` on `owner` (wired to Peer's mutation
   /// listener: PutDocument, AppendUnderNode, RemoveDocument). Copies made
-  /// at earlier versions become stale and are dropped on their next
-  /// lookup.
+  /// at earlier versions become stale; under the push policies (kDrop,
+  /// kEagerRefresh) every subscribed holder is notified here — its copy
+  /// and advertisements are gone before this call returns — while kLazy
+  /// leaves them to be dropped on their next lookup.
   void NoteMutation(PeerId owner, const DocName& name);
+
+  // --- Push-based refresh ---
+
+  /// What a mutation does to subscribed copy holders. Default: kDrop —
+  /// immediate coherence; kLazy restores the drop-on-lookup baseline.
+  void set_refresh_policy(RefreshPolicy p) { refresh_policy_ = p; }
+  RefreshPolicy refresh_policy() const { return refresh_policy_; }
+
+  /// Cap on the wire bytes eager refresh may spend per holder (lifetime
+  /// of the manager, reset by ResetStats). Exhausted holders fall back
+  /// to drop. Default: unlimited.
+  void set_refresh_budget_bytes(uint64_t bytes) {
+    refresh_budget_bytes_ = bytes;
+  }
+  uint64_t refresh_budget_bytes() const { return refresh_budget_bytes_; }
+
+  const SubscriptionStats& subscription_stats() const {
+    return subscription_stats_;
+  }
+  const SubscriptionTable& subscriptions() const { return subscriptions_; }
+
+  /// True when an eager-refresh shipment of origin's `name` toward
+  /// `reader` is on the wire.
+  bool IsRefreshInFlight(PeerId reader, PeerId origin,
+                         const DocName& name) const;
+
+  /// Cost-model probe: true when `reader` holds a fresh copy *or* one is
+  /// being re-materialized right now (eager refresh in flight). Under
+  /// kEagerRefresh a mutation therefore does not decay the fresh-copy
+  /// assumption plans are priced on.
+  bool ExpectedFresh(PeerId reader, PeerId origin,
+                     const DocName& name) const;
 
   // --- Per-peer caches ---
 
@@ -91,6 +142,8 @@ class ReplicaManager {
   /// The fresh cached copy of origin's `name` held by `reader`, or
   /// nullptr. A stale copy is dropped (cache, local document, catalog,
   /// generic classes) before returning the miss. Counts hit/miss stats.
+  /// Never allocates: a reader that never cached anything gets a plain
+  /// miss (counted manager-side, see TotalStats), not a TransferCache.
   TreePtr LookupFresh(PeerId reader, PeerId origin, const DocName& name);
 
   /// True when `reader` holds a fresh copy of origin's `name`. No side
@@ -136,6 +189,19 @@ class ReplicaManager {
   /// listeners, so budget evictions retract advertisements too.
   void RetractAdvertisements(PeerId reader, const ReplicaKey& key);
 
+  /// Mutation fan-out (kDrop / kEagerRefresh): notifies every subscribed
+  /// holder of `key`, drops its copy synchronously, and — under eager
+  /// refresh — starts the re-materializing shipment.
+  void PushInvalidate(const ReplicaKey& key);
+
+  /// Ships the origin's current version of `key` to `holder`; the copy
+  /// re-enters the cache (and its advertisements) when it lands. Folds
+  /// into an already in-flight shipment; respects the refresh budget.
+  /// `retry` marks a catch-up shipment after a mid-flight mutation.
+  /// Returns true when a shipment is (now) in flight for the pair —
+  /// false means nothing will land (budget denied, document removed).
+  bool StartRefresh(PeerId holder, const ReplicaKey& key, bool retry);
+
   AxmlSystem* sys_ = nullptr;
   uint64_t default_budget_ = TransferCache::kDefaultByteBudget;
   std::map<PeerId, std::unique_ptr<TransferCache>> caches_;
@@ -144,6 +210,22 @@ class ReplicaManager {
   /// documents. Guards against shadowing a reader's own documents and
   /// lets IsCachedCopy answer without scanning caches.
   std::map<std::pair<PeerId, DocName>, PeerId> installed_;
+
+  RefreshPolicy refresh_policy_ = RefreshPolicy::kDrop;
+  SubscriptionTable subscriptions_;
+  SubscriptionStats subscription_stats_;
+  uint64_t refresh_budget_bytes_ = UINT64_MAX;
+  std::map<PeerId, uint64_t> refresh_spent_;  ///< wire bytes per holder
+  /// (holder, key) -> generation of the refresh shipment on the wire.
+  /// The landing callback acts only when its own generation is still
+  /// registered: a shipment outliving a DropAllCopies (its event is
+  /// queued in the loop) must not hijack the token of a newer shipment
+  /// for the same pair.
+  std::map<std::pair<PeerId, ReplicaKey>, uint64_t> refresh_inflight_;
+  uint64_t refresh_generation_ = 0;
+  /// Misses by peers that never cached anything (LookupFresh must not
+  /// allocate a cache just to count one); folded into TotalStats.
+  uint64_t uncached_misses_ = 0;
 };
 
 }  // namespace axml

@@ -1,0 +1,63 @@
+#include "replica/subscription.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace axml {
+
+const char* RefreshPolicyName(RefreshPolicy p) {
+  switch (p) {
+    case RefreshPolicy::kLazy:
+      return "lazy";
+    case RefreshPolicy::kDrop:
+      return "drop";
+    case RefreshPolicy::kEagerRefresh:
+      return "eager_refresh";
+  }
+  return "?";
+}
+
+std::string SubscriptionStats::ToString() const {
+  return StrCat("notifies=", notifies, " drops=", drops,
+                " refreshes=", refreshes, " refresh_bytes=", refresh_bytes,
+                " coalesced=", coalesced, " retries=", retries,
+                " budget_denied=", budget_denied);
+}
+
+void SubscriptionTable::Subscribe(const ReplicaKey& key, PeerId holder) {
+  auto& v = holders_[key];
+  if (std::find(v.begin(), v.end(), holder) == v.end()) {
+    v.push_back(holder);
+  }
+}
+
+void SubscriptionTable::Unsubscribe(const ReplicaKey& key, PeerId holder) {
+  auto it = holders_.find(key);
+  if (it == holders_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), holder), v.end());
+  if (v.empty()) holders_.erase(it);
+}
+
+std::vector<PeerId> SubscriptionTable::HoldersOf(
+    const ReplicaKey& key) const {
+  auto it = holders_.find(key);
+  return it == holders_.end() ? std::vector<PeerId>{} : it->second;
+}
+
+bool SubscriptionTable::IsSubscribed(const ReplicaKey& key,
+                                     PeerId holder) const {
+  auto it = holders_.find(key);
+  if (it == holders_.end()) return false;
+  const auto& v = it->second;
+  return std::find(v.begin(), v.end(), holder) != v.end();
+}
+
+size_t SubscriptionTable::subscription_count() const {
+  size_t n = 0;
+  for (const auto& [key, v] : holders_) n += v.size();
+  return n;
+}
+
+}  // namespace axml

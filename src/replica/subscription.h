@@ -1,0 +1,88 @@
+// Push-based replica refresh: the subscription table and its policy.
+//
+// PR 1's replica layer invalidated lazily — a stale copy lived until its
+// next lookup, leaving stale catalog entries and generic-class members
+// advertised in between. The paper's rule (13) and generic documents
+// (def. 9) only pay off if copies stay *fresh*, so this module flips the
+// direction: the origin knows every holder of every copy (the version
+// table already records both sides), and a mutation notifies them all
+// immediately. Each holder either drops its copy on the spot — the
+// advertisements go at *mutation* time, not lookup time — or, under
+// RefreshPolicy::kEagerRefresh, re-materializes the new version through
+// the existing transfer path.
+
+#ifndef AXML_REPLICA_SUBSCRIPTION_H_
+#define AXML_REPLICA_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "replica/transfer_cache.h"
+
+namespace axml {
+
+/// What a mutation at the origin does to each subscribed copy holder.
+enum class RefreshPolicy {
+  /// No push: stale copies are dropped on their next lookup (the PR 1
+  /// behavior, kept as the bench baseline — its stale-advertisement
+  /// window is exactly what the push policies close).
+  kLazy,
+  /// Push-invalidate: the holder drops the copy and retracts its
+  /// catalog/generic advertisements at mutation time.
+  kDrop,
+  /// Push-refresh: like kDrop, but the origin also ships the new version
+  /// so the holder's copy re-materializes without a read asking for it.
+  /// Bounded by a per-holder refresh byte budget; back-to-back mutations
+  /// coalesce onto the in-flight shipment.
+  kEagerRefresh,
+};
+
+const char* RefreshPolicyName(RefreshPolicy p);
+
+/// Counters for the push path (benches compare policies with these).
+struct SubscriptionStats {
+  uint64_t notifies = 0;       ///< invalidation messages sent to holders
+  uint64_t drops = 0;          ///< copies dropped at mutation time
+  uint64_t refreshes = 0;      ///< eager re-materializations that landed
+  uint64_t refresh_bytes = 0;  ///< wire bytes those shipments cost
+  /// Refresh requests folded into a shipment already in flight.
+  uint64_t coalesced = 0;
+  /// Catch-up shipments issued because the origin moved on mid-flight.
+  uint64_t retries = 0;
+  /// Eager refreshes denied by the per-holder byte budget (the copy
+  /// stays dropped; the next read re-pulls lazily).
+  uint64_t budget_denied = 0;
+
+  std::string ToString() const;
+};
+
+/// Who holds copies of which (owner, doc). Maintained by the
+/// ReplicaManager: a successful cache insert subscribes the reader, any
+/// cache drop (staleness, budget eviction, overwrite) unsubscribes it.
+class SubscriptionTable {
+ public:
+  /// Idempotent: a holder subscribes once per key.
+  void Subscribe(const ReplicaKey& key, PeerId holder);
+  void Unsubscribe(const ReplicaKey& key, PeerId holder);
+
+  /// Snapshot by value: notification fan-out drops copies (and thereby
+  /// unsubscribes holders) while iterating.
+  std::vector<PeerId> HoldersOf(const ReplicaKey& key) const;
+  bool IsSubscribed(const ReplicaKey& key, PeerId holder) const;
+
+  /// Total (key, holder) pairs across all keys.
+  size_t subscription_count() const;
+
+ private:
+  std::map<ReplicaKey, std::vector<PeerId>> holders_;
+};
+
+/// Wire size of one invalidation notification (origin -> holder).
+constexpr uint64_t kNotifyMsgBytes = 48;
+
+}  // namespace axml
+
+#endif  // AXML_REPLICA_SUBSCRIPTION_H_

@@ -190,7 +190,10 @@ TEST(ReplicaManagerTest, RepeatedReadHitsCacheAndSkipsTheWire) {
   const TransferCache* cache = f.sys.replicas().FindCache(f.client);
   ASSERT_NE(cache, nullptr);
   EXPECT_EQ(cache->stats().hits, 1u);
-  EXPECT_EQ(cache->stats().misses, 1u);
+  // The cold read missed before the client had a cache; that miss is
+  // tallied manager-side (LookupFresh must not allocate a cache for it).
+  EXPECT_EQ(cache->stats().misses, 0u);
+  EXPECT_EQ(f.sys.replicas().TotalStats().misses, 1u);
   EXPECT_GT(cache->stats().bytes_saved, 0u);
 }
 
@@ -389,6 +392,278 @@ TEST(ReplicaManagerTest, DurableWriteOntoCopySlotPromotesIt) {
   EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
   EXPECT_EQ(client->GetDocument("d"), own);
   EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+}
+
+// --- Push-based refresh (SubscriptionTable + RefreshPolicy) ---
+
+// The acceptance property of the push layer: a mutation at the origin
+// retracts every holder's copy and every advertisement *before* any
+// subsequent lookup — the state is inspected right after the mutating
+// call, with no read in between.
+TEST(PushRefreshTest, MutationRetractsAdvertisementsBeforeAnyLookup) {
+  TwoPeers f;
+  ASSERT_EQ(f.sys.replicas().refresh_policy(), RefreshPolicy::kDrop);
+  f.sys.generics().AddDocumentMember("ed", ClassMember{"d", f.origin});
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  ASSERT_EQ(f.sys.generics().DocumentMembers("ed")->size(), 2u);
+  ASSERT_TRUE(f.sys.replicas().subscriptions().IsSubscribed(
+      ReplicaKey{f.origin, "d"}, f.client));
+
+  f.sys.network().mutable_stats()->Reset();
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(8, f.sys.peer(f.origin)->gen(), &rng));
+
+  // No read happened since the mutation; everything is already gone.
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+  EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_FALSE(f.sys.peer(f.client)->HasDocument("d"));
+  EXPECT_FALSE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                             f.client));
+  EXPECT_EQ(f.sys.generics().DocumentMembers("ed")->size(), 1u);
+  EXPECT_FALSE(f.sys.replicas().subscriptions().IsSubscribed(
+      ReplicaKey{f.origin, "d"}, f.client));
+
+  // The notification is accounted wire traffic, tallied apart.
+  const SubscriptionStats& ss = f.sys.replicas().subscription_stats();
+  EXPECT_EQ(ss.notifies, 1u);
+  EXPECT_EQ(ss.drops, 1u);
+  EXPECT_EQ(f.sys.network().stats().notify_messages(), 1u);
+  EXPECT_EQ(f.sys.network().stats().notify_bytes(), kNotifyMsgBytes);
+}
+
+TEST(PushRefreshTest, LazyPolicyKeepsTheStaleAdvertisementWindow) {
+  // The baseline the push policies exist to close: under kLazy a stale
+  // catalog entry survives the mutation until the next lookup.
+  TwoPeers f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kLazy);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(8, f.sys.peer(f.origin)->gen(), &rng));
+
+  // Stale advertisement still live...
+  EXPECT_TRUE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                            f.client));
+  EXPECT_TRUE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_EQ(f.sys.replicas().subscription_stats().notifies, 0u);
+  // ...until the next lookup drops it.
+  EXPECT_EQ(f.sys.replicas().LookupFresh(f.client, f.origin, "d"), nullptr);
+  EXPECT_FALSE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                             f.client));
+}
+
+TEST(PushRefreshTest, EagerRefreshRematerializesTheCopy) {
+  TwoPeers f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(8, f.sys.peer(f.origin)->gen(), &rng));
+
+  // Synchronously: stale copy gone, replacement on the wire.
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+  EXPECT_TRUE(f.sys.replicas().IsRefreshInFlight(f.client, f.origin, "d"));
+  EXPECT_TRUE(f.sys.replicas().ExpectedFresh(f.client, f.origin, "d"));
+
+  f.sys.RunToQuiescence();
+
+  // The copy re-materialized at the new version without any read.
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+  EXPECT_FALSE(f.sys.replicas().IsRefreshInFlight(f.client, f.origin, "d"));
+  TreePtr copy = f.sys.replicas().LookupFresh(f.client, f.origin, "d");
+  ASSERT_NE(copy, nullptr);
+  EXPECT_TRUE(
+      TreesEqualUnordered(*copy, *f.sys.peer(f.origin)->GetDocument("d")));
+
+  const SubscriptionStats& ss = f.sys.replicas().subscription_stats();
+  EXPECT_EQ(ss.refreshes, 1u);
+  EXPECT_GT(ss.refresh_bytes, 0u);
+
+  // The next read is served locally: zero data bytes on the wire.
+  f.sys.network().mutable_stats()->Reset();
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  EXPECT_EQ(f.sys.network().stats().remote_bytes(), 0u);
+}
+
+TEST(PushRefreshTest, BackToBackMutationsCoalesceOntoOneShipment) {
+  TwoPeers f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+
+  // Two mutations before the first shipment can land: the second folds
+  // into the in-flight one, whose landing check issues one catch-up.
+  Rng rng(17);
+  Peer* origin = f.sys.peer(f.origin);
+  origin->PutDocument("d", MakeCatalog(8, origin->gen(), &rng));
+  origin->PutDocument("d", MakeCatalog(6, origin->gen(), &rng));
+  const SubscriptionStats& ss = f.sys.replicas().subscription_stats();
+  EXPECT_EQ(ss.notifies, 2u);
+  EXPECT_EQ(ss.coalesced, 1u);
+
+  f.sys.RunToQuiescence();
+  EXPECT_EQ(ss.retries, 1u);    // the first shipment landed stale
+  EXPECT_EQ(ss.refreshes, 1u);  // only the catch-up materialized
+  TreePtr copy = f.sys.replicas().LookupFresh(f.client, f.origin, "d");
+  ASSERT_NE(copy, nullptr);
+  EXPECT_TRUE(TreesEqualUnordered(*copy, *origin->GetDocument("d")));
+}
+
+TEST(PushRefreshTest, ReadRacingAnInFlightRefreshJoinsTheShipment) {
+  // A read arriving while the push shipment is on the wire must wait
+  // for it rather than start a second transfer of the same document.
+  TwoPeers f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(8, f.sys.peer(f.origin)->gen(), &rng));
+  ASSERT_TRUE(f.sys.replicas().IsRefreshInFlight(f.client, f.origin, "d"));
+
+  // The notify and the refresh shipment were charged at mutation time;
+  // from here a correct read adds zero wire bytes of its own.
+  f.sys.network().mutable_stats()->Reset();
+  auto out = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out->results.size(), 8u);  // the post-mutation content
+  EXPECT_EQ(f.sys.network().stats().remote_bytes(), 0u);
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+}
+
+TEST(PushRefreshTest, RefreshBudgetExhaustionFallsBackToDrop) {
+  TwoPeers f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  f.sys.replicas().set_refresh_budget_bytes(16);  // far below one catalog
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(8, f.sys.peer(f.origin)->gen(), &rng));
+
+  const SubscriptionStats& ss = f.sys.replicas().subscription_stats();
+  EXPECT_EQ(ss.budget_denied, 1u);
+  EXPECT_FALSE(f.sys.replicas().IsRefreshInFlight(f.client, f.origin, "d"));
+  EXPECT_FALSE(f.sys.replicas().ExpectedFresh(f.client, f.origin, "d"));
+  f.sys.RunToQuiescence();
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+
+  // The next read re-pulls lazily — the budget gates pushes, not reads.
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+}
+
+TEST(PushRefreshTest, RemovedDocumentPushesDropWithoutRefresh) {
+  TwoPeers f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+
+  ASSERT_TRUE(f.sys.peer(f.origin)->RemoveDocument("d").ok());
+  EXPECT_FALSE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_FALSE(f.sys.replicas().IsRefreshInFlight(f.client, f.origin, "d"));
+  EXPECT_EQ(f.sys.replicas().subscription_stats().refreshes, 0u);
+  f.sys.RunToQuiescence();
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+}
+
+TEST(PushRefreshTest, TransitiveInvalidationCascadesThroughHolders) {
+  // A's mutation drops B's installed copy, which is itself the origin of
+  // C's copy — the cascade must retract C's state too, in the same call.
+  AxmlSystem sys{Topology(LinkParams{0.010, 1.0e6})};
+  PeerId a = sys.AddPeer("a"), b = sys.AddPeer("b"), c = sys.AddPeer("c");
+  Rng rng(13);
+  TreePtr t = MakeCatalog(16, sys.peer(a)->gen(), &rng);
+  ASSERT_TRUE(sys.InstallDocument(a, "d", t).ok());
+  Query q = Query::Parse(
+                "for $p in input(0)/catalog/product "
+                "return <r>{ $p/name }</r>")
+                .value();
+
+  Evaluator ev(&sys, CachingOptions());
+  // B caches A's d (installed as a local document at B)...
+  ASSERT_TRUE(ev.Eval(b, Expr::Apply(q, b, {Expr::Doc("d", a)})).ok());
+  ASSERT_TRUE(sys.replicas().IsCachedCopy(b, "d"));
+  // ...and C caches B's installed copy (origin = B).
+  ASSERT_TRUE(ev.Eval(c, Expr::Apply(q, c, {Expr::Doc("d", b)})).ok());
+  ASSERT_TRUE(sys.replicas().IsCachedCopy(c, "d"));
+
+  Rng rng2(5);
+  sys.peer(a)->PutDocument("d", MakeCatalog(4, sys.peer(a)->gen(), &rng2));
+
+  // Both hops retracted synchronously, no read in between.
+  EXPECT_FALSE(sys.replicas().IsCachedCopy(b, "d"));
+  EXPECT_FALSE(sys.replicas().IsCachedCopy(c, "d"));
+  EXPECT_FALSE(sys.peer(b)->HasDocument("d"));
+  EXPECT_FALSE(sys.peer(c)->HasDocument("d"));
+  EXPECT_FALSE(sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d", b));
+  EXPECT_FALSE(sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d", c));
+  EXPECT_EQ(sys.replicas().subscription_stats().drops, 2u);
+}
+
+TEST(PushRefreshTest, MultiClassCopyRetractsEveryClassOnMutation) {
+  // Regression for the retraction loop: the copy belongs to several
+  // generic classes, and removing members rewrites the registry's
+  // reverse index while the retraction iterates the class list.
+  TwoPeers f;
+  f.sys.generics().AddDocumentMember("ed1", ClassMember{"d", f.origin});
+  f.sys.generics().AddDocumentMember("ed2", ClassMember{"d", f.origin});
+  f.sys.generics().AddDocumentMember("ed3", ClassMember{"d", f.origin});
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  ASSERT_EQ(f.sys.generics().DocumentMembers("ed1")->size(), 2u);
+  ASSERT_EQ(f.sys.generics().DocumentMembers("ed2")->size(), 2u);
+  ASSERT_EQ(f.sys.generics().DocumentMembers("ed3")->size(), 2u);
+
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(8, f.sys.peer(f.origin)->gen(), &rng));
+
+  EXPECT_EQ(f.sys.generics().DocumentMembers("ed1")->size(), 1u);
+  EXPECT_EQ(f.sys.generics().DocumentMembers("ed2")->size(), 1u);
+  EXPECT_EQ(f.sys.generics().DocumentMembers("ed3")->size(), 1u);
+  const ClassMember copy{"d", f.client};
+  EXPECT_TRUE(f.sys.generics().DocumentClassesOf(copy).empty());
+}
+
+TEST(PushRefreshTest, CostModelKeepsFreshAssumptionDuringEagerRefresh) {
+  TwoPeers f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+
+  CostModel cache_aware(&f.sys, /*assume_replica_cache=*/true);
+  ExprPtr read = f.Read();
+  EXPECT_EQ(cache_aware.Estimate(f.client, read).remote_bytes, 0.0);
+
+  // Mutation under eager refresh: the replacement is on the wire, so the
+  // plan keeps pricing the read as local...
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(8, f.sys.peer(f.origin)->gen(), &rng));
+  EXPECT_EQ(cache_aware.Estimate(f.client, read).remote_bytes, 0.0);
+
+  // ...whereas under kDrop the same mutation decays it to a transfer.
+  TwoPeers g;
+  g.sys.replicas().set_refresh_policy(RefreshPolicy::kDrop);
+  Evaluator gev(&g.sys, CachingOptions());
+  ASSERT_TRUE(gev.Eval(g.client, g.Read()).ok());
+  CostModel g_cost(&g.sys, /*assume_replica_cache=*/true);
+  ExprPtr g_read = g.Read();
+  EXPECT_EQ(g_cost.Estimate(g.client, g_read).remote_bytes, 0.0);
+  Rng rng2(17);
+  g.sys.peer(g.origin)->PutDocument(
+      "d", MakeCatalog(8, g.sys.peer(g.origin)->gen(), &rng2));
+  EXPECT_GT(g_cost.Estimate(g.client, g_read).remote_bytes, 0.0);
 }
 
 // --- d@any routed to the nearest fresh replica ---
