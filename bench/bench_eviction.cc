@@ -1,0 +1,226 @@
+// Eviction policies and proactive placement under skewed access.
+//
+// Claim under test: *which* copy a cache keeps matters as much as
+// having a cache at all. Two experiments:
+//
+// BM_Eviction_{Lru,Lfu,CostAware} — one reader, Zipf(1.1) reads over a
+//   large hot document on a *distant* origin plus many small cold
+//   documents on nearby origins, cache budget far below the working
+//   set. LRU treats all entries alike, so bursts of cheap nearby
+//   traffic push the expensive distant copy out and every re-read pays
+//   the big transfer again. LFU pins the hot entry by frequency;
+//   cost-aware pins it by refetch cost (CostModel::RefetchCost): cheap
+//   nearby copies die first. The acceptance metric is remote_KB.
+//
+// BM_Placement_{Off,On} — four readers resolve hot document classes via
+//   d@any (no per-read caching: EvalOptions::use_replica_cache off), the
+//   origin mutates periodically. With placement on, RunPlacement rounds
+//   read the GenericCatalog's pick demand and proactively ship hot
+//   documents to their top pickers; subsequent picks ride the free
+//   loopback link instead of the WAN.
+//
+// Counters beyond the standard set:
+//   cache_hits/misses, evicted_KB (churn), placed (landed seeds).
+
+#include "bench_common.h"
+#include "common/rng.h"
+
+namespace axml {
+namespace {
+
+// --- Eviction: skewed reads against a distant hot origin ---
+
+struct EvictionSetup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId reader;
+  /// docs[rank] = (name, origin); rank 0 is the big document on the
+  /// distant origin, the rest are small documents on nearby origins.
+  std::vector<std::pair<DocName, PeerId>> docs;
+};
+
+constexpr size_t kColdDocs = 48;
+constexpr size_t kEvictionReads = 1500;
+
+EvictionSetup BuildEviction() {
+  EvictionSetup s;
+  // Nearby links are cheap; the hot origin sits behind a slow WAN link.
+  s.sys = std::make_unique<AxmlSystem>(Topology(LinkParams{0.005, 8.0e6}));
+  s.reader = s.sys->AddPeer("reader");
+  PeerId far = s.sys->AddPeer("far-origin");
+  s.sys->network().mutable_topology()->SetLinkSymmetric(
+      s.reader, far, LinkParams{0.250, 2.5e5});
+  std::vector<PeerId> near;
+  for (int i = 0; i < 4; ++i) {
+    near.push_back(s.sys->AddPeer(StrCat("near", i)));
+  }
+  Rng rng(1234);
+  TreePtr hot = bench::MakeCatalog(256, s.sys->peer(far)->gen(), &rng);
+  const uint64_t hot_bytes = hot->SerializedSize();
+  (void)s.sys->InstallDocument(far, "hot", hot);
+  s.docs.emplace_back("hot", far);
+  uint64_t cold_bytes = 0;
+  for (size_t i = 0; i < kColdDocs; ++i) {
+    PeerId origin = near[i % near.size()];
+    TreePtr t =
+        bench::MakeCatalog(16, s.sys->peer(origin)->gen(), &rng);
+    cold_bytes = t->SerializedSize();
+    DocName name = StrCat("cold", i);
+    (void)s.sys->InstallDocument(origin, name, t);
+    s.docs.emplace_back(name, origin);
+  }
+  // Budget: the hot copy plus a handful of cold ones — eviction pressure
+  // on every cold burst.
+  s.sys->replicas().set_default_byte_budget(hot_bytes + 3 * cold_bytes);
+  return s;
+}
+
+void BM_Eviction(benchmark::State& state, EvictionPolicy policy) {
+  EvictionSetup s = BuildEviction();
+  EvalOptions opts;
+  opts.use_replica_cache = true;
+  for (auto _ : state) {
+    s.sys->replicas().set_default_eviction_policy(policy);
+    s.sys->replicas().DropAllCopies();
+    s.sys->replicas().ResetStats();
+    s.sys->network().mutable_stats()->Reset();
+    const SimTime t0 = s.sys->loop().now();
+    Evaluator ev(s.sys.get(), opts);
+    Rng rng(99);
+    ZipfSampler zipf(s.docs.size(), 1.1);
+    size_t results = 0;
+    for (size_t i = 0; i < kEvictionReads; ++i) {
+      const auto& [name, origin] = s.docs[zipf.Sample(&rng)];
+      auto out = ev.Eval(s.reader, Expr::Doc(name, origin));
+      if (!out.ok()) {
+        state.SkipWithError(out.status().ToString().c_str());
+        return;
+      }
+      results += out->results.size();
+    }
+    bench::RecordStandardCounters(state, s.sys.get(), t0, results);
+    const TransferCacheStats cs = s.sys->replicas().TotalStats();
+    state.counters["cache_hits"] = static_cast<double>(cs.hits);
+    state.counters["cache_misses"] = static_cast<double>(cs.misses);
+    state.counters["evicted_KB"] =
+        static_cast<double>(cs.bytes_evicted) / 1024.0;
+  }
+}
+
+void BM_Eviction_Lru(benchmark::State& state) {
+  BM_Eviction(state, EvictionPolicy::kLru);
+}
+void BM_Eviction_Lfu(benchmark::State& state) {
+  BM_Eviction(state, EvictionPolicy::kLfu);
+}
+void BM_Eviction_CostAware(benchmark::State& state) {
+  BM_Eviction(state, EvictionPolicy::kCostAware);
+}
+
+// --- Placement: seeding hot classes at their top pickers ---
+
+struct PlacementSetup {
+  std::unique_ptr<AxmlSystem> sys;
+  PeerId origin;
+  std::vector<PeerId> readers;
+  std::vector<std::pair<std::string, DocName>> classes;  ///< (class, doc)
+};
+
+constexpr size_t kPlacementDocs = 8;
+constexpr size_t kPlacementReads = 600;
+
+PlacementSetup BuildPlacement() {
+  PlacementSetup s;
+  // Everyone reaches the origin over a slow WAN link.
+  s.sys = std::make_unique<AxmlSystem>(Topology(LinkParams{0.120, 4.0e5}));
+  s.origin = s.sys->AddPeer("hq");
+  for (int i = 0; i < 4; ++i) {
+    s.readers.push_back(s.sys->AddPeer(StrCat("reader", i)));
+  }
+  Rng rng(77);
+  for (size_t i = 0; i < kPlacementDocs; ++i) {
+    DocName name = StrCat("doc", i);
+    (void)s.sys->InstallDocument(
+        s.origin, name,
+        bench::MakeCatalog(48, s.sys->peer(s.origin)->gen(), &rng));
+    std::string cls = StrCat("cls", i);
+    s.sys->generics().AddDocumentMember(cls,
+                                        ClassMember{name, s.origin});
+    s.classes.emplace_back(cls, name);
+  }
+  return s;
+}
+
+void BM_Placement(benchmark::State& state, bool placement_on) {
+  PlacementSetup s = BuildPlacement();
+  PlacementConfig config;
+  config.enabled = placement_on;
+  config.min_picks = 3;
+  config.max_targets_per_class = 2;
+  config.max_shipments_per_round = 16;
+  s.sys->replicas().placement().set_config(config);
+  EvalOptions opts;
+  opts.pick_policy = PickPolicy::kCacheAware;
+  for (auto _ : state) {
+    s.sys->replicas().DropAllCopies();
+    s.sys->RunToQuiescence();
+    s.sys->replicas().ResetStats();
+    s.sys->generics().ResetPickCounts();
+    s.sys->network().mutable_stats()->Reset();
+    const SimTime t0 = s.sys->loop().now();
+    Evaluator ev(s.sys.get(), opts);
+    Rng rng(5);
+    ZipfSampler zipf(s.classes.size(), 1.0);
+    size_t results = 0;
+    for (size_t i = 0; i < kPlacementReads; ++i) {
+      PeerId reader = s.readers[i % s.readers.size()];
+      const auto& [cls, name] = s.classes[zipf.Sample(&rng)];
+      auto out = ev.Eval(reader, Expr::GenericDoc(cls));
+      if (!out.ok()) {
+        state.SkipWithError(out.status().ToString().c_str());
+        return;
+      }
+      results += out->results.size();
+      // Write traffic at the origin strands seeded copies (push drop).
+      if (i % 75 == 74) {
+        const auto& [mcls, mname] = s.classes[zipf.Sample(&rng)];
+        Peer* hq = s.sys->peer(s.origin);
+        hq->PutDocument(
+            mname, bench::MakeCatalog(48, hq->gen(), &rng));
+        s.sys->RunToQuiescence();
+      }
+      // Periodic placement rounds re-seed hot classes from demand.
+      if (i % 40 == 39) {
+        s.sys->replicas().RunPlacement();
+        s.sys->RunToQuiescence();
+      }
+    }
+    s.sys->RunToQuiescence();
+    bench::RecordStandardCounters(state, s.sys.get(), t0, results);
+    state.counters["placed"] =
+        static_cast<double>(s.sys->replicas().placement_stats().landed);
+    state.counters["placement_KB"] =
+        static_cast<double>(
+            s.sys->replicas().placement_stats().shipped_bytes) /
+        1024.0;
+  }
+}
+
+void BM_Placement_Off(benchmark::State& state) {
+  BM_Placement(state, false);
+}
+void BM_Placement_On(benchmark::State& state) {
+  BM_Placement(state, true);
+}
+
+BENCHMARK(BM_Eviction_Lru)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Eviction_Lfu)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Eviction_CostAware)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Placement_Off)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Placement_On)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace axml
+
+BENCHMARK_MAIN();

@@ -1,5 +1,8 @@
 #include "common/rng.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace axml {
 namespace {
 
@@ -56,6 +59,24 @@ bool Rng::Bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return UniformDouble() < p;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cdf_.reserve(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding at the tail
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
 }
 
 std::string Rng::Identifier(size_t len) {

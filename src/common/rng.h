@@ -57,6 +57,23 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Zipf-distributed ranks for skewed-access workloads: P(k) ∝ 1/(k+1)^s
+/// over ranks [0, n). Precomputes the CDF once (O(n)); Sample is
+/// O(log n) via binary search. s = 0 degenerates to uniform; the classic
+/// web-caching workloads sit near s ≈ 1.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// A rank in [0, n); rank 0 is the hottest.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k), ends at 1.0
+};
+
 }  // namespace axml
 
 #endif  // AXML_COMMON_RNG_H_

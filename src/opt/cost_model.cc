@@ -132,6 +132,11 @@ CostEstimate CostModel::TransferCost(PeerId from, PeerId to,
   return c;
 }
 
+double CostModel::RefetchCost(PeerId reader, PeerId owner,
+                              uint64_t bytes) const {
+  return TransferCost(owner, reader, static_cast<double>(bytes)).time_s;
+}
+
 CostEstimate CostModel::DocTransferCost(PeerId reader, PeerId owner,
                                         const DocName& name,
                                         double bytes) const {

@@ -98,6 +98,12 @@ class CostModel {
   /// Transfer estimate for `bytes` on from->to (0 when from==to).
   CostEstimate TransferCost(PeerId from, PeerId to, double bytes) const;
 
+  /// Modeled seconds to re-pull `bytes` of owner's content to `reader` —
+  /// what evicting that copy would cost to undo. The cost-aware eviction
+  /// policy scores victims with this (the ReplicaManager wires it into
+  /// each TransferCache as its RefetchCostFn); 0 when reader == owner.
+  double RefetchCost(PeerId reader, PeerId owner, uint64_t bytes) const;
+
   /// Cache-state-aware transfer estimate for reading document
   /// `name`@owner from `reader`: under assume_replica_cache, a fresh
   /// cached copy at the reader makes the read local — 0 bytes on the

@@ -102,8 +102,15 @@ Result<ClassMember> GenericCatalog::PickDocument(
       }
     }
   }
-  return Pick(doc_classes_, "document", class_name, from, policy, net,
-              nominal_bytes);
+  Result<ClassMember> picked = Pick(doc_classes_, "document", class_name,
+                                    from, policy, net, nominal_bytes);
+  if (picked.ok() && from.is_concrete()) {
+    // Demand signal for proactive placement: who keeps resolving which
+    // class. Only concrete callers count — a copy can only be seeded at
+    // a real peer.
+    ++doc_pick_demand_[{class_name, from}];
+  }
+  return picked;
 }
 
 Result<ClassMember> GenericCatalog::PickService(
@@ -182,6 +189,15 @@ uint64_t GenericCatalog::PickCount(PeerId peer) const {
   return it == pick_counts_.end() ? 0 : it->second;
 }
 
-void GenericCatalog::ResetPickCounts() { pick_counts_.clear(); }
+uint64_t GenericCatalog::DocumentPickDemand(const std::string& class_name,
+                                            PeerId from) const {
+  auto it = doc_pick_demand_.find({class_name, from});
+  return it == doc_pick_demand_.end() ? 0 : it->second;
+}
+
+void GenericCatalog::ResetPickCounts() {
+  pick_counts_.clear();
+  doc_pick_demand_.clear();
+}
 
 }  // namespace axml

@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -91,6 +92,28 @@ class GenericCatalog {
   uint64_t PickCount(PeerId peer) const;
   void ResetPickCounts();
 
+  // --- Demand signal (read-only export for replica placement) ---
+
+  /// Document picks recorded per (class, calling peer): how often `from`
+  /// resolved `class_name`@any. This is the demand signal the
+  /// PlacementPolicy seeds proactive copies from.
+  uint64_t DocumentPickDemand(const std::string& class_name,
+                              PeerId from) const;
+  /// The whole demand table, ordered by (class, caller). Cleared by
+  /// ResetPickCounts alongside the per-peer counts.
+  const std::map<std::pair<std::string, PeerId>, uint64_t>&
+  document_pick_demand() const {
+    return doc_pick_demand_;
+  }
+
+  /// Zeroes the demand one (class, caller) pair accumulated. The
+  /// ReplicaManager drains a pair when its placement seed launches, so
+  /// re-seeding after a later eviction takes fresh picks — the counters
+  /// are otherwise lifetime-monotonic and would replay forever.
+  void DrainDocumentPickDemand(const std::string& class_name, PeerId from) {
+    doc_pick_demand_.erase({class_name, from});
+  }
+
   void set_default_policy(PickPolicy p) { default_policy_ = p; }
   PickPolicy default_policy() const { return default_policy_; }
 
@@ -129,6 +152,8 @@ class GenericCatalog {
   std::map<std::pair<PeerId, std::string>, std::vector<std::string>>
       doc_member_classes_;
   std::map<PeerId, uint64_t> pick_counts_;
+  /// (class, caller) -> document picks; the placement demand signal.
+  std::map<std::pair<std::string, PeerId>, uint64_t> doc_pick_demand_;
   PickPolicy default_policy_ = PickPolicy::kNearest;
   Rng rng_;
   MemberValidator doc_validator_;

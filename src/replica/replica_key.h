@@ -1,0 +1,35 @@
+// The identity of one cached copy: where the original lives.
+//
+// Split out of transfer_cache.h so the eviction-policy strategies (which
+// bookkeep per-key state) and the subscription table can name keys
+// without pulling in the cache itself.
+
+#ifndef AXML_REPLICA_REPLICA_KEY_H_
+#define AXML_REPLICA_REPLICA_KEY_H_
+
+#include <string>
+
+#include "common/ids.h"
+#include "common/str_util.h"
+
+namespace axml {
+
+/// Identity of one cached copy: where the original lives.
+struct ReplicaKey {
+  PeerId origin;
+  DocName name;
+
+  bool operator==(const ReplicaKey&) const = default;
+  bool operator<(const ReplicaKey& o) const {
+    return origin != o.origin ? origin < o.origin : name < o.name;
+  }
+
+  /// "d@p1" for traces.
+  std::string ToString() const {
+    return StrCat(name, "@", origin.ToString());
+  }
+};
+
+}  // namespace axml
+
+#endif  // AXML_REPLICA_REPLICA_KEY_H_

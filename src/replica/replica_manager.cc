@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "net/catalog.h"
+#include "opt/cost_model.h"
 #include "peer/peer.h"
 #include "peer/system.h"
 
@@ -78,7 +79,8 @@ void ReplicaManager::NoteMutation(PeerId owner, const DocName& name) {
 TransferCache* ReplicaManager::CacheFor(PeerId peer) {
   auto it = caches_.find(peer);
   if (it != caches_.end()) return it->second.get();
-  auto cache = std::make_unique<TransferCache>(default_budget_);
+  auto cache = std::make_unique<TransferCache>(default_budget_,
+                                               default_eviction_policy_);
   cache->set_evict_listener(
       [this, peer](const ReplicaKey& key, const TransferCache::Entry&) {
         // Any exit from the cache — staleness, budget eviction,
@@ -86,7 +88,21 @@ TransferCache* ReplicaManager::CacheFor(PeerId peer) {
         subscriptions_.Unsubscribe(key, peer);
         RetractAdvertisements(peer, key);
       });
+  if (sys_ != nullptr) {
+    // The cost-aware policy prices victims by what re-pulling them over
+    // the holder<-origin link would cost (CostModel::RefetchCost): a
+    // copy of a distant origin survives bursts of cheap nearby traffic.
+    cache->set_refetch_cost(
+        [this, peer](const ReplicaKey& key, uint64_t bytes) {
+          return CostModel(sys_).RefetchCost(peer, key.origin, bytes);
+        });
+  }
   return caches_.emplace(peer, std::move(cache)).first->second.get();
+}
+
+void ReplicaManager::set_default_eviction_policy(EvictionPolicy p) {
+  default_eviction_policy_ = p;
+  for (auto& [peer, cache] : caches_) cache->set_eviction_policy(p);
 }
 
 const TransferCache* ReplicaManager::FindCache(PeerId peer) const {
@@ -174,6 +190,12 @@ bool ReplicaManager::IsCachedCopy(PeerId peer, const DocName& name) const {
   return installed_.count({peer, name}) > 0;
 }
 
+PeerId ReplicaManager::InstalledOrigin(PeerId peer,
+                                       const DocName& name) const {
+  auto it = installed_.find({peer, name});
+  return it == installed_.end() ? PeerId::Invalid() : it->second;
+}
+
 bool ReplicaManager::HasFreshInstalled(PeerId reader, PeerId origin,
                                        const DocName& name) const {
   auto it = installed_.find({reader, name});
@@ -221,6 +243,10 @@ TransferCacheStats ReplicaManager::TotalStats() const {
     total.inserts += s.inserts;
     total.evictions += s.evictions;
     total.invalidations += s.invalidations;
+    total.bytes_evicted += s.bytes_evicted;
+    for (size_t i = 0; i < kEvictionPolicyCount; ++i) {
+      total.victims_by_policy[i] += s.victims_by_policy[i];
+    }
     total.bytes_saved += s.bytes_saved;
     total.bytes_deduped += s.bytes_deduped;
   }
@@ -230,8 +256,10 @@ TransferCacheStats ReplicaManager::TotalStats() const {
 void ReplicaManager::ResetStats() {
   for (auto& [peer, cache] : caches_) cache->ResetStats();
   subscription_stats_ = SubscriptionStats{};
+  placement_stats_ = PlacementStats{};
   uncached_misses_ = 0;
   refresh_spent_.clear();
+  placement_spent_.clear();
 }
 
 bool ReplicaManager::IsRefreshInFlight(PeerId reader, PeerId origin,
@@ -291,41 +319,43 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
   }
 }
 
-bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
-                                  bool retry) {
-  const auto flight = std::make_pair(holder, key);
-  if (refresh_inflight_.count(flight) > 0) {
-    // A shipment is already on the wire; its landing check catches the
-    // newer version with one catch-up pull.
-    ++subscription_stats_.coalesced;
-    return true;
+size_t ReplicaManager::RunPlacement() {
+  if (sys_ == nullptr || !placement_.config().enabled) return 0;
+  size_t started = 0;
+  for (const PlacementDecision& decision :
+       placement_.Plan(sys_->generics(), *this)) {
+    if (StartPlacementShipment(decision)) ++started;
   }
+  return started;
+}
+
+bool ReplicaManager::LaunchShipment(
+    PeerId holder, const ReplicaKey& key,
+    const std::function<bool(uint64_t bytes)>& admit,
+    std::function<void(const TreePtr& shipped, uint64_t snap_version,
+                       uint64_t bytes)>
+        on_land) {
+  AXML_CHECK(refresh_inflight_.count({holder, key}) == 0);
   const Peer* origin = sys_->peer(key.origin);
   Peer* dest = sys_->peer(holder);
   if (origin == nullptr || dest == nullptr) return false;
   TreePtr root = origin->GetDocument(key.name);
-  // A removed document has nothing to push; a tree still carrying
+  // A removed document has nothing to ship; a tree still carrying
   // service calls is excluded, as on the evaluator's insert path — a
   // copy would freeze its activation state.
   if (root == nullptr || root->ContainsServiceCall()) return false;
   const uint64_t bytes = root->SerializedSize();
-  uint64_t& spent = refresh_spent_[holder];
-  if (spent > refresh_budget_bytes_ ||
-      bytes > refresh_budget_bytes_ - spent) {
-    ++subscription_stats_.budget_denied;
-    return false;
-  }
-  spent += bytes;
-  if (retry) ++subscription_stats_.retries;
+  if (!admit(bytes)) return false;
   const uint64_t generation = ++refresh_generation_;
-  refresh_inflight_[flight] = generation;
+  refresh_inflight_[{holder, key}] = generation;
   // Snapshot now: the shipped content is the version at send time; a
   // mid-flight mutation must not brand it fresh (InsertCopy compares).
   const uint64_t snap_version = Version(key.origin, key.name);
   TreePtr shipped = root->Clone(dest->gen());
   sys_->network().Send(
       key.origin, holder, bytes,
-      [this, holder, key, shipped, snap_version, bytes, generation] {
+      [this, holder, key, shipped, snap_version, bytes, generation,
+       on_land = std::move(on_land)] {
         auto it = refresh_inflight_.find({holder, key});
         if (it == refresh_inflight_.end() || it->second != generation) {
           // Canceled (DropAllCopies) while on the wire — and possibly
@@ -334,6 +364,92 @@ bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
           return;
         }
         refresh_inflight_.erase(it);
+        on_land(shipped, snap_version, bytes);
+      });
+  return true;
+}
+
+bool ReplicaManager::StartPlacementShipment(
+    const PlacementDecision& decision) {
+  const PeerId holder = decision.holder;
+  const ReplicaKey& key = decision.key;
+  if (refresh_inflight_.count({holder, key}) > 0) {
+    // An eager refresh or an earlier placement round is already shipping
+    // this very copy; one shipment per pair on the wire, whoever asked.
+    ++placement_stats_.coalesced;
+    return false;
+  }
+  const bool launched = LaunchShipment(
+      holder, key,
+      /*admit=*/
+      [this, holder](uint64_t bytes) {
+        // A copy the holder's cache cannot even admit would land only
+        // to be refused — charge nothing and skip.
+        const TransferCache* cache = FindCache(holder);
+        if (bytes >
+            (cache != nullptr ? cache->byte_budget() : default_budget_)) {
+          ++placement_stats_.budget_denied;
+          return false;
+        }
+        uint64_t& spent = placement_spent_[holder];
+        const uint64_t budget = placement_.config().byte_budget_per_holder;
+        if (spent > budget || bytes > budget - spent) {
+          ++placement_stats_.budget_denied;
+          return false;
+        }
+        spent += bytes;
+        ++placement_stats_.shipments;
+        placement_stats_.shipped_bytes += bytes;
+        return true;
+      },
+      /*on_land=*/
+      [this, holder, key](const TreePtr& shipped, uint64_t snap_version,
+                          uint64_t /*bytes*/) {
+        if (InsertCopy(holder, key.origin, key.name, shipped,
+                       snap_version)) {
+          ++placement_stats_.landed;
+        } else {
+          // The origin moved on while this was on the wire, or the
+          // holder's cache refused the copy. Placement does not chase:
+          // fresh demand re-plans the seed on a later round.
+          ++placement_stats_.wasted;
+        }
+      });
+  // Either way the decision consumed the demand that earned it: a seed
+  // that launched must be re-earned by fresh picks after a later
+  // eviction, and a terminal deny (budget exhausted, document removed,
+  // service calls frozen) must not replay — and re-count — every round
+  // from the same stale burst. Only coalescing (above) keeps demand: the
+  // in-flight shipment may still miss and the next round re-decides.
+  sys_->generics().DrainDocumentPickDemand(decision.class_name, holder);
+  return launched;
+}
+
+bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
+                                  bool retry) {
+  if (refresh_inflight_.count({holder, key}) > 0) {
+    // A shipment is already on the wire; its landing check catches the
+    // newer version with one catch-up pull.
+    ++subscription_stats_.coalesced;
+    return true;
+  }
+  const bool launched = LaunchShipment(
+      holder, key,
+      /*admit=*/
+      [this, holder, retry](uint64_t bytes) {
+        uint64_t& spent = refresh_spent_[holder];
+        if (spent > refresh_budget_bytes_ ||
+            bytes > refresh_budget_bytes_ - spent) {
+          ++subscription_stats_.budget_denied;
+          return false;
+        }
+        spent += bytes;
+        if (retry) ++subscription_stats_.retries;
+        return true;
+      },
+      /*on_land=*/
+      [this, holder, key](const TreePtr& shipped, uint64_t snap_version,
+                          uint64_t bytes) {
         if (InsertCopy(holder, key.origin, key.name, shipped,
                        snap_version)) {
           ++subscription_stats_.refreshes;
@@ -351,7 +467,7 @@ bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
           subscriptions_.Unsubscribe(key, holder);
         }
       });
-  return true;
+  return launched;
 }
 
 }  // namespace axml

@@ -35,6 +35,7 @@
 #ifndef AXML_REPLICA_REPLICA_MANAGER_H_
 #define AXML_REPLICA_REPLICA_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,6 +43,8 @@
 
 #include "common/ids.h"
 #include "peer/generic.h"
+#include "replica/eviction_policy.h"
+#include "replica/placement.h"
 #include "replica/subscription.h"
 #include "replica/transfer_cache.h"
 #include "xml/tree.h"
@@ -125,6 +128,33 @@ class ReplicaManager {
   void set_default_byte_budget(uint64_t bytes) { default_budget_ = bytes; }
   uint64_t default_byte_budget() const { return default_budget_; }
 
+  /// Victim-selection policy for the transfer caches. Applies to caches
+  /// created later *and* switches every existing cache (recency and
+  /// frequency bookkeeping restarts — benches flip policies between
+  /// runs). Every cache also gets CostModel::RefetchCost wired in as its
+  /// refetch-cost estimate, so kCostAware prices victims off the real
+  /// topology.
+  void set_default_eviction_policy(EvictionPolicy p);
+  EvictionPolicy default_eviction_policy() const {
+    return default_eviction_policy_;
+  }
+
+  // --- Proactive placement ---
+
+  /// Placement policy and its config (disabled until someone enables it
+  /// via placement().set_config).
+  PlacementPolicy& placement() { return placement_; }
+  const PlacementPolicy& placement() const { return placement_; }
+  const PlacementStats& placement_stats() const { return placement_stats_; }
+
+  /// One placement round: plans shipments from the GenericCatalog's pick
+  /// demand (PlacementPolicy::Plan) and starts them through the shared
+  /// shipment path — coalesced with in-flight refresh/placement
+  /// shipments, denied by the per-holder placement byte budget, cached +
+  /// installed + advertised when they land. Returns shipments started;
+  /// the caller drives the event loop to land them.
+  size_t RunPlacement();
+
   // --- Copies ---
 
   /// Records that `landed` — a copy of origin's `name` — materialized at
@@ -157,6 +187,14 @@ class ReplicaManager {
   /// True when document `name` on `peer` is soft replica state (skipped
   /// by StateFingerprint).
   bool IsCachedCopy(PeerId peer, const DocName& name) const;
+
+  /// The origin whose copy is installed as `peer`'s local document
+  /// `name`, or PeerId::Invalid() when that slot holds no copy. Only the
+  /// installed copy carries advertisements — a cache-only copy (slot
+  /// taken by an unrelated document or another origin's copy) serves
+  /// repeated reads but is never advertised; tests mirror-check
+  /// advertisements against this.
+  PeerId InstalledOrigin(PeerId peer, const DocName& name) const;
 
   /// True when `reader` holds a fresh copy of origin's `name` that is
   /// also *installed* as reader's local document of that name. Only then
@@ -202,8 +240,32 @@ class ReplicaManager {
   /// false means nothing will land (budget denied, document removed).
   bool StartRefresh(PeerId holder, const ReplicaKey& key, bool retry);
 
+  /// Executes one planned placement seeding through the same in-flight
+  /// machinery StartRefresh uses (one shipment per (holder, key) pair on
+  /// the wire, whatever started it). Returns true when a new shipment
+  /// launched; launching drains the decision's (class, holder) demand.
+  bool StartPlacementShipment(const PlacementDecision& decision);
+
+  /// Shared wire leg of StartRefresh and StartPlacementShipment: clones
+  /// the origin's current content, registers a generation token in
+  /// refresh_inflight_, and sends. `admit` sees the serialized size
+  /// before anything is committed — return false to veto (and charge
+  /// whatever budget applies on true). `on_land` runs at arrival with
+  /// the flight token already cleared; a landing whose token was
+  /// canceled (DropAllCopies) or superseded mid-flight is silently
+  /// discarded before `on_land`. Returns false when nothing launched
+  /// (missing peer or document, service calls frozen, admit veto).
+  /// Precondition: no shipment in flight for (holder, key).
+  bool LaunchShipment(
+      PeerId holder, const ReplicaKey& key,
+      const std::function<bool(uint64_t bytes)>& admit,
+      std::function<void(const TreePtr& shipped, uint64_t snap_version,
+                         uint64_t bytes)>
+          on_land);
+
   AxmlSystem* sys_ = nullptr;
   uint64_t default_budget_ = TransferCache::kDefaultByteBudget;
+  EvictionPolicy default_eviction_policy_ = EvictionPolicy::kLru;
   std::map<PeerId, std::unique_ptr<TransferCache>> caches_;
   std::map<ReplicaKey, uint64_t> versions_;  ///< key = (owner, name)
   /// (reader, local doc name) -> origin, for copies installed as local
@@ -226,6 +288,12 @@ class ReplicaManager {
   /// Misses by peers that never cached anything (LookupFresh must not
   /// allocate a cache just to count one); folded into TotalStats.
   uint64_t uncached_misses_ = 0;
+
+  PlacementPolicy placement_;
+  PlacementStats placement_stats_;
+  /// Wire bytes placement spent per receiving holder (the placement
+  /// config's per-holder budget draws down against this).
+  std::map<PeerId, uint64_t> placement_spent_;
 };
 
 }  // namespace axml

@@ -5,16 +5,37 @@
 
 namespace axml {
 
-std::string ReplicaKey::ToString() const {
-  return StrCat(name, "@", origin.ToString());
+std::string TransferCacheStats::ToString() const {
+  std::string s =
+      StrCat("hits=", hits, " misses=", misses, " inserts=", inserts,
+             " evictions=", evictions,
+             " invalidations=", invalidations,
+             " bytes_evicted=", bytes_evicted,
+             " bytes_saved=", bytes_saved,
+             " bytes_deduped=", bytes_deduped);
+  for (size_t i = 0; i < kEvictionPolicyCount; ++i) {
+    if (victims_by_policy[i] == 0) continue;
+    s += StrCat(" victims_", EvictionPolicyName(static_cast<EvictionPolicy>(i)),
+                "=", victims_by_policy[i]);
+  }
+  return s;
 }
 
-std::string TransferCacheStats::ToString() const {
-  return StrCat("hits=", hits, " misses=", misses, " inserts=", inserts,
-                " evictions=", evictions,
-                " invalidations=", invalidations,
-                " bytes_saved=", bytes_saved,
-                " bytes_deduped=", bytes_deduped);
+void TransferCache::set_eviction_policy(EvictionPolicy policy) {
+  if (policy == strategy_->policy()) return;
+  RebuildStrategy(policy);
+}
+
+void TransferCache::set_refetch_cost(RefetchCostFn fn) {
+  refetch_cost_ = std::move(fn);
+  RebuildStrategy(strategy_->policy());
+}
+
+void TransferCache::RebuildStrategy(EvictionPolicy policy) {
+  strategy_ = MakeEvictionStrategy(policy, refetch_cost_);
+  for (const auto& [key, entry] : entries_) {
+    strategy_->OnInsert(key, entry.bytes);
+  }
 }
 
 bool TransferCache::Put(const ReplicaKey& key, TreePtr tree,
@@ -41,11 +62,9 @@ bool TransferCache::Put(const ReplicaKey& key, TreePtr tree,
   }
   ++blob.refs;
 
-  lru_.push_front(key);
-  Slot slot;
-  slot.entry = Entry{blob.tree, digest, origin_version, blob.bytes};
-  slot.lru_pos = lru_.begin();
-  entries_.emplace(key, std::move(slot));
+  entries_.emplace(key,
+                   Entry{blob.tree, digest, origin_version, blob.bytes});
+  strategy_->OnInsert(key, blob.bytes);
   ++stats_.inserts;
 
   EvictToBudget();
@@ -59,21 +78,21 @@ TreePtr TransferCache::Get(const ReplicaKey& key,
     ++stats_.misses;
     return nullptr;
   }
-  if (it->second.entry.origin_version != expected_version) {
+  if (it->second.origin_version != expected_version) {
     Drop(it, &stats_.invalidations);
     ++stats_.misses;
     return nullptr;
   }
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  strategy_->OnAccess(key);
   ++stats_.hits;
-  stats_.bytes_saved += it->second.entry.bytes;
-  return it->second.entry.tree;
+  stats_.bytes_saved += it->second.bytes;
+  return it->second.tree;
 }
 
 const TransferCache::Entry* TransferCache::Peek(
     const ReplicaKey& key) const {
   auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second.entry;
+  return it == entries_.end() ? nullptr : &it->second;
 }
 
 bool TransferCache::Erase(const ReplicaKey& key, bool invalidation) {
@@ -92,9 +111,16 @@ void TransferCache::Clear() {
 std::vector<ReplicaKey> TransferCache::KeysWithDigest(
     const ContentDigest& digest) const {
   std::vector<ReplicaKey> keys;
-  for (const auto& [key, slot] : entries_) {
-    if (slot.entry.digest == digest) keys.push_back(key);
+  for (const auto& [key, entry] : entries_) {
+    if (entry.digest == digest) keys.push_back(key);
   }
+  return keys;
+}
+
+std::vector<ReplicaKey> TransferCache::Keys() const {
+  std::vector<ReplicaKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
   return keys;
 }
 
@@ -103,26 +129,81 @@ void TransferCache::set_byte_budget(uint64_t budget) {
   EvictToBudget();
 }
 
-void TransferCache::Drop(std::map<ReplicaKey, Slot>::iterator it,
-                         uint64_t* counter) {
-  if (on_evict_) on_evict_(it->first, it->second.entry);
-  auto blob_it = blobs_.find(it->second.entry.digest);
+uint64_t TransferCache::Drop(std::map<ReplicaKey, Entry>::iterator it,
+                             uint64_t* counter) {
+  if (on_evict_) on_evict_(it->first, it->second);
+  auto blob_it = blobs_.find(it->second.digest);
   AXML_CHECK(blob_it != blobs_.end());
+  uint64_t freed = 0;
   if (--blob_it->second.refs == 0) {
-    resident_bytes_ -= blob_it->second.bytes;
+    freed = blob_it->second.bytes;
+    resident_bytes_ -= freed;
     blobs_.erase(blob_it);
   }
-  lru_.erase(it->second.lru_pos);
+  strategy_->OnErase(it->first);
   entries_.erase(it);
   if (counter != nullptr) ++*counter;
+  return freed;
 }
 
 void TransferCache::EvictToBudget() {
-  while (resident_bytes_ > byte_budget_ && !lru_.empty()) {
-    auto victim = entries_.find(lru_.back());
-    AXML_CHECK(victim != entries_.end());
-    Drop(victim, &stats_.evictions);
+  while (resident_bytes_ > byte_budget_) {
+    ReplicaKey victim;
+    if (!strategy_->PickVictim(&victim)) break;
+    auto it = entries_.find(victim);
+    AXML_CHECK(it != entries_.end());
+    const size_t policy_index = static_cast<size_t>(strategy_->policy());
+    stats_.bytes_evicted += Drop(it, &stats_.evictions);
+    ++stats_.victims_by_policy[policy_index];
   }
+}
+
+std::string TransferCache::IntegrityError() const {
+  if (strategy_->size() != entries_.size()) {
+    return StrCat("strategy tracks ", strategy_->size(), " entries, cache ",
+                  entries_.size());
+  }
+  if (resident_bytes_ > byte_budget_) {
+    return StrCat("resident_bytes ", resident_bytes_, " over budget ",
+                  byte_budget_);
+  }
+  // Recompute blob refcounts and resident bytes from the entries.
+  std::map<ContentDigest, uint32_t> refs;
+  for (const auto& [key, entry] : entries_) {
+    ++refs[entry.digest];
+    auto blob_it = blobs_.find(entry.digest);
+    if (blob_it == blobs_.end()) {
+      return StrCat("entry ", key.ToString(), " names a missing blob");
+    }
+    if (entry.tree != blob_it->second.tree) {
+      return StrCat("entry ", key.ToString(),
+                    " does not alias its blob's tree");
+    }
+    if (entry.bytes != blob_it->second.bytes) {
+      return StrCat("entry ", key.ToString(), " bytes ", entry.bytes,
+                    " != blob bytes ", blob_it->second.bytes);
+    }
+  }
+  if (refs.size() != blobs_.size()) {
+    return StrCat("blob table holds ", blobs_.size(), " blobs, entries use ",
+                  refs.size());
+  }
+  uint64_t total_bytes = 0;
+  for (const auto& [digest, blob] : blobs_) {
+    auto it = refs.find(digest);
+    const uint32_t expected = it == refs.end() ? 0 : it->second;
+    if (blob.refs != expected) {
+      return StrCat("blob refcount ", blob.refs, " != alias count ",
+                    expected);
+    }
+    if (blob.refs == 0) return "blob resident with zero refs";
+    total_bytes += blob.bytes;
+  }
+  if (total_bytes != resident_bytes_) {
+    return StrCat("blob bytes sum ", total_bytes, " != resident_bytes ",
+                  resident_bytes_);
+  }
+  return "";
 }
 
 }  // namespace axml

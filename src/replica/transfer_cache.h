@@ -1,5 +1,5 @@
-// Per-peer transfer cache: a byte-budgeted LRU of materialized remote
-// trees.
+// Per-peer transfer cache: a byte-budgeted store of materialized remote
+// trees with pluggable eviction.
 //
 // Rule (13) of the paper materializes a transferred tree as a local copy
 // so it can be read twice; this cache is the runtime home of those
@@ -9,37 +9,27 @@
 // copies. Storage is content-addressed: entries whose trees are
 // unordered-equal share one blob, and the byte budget charges each blob
 // once (identical content replicated from several mirrors costs one
-// slot).
+// slot). Victim selection under budget pressure is delegated to an
+// EvictionStrategy (eviction_policy.h): LRU (default), LFU, or
+// cost-aware scoring by refetch cost from the origin.
 
 #ifndef AXML_REPLICA_TRANSFER_CACHE_H_
 #define AXML_REPLICA_TRANSFER_CACHE_H_
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
 #include "replica/digest.h"
+#include "replica/eviction_policy.h"
+#include "replica/replica_key.h"
 #include "xml/tree.h"
 
 namespace axml {
-
-/// Identity of one cached copy: where the original lives.
-struct ReplicaKey {
-  PeerId origin;
-  DocName name;
-
-  bool operator==(const ReplicaKey&) const = default;
-  bool operator<(const ReplicaKey& o) const {
-    return origin != o.origin ? origin < o.origin : name < o.name;
-  }
-
-  /// "d@p1" for traces.
-  std::string ToString() const;
-};
 
 /// Counters for one cache (benches report these; EXP-4's crossover is
 /// visible in bytes_saved, not just wall clock).
@@ -49,6 +39,13 @@ struct TransferCacheStats {
   uint64_t inserts = 0;
   uint64_t evictions = 0;      ///< entries dropped by the byte budget
   uint64_t invalidations = 0;  ///< entries dropped as stale
+  /// Blob bytes the budget evictions released (cache churn). An evicted
+  /// dedup alias whose blob stays resident releases nothing.
+  uint64_t bytes_evicted = 0;
+  /// Budget evictions split by the policy that chose the victim
+  /// (indexed by EvictionPolicy); sums to `evictions` unless the policy
+  /// was switched mid-run.
+  uint64_t victims_by_policy[kEvictionPolicyCount] = {};
   /// Serialized bytes of hit entries: wire transfers the cache avoided.
   uint64_t bytes_saved = 0;
   /// Bytes not stored again because an equal blob was already resident.
@@ -57,14 +54,17 @@ struct TransferCacheStats {
   std::string ToString() const;
 };
 
-/// Byte-budgeted LRU of materialized remote trees with content-addressed
-/// blob sharing. One instance per caching peer (owned by ReplicaManager).
+/// Byte-budgeted cache of materialized remote trees with
+/// content-addressed blob sharing and pluggable eviction. One instance
+/// per caching peer (owned by ReplicaManager).
 class TransferCache {
  public:
   static constexpr uint64_t kDefaultByteBudget = 4ull << 20;  // 4 MiB
 
-  explicit TransferCache(uint64_t byte_budget = kDefaultByteBudget)
-      : byte_budget_(byte_budget) {}
+  explicit TransferCache(uint64_t byte_budget = kDefaultByteBudget,
+                         EvictionPolicy policy = EvictionPolicy::kLru)
+      : byte_budget_(byte_budget),
+        strategy_(MakeEvictionStrategy(policy)) {}
 
   TransferCache(const TransferCache&) = delete;
   TransferCache& operator=(const TransferCache&) = delete;
@@ -82,20 +82,35 @@ class TransferCache {
   using EvictListener = std::function<void(const ReplicaKey&, const Entry&)>;
   void set_evict_listener(EvictListener fn) { on_evict_ = std::move(fn); }
 
-  /// Inserts (or overwrites) the copy for `key`, evicting LRU entries
-  /// until the budget holds. Returns false — and caches nothing — when
-  /// the tree alone exceeds the budget. A blob equal to an already
-  /// resident one is shared, not stored twice.
+  // --- Eviction policy ---
+
+  EvictionPolicy eviction_policy() const { return strategy_->policy(); }
+
+  /// Swaps the victim-selection strategy. Resident entries are re-seeded
+  /// into the new strategy in key order — recency and frequency history
+  /// does not survive the switch.
+  void set_eviction_policy(EvictionPolicy policy);
+
+  /// Wires the refetch-cost estimate kCostAware scores victims with
+  /// (the ReplicaManager passes CostModel::RefetchCost). Takes effect
+  /// immediately — the active strategy is rebuilt.
+  void set_refetch_cost(RefetchCostFn fn);
+
+  /// Inserts (or overwrites) the copy for `key`, evicting entries per
+  /// the eviction policy until the budget holds. Returns false — and
+  /// caches nothing — when the tree alone exceeds the budget. A blob
+  /// equal to an already resident one is shared, not stored twice.
   bool Put(const ReplicaKey& key, TreePtr tree, ContentDigest digest,
            uint64_t origin_version);
 
   /// The cached copy for `key` iff present *and* its origin_version
-  /// equals `expected_version`; refreshes LRU and counts a hit. A present
-  /// but stale entry is dropped (invalidation) and counts a miss, as does
-  /// an absent key. Returns nullptr on miss.
+  /// equals `expected_version`; touches the eviction strategy and counts
+  /// a hit. A present but stale entry is dropped (invalidation) and
+  /// counts a miss, as does an absent key. Returns nullptr on miss.
   TreePtr Get(const ReplicaKey& key, uint64_t expected_version);
 
-  /// Read-only view with no LRU or stats side effects; nullptr if absent.
+  /// Read-only view with no recency or stats side effects; nullptr if
+  /// absent.
   const Entry* Peek(const ReplicaKey& key) const;
 
   /// Drops `key`; `invalidation` selects which counter the drop charges.
@@ -108,6 +123,10 @@ class TransferCache {
   /// Keys whose entries share `digest`'s blob (used when a blob is about
   /// to be mutated in place and every alias must go).
   std::vector<ReplicaKey> KeysWithDigest(const ContentDigest& digest) const;
+
+  /// Every resident key, in key order (tests and debugging; no recency
+  /// side effects).
+  std::vector<ReplicaKey> Keys() const;
 
   size_t entry_count() const { return entries_.size(); }
   /// Distinct blobs resident (dedup makes this <= entry_count()).
@@ -130,27 +149,35 @@ class TransferCache {
     stats_.bytes_saved += bytes;
   }
 
+  /// Full cross-check of the internal bookkeeping: entry/blob refcount
+  /// agreement, resident-byte accounting, budget compliance, strategy
+  /// entry tracking. Returns a description of the first violation, or ""
+  /// when consistent. Test/debug hook — O(entries), no side effects.
+  std::string IntegrityError() const;
+
  private:
+  /// Unlinks `it`'s entry, releasing its blob reference. Runs the evict
+  /// listener first. Returns the blob bytes the drop released (0 while
+  /// other aliases keep the blob resident).
+  uint64_t Drop(std::map<ReplicaKey, Entry>::iterator it,
+                uint64_t* counter);
+  /// Evicts strategy-chosen victims until resident_bytes_ <=
+  /// byte_budget_.
+  void EvictToBudget();
+  /// Rebuilds the strategy for `policy`, re-seeding resident entries.
+  void RebuildStrategy(EvictionPolicy policy);
+
+  uint64_t byte_budget_;
+  std::unique_ptr<EvictionStrategy> strategy_;
+  RefetchCostFn refetch_cost_;
+
   struct Blob {
     TreePtr tree;
     uint64_t bytes = 0;
     uint32_t refs = 0;
   };
-  struct Slot {
-    Entry entry;
-    std::list<ReplicaKey>::iterator lru_pos;
-  };
-
-  /// Unlinks `it`'s entry, releasing its blob reference. Runs the evict
-  /// listener first.
-  void Drop(std::map<ReplicaKey, Slot>::iterator it, uint64_t* counter);
-  /// Evicts LRU entries until resident_bytes_ <= byte_budget_.
-  void EvictToBudget();
-
-  uint64_t byte_budget_;
-  std::map<ReplicaKey, Slot> entries_;
+  std::map<ReplicaKey, Entry> entries_;
   std::map<ContentDigest, Blob> blobs_;
-  std::list<ReplicaKey> lru_;  ///< front = most recently used
   uint64_t resident_bytes_ = 0;
   TransferCacheStats stats_;
   EvictListener on_evict_;

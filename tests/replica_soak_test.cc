@@ -1,0 +1,254 @@
+// Multi-peer soak of the replica layer across the full policy grid.
+//
+// An 8-peer system (two distant origins, six readers on a fast regional
+// backbone) runs Zipf-skewed reads — direct doc@origin reads and
+// d@any generic resolutions — interleaved with periodic mutations at
+// the origins and proactive placement rounds, under every
+// (EvictionPolicy × RefreshPolicy) pair. Two properties must hold:
+//
+//   1. No stale read ever lands: every read returns content equal to
+//      the origin's document *at read time*, whichever copy served it.
+//   2. At quiescence, catalog and generic-class advertisements exactly
+//      mirror cache contents: every resident copy is installed and
+//      advertised; every absent copy is neither.
+//
+// The seed comes from AXML_TEST_SEED (CI runs a 5-seed matrix).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "net/catalog.h"
+#include "peer/system.h"
+#include "replica/replica_manager.h"
+#include "test_util.h"
+#include "xml/tree_equal.h"
+
+namespace axml {
+namespace {
+
+using testing::TestSeed;
+
+constexpr size_t kOrigins = 2;
+constexpr size_t kReaders = 6;
+constexpr size_t kDocsPerOrigin = 6;
+constexpr size_t kSoakOps = 400;
+
+struct SoakDoc {
+  DocName name;
+  PeerId origin;
+  std::string class_name;
+  uint64_t revision = 1;
+  size_t filler = 0;
+};
+
+TreePtr MakeDoc(const SoakDoc& doc, NodeIdGen* gen) {
+  TreePtr root = TreeNode::Element("doc", gen);
+  root->AddChild(
+      MakeTextElement("id", StrCat(doc.name, "#", doc.revision), gen));
+  for (size_t i = 0; i < doc.filler; ++i) {
+    root->AddChild(
+        MakeTextElement("x", StrCat(doc.name, "-", doc.revision, "-", i),
+                        gen));
+  }
+  return root;
+}
+
+class SoakHarness {
+ public:
+  SoakHarness(EvictionPolicy eviction, RefreshPolicy refresh,
+              uint64_t seed)
+      : rng_(seed),
+        // Readers share a fast backbone; origin links cross a slow WAN.
+        sys_(Topology::TwoClusters(
+            kOrigins + kReaders, kOrigins,
+            /*intra=*/LinkParams{0.004, 6.0e6},
+            /*inter=*/LinkParams{0.150, 4.0e5})) {
+    for (size_t i = 0; i < kOrigins; ++i) {
+      origins_.push_back(sys_.AddPeer(StrCat("origin", i)));
+    }
+    for (size_t i = 0; i < kReaders; ++i) {
+      readers_.push_back(sys_.AddPeer(StrCat("reader", i)));
+    }
+    sys_.replicas().set_refresh_policy(refresh);
+    sys_.replicas().set_default_eviction_policy(eviction);
+    // Tight enough that hot-tail churn forces evictions.
+    sys_.replicas().set_default_byte_budget(5000);
+    PlacementConfig placement;
+    placement.enabled = true;
+    placement.min_picks = 3;
+    placement.max_targets_per_class = 1;
+    placement.max_shipments_per_round = 8;
+    sys_.replicas().placement().set_config(placement);
+
+    for (size_t o = 0; o < kOrigins; ++o) {
+      for (size_t d = 0; d < kDocsPerOrigin; ++d) {
+        SoakDoc doc;
+        doc.name = StrCat(o == 0 ? "a" : "b", d);
+        doc.origin = origins_[o];
+        doc.class_name = StrCat("cls_", doc.name);
+        doc.filler = 4 + (o * kDocsPerOrigin + d) * 5;
+        EXPECT_TRUE(sys_.InstallDocument(
+                            doc.origin, doc.name,
+                            MakeDoc(doc, sys_.peer(doc.origin)->gen()))
+                        .ok());
+        sys_.generics().AddDocumentMember(
+            doc.class_name, ClassMember{doc.name, doc.origin});
+        docs_.push_back(doc);
+      }
+    }
+  }
+
+  void Run() {
+    EvalOptions opts;
+    opts.use_replica_cache = true;
+    opts.pick_policy = PickPolicy::kCacheAware;
+    Evaluator ev(&sys_, opts);
+    ZipfSampler zipf(docs_.size(), 1.0);
+    for (size_t i = 0; i < kSoakOps; ++i) {
+      SoakDoc& doc = docs_[zipf.Sample(&rng_)];
+      PeerId reader = readers_[rng_.Index(readers_.size())];
+      // 70% direct doc@origin reads, 30% d@any resolutions.
+      ExprPtr read = rng_.Bernoulli(0.7)
+                         ? Expr::Doc(doc.name, doc.origin)
+                         : Expr::GenericDoc(doc.class_name);
+      auto out = ev.Eval(reader, read);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      ASSERT_EQ(out->results.size(), 1u);
+      // Property 1 — no stale read: whatever copy served this, its
+      // content equals the origin's document right now.
+      TreePtr truth = sys_.peer(doc.origin)->GetDocument(doc.name);
+      ASSERT_NE(truth, nullptr);
+      EXPECT_EQ(CanonicalForm(*out->results[0]), CanonicalForm(*truth))
+          << "stale read of " << doc.name << " at op " << i;
+      if (::testing::Test::HasFailure()) return;
+
+      if (i % 7 == 6) {
+        // Mutation at the origin: bump the revision; push policies
+        // retract or refresh copies before this returns.
+        SoakDoc& victim = docs_[zipf.Sample(&rng_)];
+        ++victim.revision;
+        Peer* host = sys_.peer(victim.origin);
+        host->PutDocument(victim.name, MakeDoc(victim, host->gen()));
+        sys_.RunToQuiescence();
+      }
+      if (i % 30 == 29) {
+        sys_.replicas().RunPlacement();
+        sys_.RunToQuiescence();
+      }
+    }
+    sys_.RunToQuiescence();
+    CheckQuiescentMirror();
+  }
+
+ private:
+  /// Property 2: advertisements exactly mirror cache contents. Only the
+  /// *installed* copy of a name carries advertisements; a cache-only
+  /// copy (its local slot taken — e.g. a copy-of-a-copy chain left a
+  /// different origin's copy installed under kLazy) serves reads but is
+  /// never advertised.
+  void CheckQuiescentMirror() {
+    const RefreshPolicy refresh = sys_.replicas().refresh_policy();
+    for (PeerId reader : readers_) {
+      const TransferCache* cache = sys_.replicas().FindCache(reader);
+      std::set<std::pair<PeerId, DocName>> resident;  // (origin, name)
+      if (cache != nullptr) {
+        EXPECT_EQ(cache->IntegrityError(), "");
+        for (const ReplicaKey& key : cache->Keys()) {
+          resident.insert({key.origin, key.name});
+          if (refresh != RefreshPolicy::kLazy) {
+            // Push policies leave no stale entry behind at quiescence.
+            const TransferCache::Entry* e = cache->Peek(key);
+            ASSERT_NE(e, nullptr);
+            EXPECT_EQ(e->origin_version,
+                      sys_.replicas().Version(key.origin, key.name))
+                << key.ToString() << " resident but stale under push";
+          }
+        }
+      }
+      for (const SoakDoc& doc : docs_) {
+        const PeerId installed_origin =
+            sys_.replicas().InstalledOrigin(reader, doc.name);
+        if (installed_origin.valid()) {
+          // Installed => backed by a resident cache entry for that very
+          // origin, advertised in the catalog, and a class member.
+          EXPECT_TRUE(resident.count({installed_origin, doc.name}) > 0)
+              << doc.name << " installed at " << reader.ToString()
+              << " without a resident backing entry";
+          EXPECT_TRUE(sys_.catalog()->IsAdvertised(
+              ResourceKind::kDocument, doc.name, reader))
+              << doc.name << " installed at " << reader.ToString()
+              << " but not in the catalog";
+          EXPECT_TRUE(InClass(doc.name, reader))
+              << doc.name << " installed at " << reader.ToString()
+              << " but not a class member";
+        } else {
+          // Not installed => no advertisement of any kind survives.
+          EXPECT_FALSE(sys_.catalog()->IsAdvertised(
+              ResourceKind::kDocument, doc.name, reader))
+              << doc.name << " advertised by " << reader.ToString()
+              << " without an installed copy";
+          EXPECT_FALSE(InClass(doc.name, reader))
+              << doc.name << " still a class member at "
+              << reader.ToString() << " without an installed copy";
+        }
+      }
+    }
+    // Origins stay advertised and in their classes throughout.
+    for (const SoakDoc& doc : docs_) {
+      EXPECT_TRUE(sys_.catalog()->IsAdvertised(ResourceKind::kDocument,
+                                               doc.name, doc.origin));
+      EXPECT_TRUE(InClass(doc.name, doc.origin));
+    }
+  }
+
+  bool InClass(const DocName& name, PeerId peer) {
+    for (const SoakDoc& doc : docs_) {
+      if (doc.name != name) continue;
+      const std::vector<ClassMember>* members =
+          sys_.generics().DocumentMembers(doc.class_name);
+      if (members == nullptr) return false;
+      for (const ClassMember& m : *members) {
+        if (m.peer == peer && m.name == name) return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  Rng rng_;
+  AxmlSystem sys_;
+  std::vector<PeerId> origins_;
+  std::vector<PeerId> readers_;
+  std::vector<SoakDoc> docs_;
+};
+
+using PolicyPair = std::tuple<EvictionPolicy, RefreshPolicy>;
+
+class ReplicaSoakTest : public ::testing::TestWithParam<PolicyPair> {};
+
+TEST_P(ReplicaSoakTest, NoStaleReadsAndAdvertisementsMirrorCaches) {
+  const auto [eviction, refresh] = GetParam();
+  SoakHarness harness(eviction, refresh, TestSeed(0x50AC));
+  harness.Run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyGrid, ReplicaSoakTest,
+    ::testing::Combine(::testing::Values(EvictionPolicy::kLru,
+                                         EvictionPolicy::kLfu,
+                                         EvictionPolicy::kCostAware),
+                       ::testing::Values(RefreshPolicy::kLazy,
+                                         RefreshPolicy::kDrop,
+                                         RefreshPolicy::kEagerRefresh)),
+    [](const ::testing::TestParamInfo<PolicyPair>& info) {
+      return StrCat(EvictionPolicyName(std::get<0>(info.param)), "_",
+                    RefreshPolicyName(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace axml

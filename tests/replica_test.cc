@@ -872,5 +872,137 @@ TEST(ReplicaOptimizerTest, Rule13NeverRewritesToAShadowedName) {
   }
 }
 
+// --- Proactive placement ---
+
+namespace placement_test {
+
+struct PlacementRig {
+  AxmlSystem sys;
+  PeerId origin, hot, cold;
+  TreePtr doc;
+
+  PlacementRig() {
+    origin = sys.AddPeer("origin");
+    hot = sys.AddPeer("hot-picker");
+    cold = sys.AddPeer("cold-picker");
+    Rng rng(11);
+    NodeIdGen gen;
+    doc = MakeCatalog(16, &gen, &rng);
+    EXPECT_TRUE(sys.InstallDocument(origin, "d",
+                                    doc->Clone(sys.peer(origin)->gen()))
+                    .ok());
+    sys.generics().AddDocumentMember("cls", ClassMember{"d", origin});
+    PlacementConfig config;
+    config.enabled = true;
+    config.min_picks = 3;
+    config.max_targets_per_class = 1;
+    sys.replicas().placement().set_config(config);
+  }
+
+  /// Records `n` picks of "cls" by `from` in the demand table.
+  void Demand(PeerId from, int n) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(sys.generics()
+                      .PickDocument("cls", from,
+                                    PickPolicy::kFirst, sys.network())
+                      .ok());
+    }
+  }
+};
+
+TEST(PlacementTest, SeedsTheTopPickerOnceDemandCrossesTheThreshold) {
+  PlacementRig rig;
+  rig.Demand(rig.cold, 2);  // below min_picks
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 0u);
+  rig.Demand(rig.hot, 5);
+  // hot qualifies and out-picks cold; max_targets_per_class = 1.
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 1u);
+  EXPECT_TRUE(rig.sys.replicas().IsRefreshInFlight(rig.hot, rig.origin,
+                                                   "d"));
+  rig.sys.RunToQuiescence();
+  // The seed landed, installed, and advertised without any read paying.
+  EXPECT_TRUE(rig.sys.replicas().HasFreshInstalled(rig.hot, rig.origin,
+                                                   "d"));
+  EXPECT_TRUE(rig.sys.catalog()->IsAdvertised(ResourceKind::kDocument,
+                                              "d", rig.hot));
+  const auto* members = rig.sys.generics().DocumentMembers("cls");
+  ASSERT_NE(members, nullptr);
+  EXPECT_EQ(members->size(), 2u);
+  EXPECT_EQ(rig.sys.replicas().placement_stats().landed, 1u);
+  // A fresh holder is not re-seeded: the next round plans nothing.
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 0u);
+}
+
+TEST(PlacementTest, LaunchDrainsTheDemandThatEarnedTheSeed) {
+  PlacementRig rig;
+  rig.Demand(rig.hot, 5);
+  EXPECT_EQ(rig.sys.generics().DocumentPickDemand("cls", rig.hot), 5u);
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 1u);
+  // The launch consumed the demand: without fresh picks, nothing plans
+  // — even though the shipment is still on the wire. Re-seeding after a
+  // later eviction takes new demand, not the lifetime count.
+  EXPECT_EQ(rig.sys.generics().DocumentPickDemand("cls", rig.hot), 0u);
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 0u);
+  EXPECT_EQ(rig.sys.replicas().placement_stats().coalesced, 0u);
+  rig.sys.RunToQuiescence();
+  EXPECT_EQ(rig.sys.replicas().placement_stats().landed, 1u);
+}
+
+TEST(PlacementTest, CoalescesWithTheShipmentAlreadyInFlight) {
+  PlacementRig rig;
+  rig.Demand(rig.hot, 5);
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 1u);
+  // Fresh demand while the first shipment is still on the wire: the new
+  // decision folds into it — no second transfer, demand kept for later.
+  rig.Demand(rig.hot, 5);
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 0u);
+  EXPECT_EQ(rig.sys.replicas().placement_stats().coalesced, 1u);
+  rig.sys.RunToQuiescence();
+  EXPECT_EQ(rig.sys.replicas().placement_stats().shipments, 1u);
+  EXPECT_EQ(rig.sys.replicas().placement_stats().landed, 1u);
+}
+
+TEST(PlacementTest, PerHolderByteBudgetDeniesTheSeed) {
+  PlacementRig rig;
+  PlacementConfig config = rig.sys.replicas().placement().config();
+  config.byte_budget_per_holder = 10;  // far below the document size
+  rig.sys.replicas().placement().set_config(config);
+  rig.Demand(rig.hot, 5);
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 0u);
+  EXPECT_EQ(rig.sys.replicas().placement_stats().budget_denied, 1u);
+  EXPECT_FALSE(rig.sys.replicas().HasFresh(rig.hot, rig.origin, "d"));
+  // The deny is terminal for that burst of picks: the demand is drained
+  // too, so later rounds neither replan nor re-count the denial.
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 0u);
+  EXPECT_EQ(rig.sys.replicas().placement_stats().budget_denied, 1u);
+}
+
+TEST(PlacementTest, MidFlightMutationWastesTheShipmentWithoutStaleness) {
+  PlacementRig rig;
+  // kLazy so the mutation does not push-drop anything; the landing-time
+  // version check alone must reject the stale payload.
+  rig.sys.replicas().set_refresh_policy(RefreshPolicy::kLazy);
+  rig.Demand(rig.hot, 5);
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 1u);
+  // The origin moves on while the seed is on the wire.
+  Peer* host = rig.sys.peer(rig.origin);
+  host->PutDocument("d", MakeTextElement("r", "new", host->gen()));
+  rig.sys.RunToQuiescence();
+  EXPECT_FALSE(rig.sys.replicas().HasFresh(rig.hot, rig.origin, "d"));
+  EXPECT_EQ(rig.sys.replicas().placement_stats().wasted, 1u);
+  EXPECT_EQ(rig.sys.replicas().placement_stats().landed, 0u);
+}
+
+TEST(PlacementTest, DisabledPolicyPlansNothing) {
+  PlacementRig rig;
+  PlacementConfig config;  // enabled = false
+  rig.sys.replicas().placement().set_config(config);
+  rig.Demand(rig.hot, 50);
+  EXPECT_EQ(rig.sys.replicas().RunPlacement(), 0u);
+  EXPECT_EQ(rig.sys.replicas().placement_stats().shipments, 0u);
+}
+
+}  // namespace placement_test
+
 }  // namespace
 }  // namespace axml

@@ -193,6 +193,121 @@ TEST(CacheStatsTest, PromotionErasesEveryDedupAliasOfTheBlob) {
   EXPECT_FALSE(sys.replicas().IsCachedCopy(reader, "d"));
 }
 
+TEST(CacheStatsTest, BudgetEvictionCountsFreedBytesAndPolicyVictims) {
+  NodeIdGen gen;
+  Rng rng(7);
+  TreePtr a = MakeCatalog(8, &gen, &rng);
+  TreePtr b = MakeCatalog(8, &gen, &rng);
+  TreePtr c = MakeCatalog(8, &gen, &rng);
+  TransferCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put(ReplicaKey{PeerId(0), "a"}, a, DigestOf(*a), 1));
+  ASSERT_TRUE(cache.Put(ReplicaKey{PeerId(0), "b"}, b, DigestOf(*b), 1));
+  ASSERT_TRUE(cache.Put(ReplicaKey{PeerId(0), "c"}, c, DigestOf(*c), 1));
+  const uint64_t resident_before = cache.resident_bytes();
+  // Shrink to hold only the newest entry: two LRU victims depart and
+  // their blob bytes are the reported churn.
+  cache.set_byte_budget(c->SerializedSize());
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().bytes_evicted,
+            resident_before - cache.resident_bytes());
+  EXPECT_EQ(cache.stats().victims_by_policy[static_cast<size_t>(
+                EvictionPolicy::kLru)],
+            2u);
+  // Invalidations and erases are not churn.
+  EXPECT_TRUE(cache.Erase(ReplicaKey{PeerId(0), "c"},
+                          /*invalidation=*/true));
+  EXPECT_EQ(cache.stats().bytes_evicted,
+            resident_before - c->SerializedSize());
+  // The counter is part of the printable stats line.
+  EXPECT_NE(cache.stats().ToString().find("bytes_evicted="),
+            std::string::npos);
+}
+
+TEST(CacheStatsTest, DedupAliasEvictionFreesBlobBytesOnlyOnce) {
+  // Two keys alias one blob; evicting the first alias frees nothing
+  // (the blob stays resident), evicting the second frees the blob. The
+  // churn counter must reflect bytes actually released, not entries.
+  NodeIdGen g1, g2;
+  Rng r1(42), r2(42);  // same seed -> identical content
+  TreePtr a = MakeCatalog(8, &g1, &r1);
+  TreePtr b = MakeCatalog(8, &g2, &r2);
+  const uint64_t blob_bytes = a->SerializedSize();
+  TransferCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put(ReplicaKey{PeerId(1), "d"}, a, DigestOf(*a), 1));
+  ASSERT_TRUE(
+      cache.Put(ReplicaKey{PeerId(2), "mirror"}, b, DigestOf(*b), 1));
+  ASSERT_EQ(cache.blob_count(), 1u);
+  ASSERT_EQ(cache.resident_bytes(), blob_bytes);
+  // Force both aliases out.
+  cache.set_byte_budget(0);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().bytes_evicted, blob_bytes);
+}
+
+TEST(CacheStatsTest, VictimCountsSplitByPolicyAcrossASwitch) {
+  NodeIdGen gen;
+  Rng rng(7);
+  TransferCache cache(1 << 20);
+  auto fill = [&](const char* prefix) {
+    for (int i = 0; i < 3; ++i) {
+      TreePtr t = MakeCatalog(4 + i, &gen, &rng);
+      ASSERT_TRUE(cache.Put(ReplicaKey{PeerId(0), StrCat(prefix, i)}, t,
+                            DigestOf(*t), 1));
+    }
+  };
+  fill("a");
+  cache.set_byte_budget(1);  // evict everything under LRU
+  const uint64_t lru_victims = cache.stats().evictions;
+  ASSERT_GT(lru_victims, 0u);
+  cache.set_byte_budget(1 << 20);
+  cache.set_eviction_policy(EvictionPolicy::kLfu);
+  fill("b");
+  cache.set_byte_budget(1);  // evict everything under LFU
+  const TransferCacheStats& s = cache.stats();
+  EXPECT_EQ(s.victims_by_policy[static_cast<size_t>(EvictionPolicy::kLru)],
+            lru_victims);
+  EXPECT_EQ(s.victims_by_policy[static_cast<size_t>(EvictionPolicy::kLfu)],
+            s.evictions - lru_victims);
+  EXPECT_GT(s.evictions, lru_victims);
+}
+
+TEST(CacheStatsTest, CostAwareProtectsTheExpensiveDistantCopy) {
+  // Deterministic policy behavior: under kCostAware a small nearby-origin
+  // copy is the victim even when the distant copy is older — under kLru
+  // the distant (least recently inserted) copy would die. The manager
+  // wires CostModel::RefetchCost, so the topology is the price list.
+  AxmlSystem sys;
+  PeerId reader = sys.AddPeer("reader");
+  PeerId far = sys.AddPeer("far");
+  PeerId near = sys.AddPeer("near");
+  sys.network().mutable_topology()->SetLinkSymmetric(
+      reader, far, LinkParams{0.500, 1.0e5});
+  sys.network().mutable_topology()->SetLinkSymmetric(
+      reader, near, LinkParams{0.001, 1.0e7});
+  sys.replicas().set_default_eviction_policy(EvictionPolicy::kCostAware);
+  Rng rng(7);
+  NodeIdGen gen;
+  TreePtr big = MakeCatalog(32, &gen, &rng);
+  TreePtr small = MakeCatalog(8, &gen, &rng);
+  TreePtr extra = MakeCatalog(8, &gen, &rng);
+  // Slack for the few-byte size jitter between the two small catalogs.
+  sys.replicas().set_default_byte_budget(big->SerializedSize() +
+                                         small->SerializedSize() + 64);
+  ASSERT_TRUE(sys.replicas().InsertCopy(
+      reader, far, "hot", big, sys.replicas().Version(far, "hot")));
+  ASSERT_TRUE(sys.replicas().InsertCopy(
+      reader, near, "c0", small, sys.replicas().Version(near, "c0")));
+  // Over budget now: someone must go — the cheap nearby copy, not the
+  // expensive distant one, even though the distant one is older.
+  ASSERT_TRUE(sys.replicas().InsertCopy(
+      reader, near, "c1", extra, sys.replicas().Version(near, "c1")));
+  EXPECT_TRUE(sys.replicas().HasFresh(reader, far, "hot"));
+  EXPECT_FALSE(sys.replicas().HasFresh(reader, near, "c0"));
+  EXPECT_GT(sys.replicas().TotalStats().bytes_evicted, 0u);
+}
+
 TEST(CacheStatsTest, TotalStatsSumsAcrossPeersAndUncachedMisses) {
   AxmlSystem sys;
   PeerId owner = sys.AddPeer("owner");

@@ -3,6 +3,7 @@
 #ifndef AXML_TESTS_TEST_UTIL_H_
 #define AXML_TESTS_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,17 @@
 
 namespace axml {
 namespace testing {
+
+/// Seed for randomized tests: the AXML_TEST_SEED environment variable
+/// when set (CI pins it across a seed matrix so a flake reproduces as
+/// `AXML_TEST_SEED=<n> ctest -R <test>`), otherwise `fallback`.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* s = std::getenv("AXML_TEST_SEED");
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(s, &end, 10);
+  return end == s ? fallback : static_cast<uint64_t>(parsed);
+}
 
 /// Builds a product-catalog document:
 ///   <catalog> <product><name>item<i></name><price>P</price>
