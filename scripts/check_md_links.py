@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in README.md and docs/**.md.
+
+Checks every inline markdown link `[text](target)` whose target is not
+an absolute URL or mailto:. Relative targets are resolved against the
+file containing the link; a `#fragment` suffix is stripped (anchors are
+not validated). Exit code 1 with one line per broken link.
+
+Run from anywhere: paths are resolved relative to the repo root (the
+parent of this script's directory).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Inline links, ignoring images' leading '!' (images are checked too —
+# a broken image path is just as broken). Skips code spans crudely by
+# masking them first.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def links_in(path: pathlib.Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(CODE_SPAN_RE.sub("", line)):
+            yield lineno, match.group(1)
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").rglob("*.md"))
+    broken = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            broken.append(f"{md}: file listed for checking does not exist")
+            continue
+        for lineno, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            rel = target.split("#", 1)[0]
+            if not rel:  # pure in-page anchor
+                continue
+            resolved = (md.parent / rel).resolve()
+            if not resolved.exists():
+                broken.append(
+                    f"{md.relative_to(REPO_ROOT)}:{lineno}: broken link "
+                    f"-> {target}"
+                )
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative links in {len(files)} files; "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -251,13 +251,38 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
     return;
   }
   const DocName doc_name = e->doc_name();
+  // Documents above the sharding threshold read through the shard
+  // layer: full assemblies from resident shards, delta fetches for the
+  // rest. Everything else keeps the whole-document replica path — a
+  // fresh whole-document copy included (e.g. cached before sharding was
+  // enabled): the cost model prices that copy at zero, so the read must
+  // serve it rather than re-fetch the document as shards.
+  const bool sharded_read =
+      owner != ctx && options_.use_replica_cache &&
+      sys_->replicas().ShardedReadApplies(owner, doc_name) &&
+      !sys_->replicas().HasFreshWholeCopy(ctx, owner, doc_name);
   if (owner != ctx && options_.use_replica_cache) {
-    // Replica fast path: a fresh cached copy of the remote document is
-    // read locally — a transfer the cache's hit stats account for. A
-    // stale copy is dropped by this very lookup (versioned
-    // invalidation) and the read falls through to the wire.
-    if (TreePtr copy = sys_->replicas().LookupFresh(ctx, owner,
-                                                    doc_name)) {
+    if (sharded_read) {
+      // Shard fast path: manifest fresh and every data shard resident —
+      // the document assembles locally for 0 wire bytes. The assembly
+      // is freshly minted, so it is emitted without another clone.
+      if (TreePtr assembled =
+              sys_->replicas().LookupShardedFresh(ctx, owner, doc_name)) {
+        Trace(StrCat("replica-shard-hit ", doc_name, "@",
+                     owner.ToString(), " assembled at ", ctx.ToString(),
+                     " (0B on the wire)"));
+        sys_->loop().Post(
+            [assembled = std::move(assembled), emit = std::move(emit)] {
+              emit(assembled);
+            });
+        return;
+      }
+    } else if (TreePtr copy = sys_->replicas().LookupFresh(ctx, owner,
+                                                           doc_name)) {
+      // Replica fast path: a fresh cached copy of the remote document is
+      // read locally — a transfer the cache's hit stats account for. A
+      // stale copy is dropped by this very lookup (versioned
+      // invalidation) and the read falls through to the wire.
       Trace(StrCat("replica-hit ", doc_name, "@", owner.ToString(),
                    " read at ", ctx.ToString(), " (0B on the wire)"));
       // Deliver a clone, as the ship this hit replaces would have
@@ -298,6 +323,45 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
     }
     inflight_.emplace(std::make_tuple(ctx, owner, doc_name),
                       std::vector<EmitFn>{});
+  }
+  if (sharded_read) {
+    // Delta fetch: only the stale manifest and the shards this reader
+    // lacks cross the wire; resident shards serve locally. The landing
+    // caches + installs the copy and hands back the assembled document,
+    // which stands in for the whole-document `landed` below.
+    uint64_t delta = 0;
+    const bool launched = sys_->replicas().FetchForRead(
+        ctx, owner, doc_name,
+        [this, ctx, owner, doc_name, emit](TreePtr assembled) {
+          std::vector<EmitFn> waiters;
+          auto flight = inflight_.find({ctx, owner, doc_name});
+          if (flight != inflight_.end()) {
+            waiters = std::move(flight->second);
+            inflight_.erase(flight);
+          }
+          if (assembled == nullptr) {
+            Fail(Status::NotFound(StrCat("sharded read of \"", doc_name,
+                                         "\" failed to assemble")));
+            return;
+          }
+          NodeIdGen* gen = sys_->peer(ctx)->gen();
+          const uint64_t bytes = assembled->SerializedSize();
+          emit(assembled);
+          for (EmitFn& w : waiters) {
+            sys_->replicas().CacheFor(ctx)->RecordCoalescedHit(bytes);
+            w(assembled->Clone(gen));
+          }
+        },
+        &delta);
+    if (launched) {
+      Trace(StrCat("replica-shard-fetch ", doc_name, "@",
+                   owner.ToString(), " -> ", ctx.ToString(), " ", delta,
+                   "B delta"));
+      return;
+    }
+    // The document vanished between the probe and the fetch; the
+    // whole-document path below raises the error.
+    inflight_.erase({ctx, owner, doc_name});
   }
   TreePtr root = host->GetDocument(doc_name);
   if (root == nullptr) {

@@ -62,6 +62,9 @@ struct EvalOptions {
   /// (src/replica/): a fresh cached copy is read locally for 0 wire
   /// bytes, and a transferred document is inserted into the reader's
   /// transfer cache and advertised in the catalog / generic classes.
+  /// When the system additionally enables document sharding
+  /// (ReplicaManager::set_sharding_enabled), large documents read as
+  /// shard deltas: only the pieces the reader lacks cross the wire.
   /// Off by default — the paper's baseline semantics always transfer.
   bool use_replica_cache = false;
   /// Record a timestamped trace of distributed events (ships, service

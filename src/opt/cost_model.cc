@@ -144,9 +144,18 @@ CostEstimate CostModel::DocTransferCost(PeerId reader, PeerId owner,
   // mutation drops the copy but its replacement is already on the wire —
   // the fresh-copy assumption plans are priced on does not decay at
   // mutation time. (Under kDrop/kLazy the two probes agree.)
-  if (assume_replica_cache_ &&
-      sys_->replicas().ExpectedFresh(reader, owner, name)) {
-    return CostEstimate{};  // a cache hit costs 0 bytes on the wire
+  if (assume_replica_cache_) {
+    if (sys_->replicas().ExpectedFresh(reader, owner, name)) {
+      return CostEstimate{};  // a cache hit costs 0 bytes on the wire
+    }
+    // Partial sharded copies pay only for what is missing: the stale
+    // manifest plus the non-resident data shards. A peer holding most
+    // of a document's shards reads it almost for free, so the optimizer
+    // prefers routing the read there over a cold peer.
+    uint64_t delta = 0;
+    if (sys_->replicas().ShardedDeltaBytes(reader, owner, name, &delta)) {
+      return TransferCost(owner, reader, static_cast<double>(delta));
+    }
   }
   return TransferCost(owner, reader, bytes);
 }

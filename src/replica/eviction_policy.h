@@ -22,6 +22,14 @@
 // Strategies own all their bookkeeping; the cache guarantees every
 // resident key is OnInsert'ed exactly once and OnErase'd exactly once,
 // with OnAccess touches in between.
+//
+// Contract: strategies are single-threaded (event-loop simulation) and
+// must not call back into the cache that drives them. PickVictim is
+// const and repeatable — the cache erases the victim itself and informs
+// the strategy through OnErase. A strategy never sees ReplicaKey::shard
+// semantics: manifests and data shards compete for budget like any
+// other entry (a policy that pinned manifests would be a new strategy,
+// not a special case here).
 
 #ifndef AXML_REPLICA_EVICTION_POLICY_H_
 #define AXML_REPLICA_EVICTION_POLICY_H_

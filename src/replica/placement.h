@@ -13,7 +13,14 @@
 //
 // The policy is a pure planner: Plan() inspects demand and replica state
 // and returns shipment decisions; ReplicaManager::RunPlacement executes
-// them (it owns the wire machinery and the budgets).
+// them (it owns the wire machinery and the budgets). Plan() is const,
+// deterministic for a given demand table and replica state, and free of
+// side effects — callers may re-plan at any time; only launching a
+// decision drains the demand that earned it. Single-threaded, like the
+// rest of the system. When document sharding is enabled, a placement
+// shipment is a shard *delta*: the per-holder byte budget is charged
+// only for the pieces the holder lacks, so even a document larger than
+// the holder's cache can be seeded partially.
 
 #ifndef AXML_REPLICA_PLACEMENT_H_
 #define AXML_REPLICA_PLACEMENT_H_

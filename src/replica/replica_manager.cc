@@ -1,12 +1,44 @@
 #include "replica/replica_manager.h"
 
+#include <set>
+
 #include "common/logging.h"
+#include "common/str_util.h"
 #include "net/catalog.h"
 #include "opt/cost_model.h"
 #include "peer/peer.h"
 #include "peer/system.h"
 
 namespace axml {
+
+namespace {
+
+/// Data shards are immutable (their key *is* their content digest), so
+/// they are stored and looked up at this sentinel version — Version()
+/// is always >= 1, so no document version can ever brand them stale.
+constexpr uint64_t kImmutableVersion = 0;
+
+ReplicaKey ManifestKey(PeerId origin, const DocName& name) {
+  return ReplicaKey{origin, name, kManifestShardId};
+}
+
+ReplicaKey ShardDataKey(PeerId origin, const DocName& name,
+                        const ContentDigest& id) {
+  return ReplicaKey{origin, name, id.ToString()};
+}
+
+}  // namespace
+
+std::string ShardStats::ToString() const {
+  return StrCat("sharded_reads=", sharded_reads,
+                " sharded_shipments=", sharded_shipments,
+                " manifests_shipped=", manifests_shipped,
+                " shards_shipped=", shards_shipped,
+                " shard_bytes_shipped=", shard_bytes_shipped,
+                " shards_reused=", shards_reused,
+                " shard_bytes_saved=", shard_bytes_saved,
+                " full_hits=", full_hits, " partial_hits=", partial_hits);
+}
 
 uint64_t ReplicaManager::Version(PeerId owner, const DocName& name) const {
   auto it = versions_.find(ReplicaKey{owner, name});
@@ -48,6 +80,11 @@ void ReplicaManager::NoteMutation(PeerId owner, const DocName& name) {
       have_digest = true;
     }
     cache->Erase(ReplicaKey{origin, name}, /*invalidation=*/true);
+    // The sharded layout of the promoted copy goes too: manifest and
+    // data shards of (origin, name) no longer describe anything.
+    for (const ReplicaKey& k : cache->KeysForDoc(origin, name)) {
+      cache->Erase(k, /*invalidation=*/true);
+    }
     if (have_digest) {
       for (const ReplicaKey& alias : cache->KeysWithDigest(digest)) {
         cache->Erase(alias, /*invalidation=*/true);
@@ -83,9 +120,14 @@ TransferCache* ReplicaManager::CacheFor(PeerId peer) {
                                                default_eviction_policy_);
   cache->set_evict_listener(
       [this, peer](const ReplicaKey& key, const TransferCache::Entry&) {
-        // Any exit from the cache — staleness, budget eviction,
-        // overwrite — ends the origin's obligation to notify this peer.
-        subscriptions_.Unsubscribe(key, peer);
+        // A departing whole-document copy or manifest ends the origin's
+        // obligation to notify this peer. A data-shard eviction keeps
+        // the subscription — the manifest is still resident and worth
+        // refreshing by delta — but still retracts the installed
+        // document below (installed ⇔ fully resident in cache).
+        if (!key.is_shard_data()) {
+          subscriptions_.Unsubscribe(key.DocKey(), peer);
+        }
         RetractAdvertisements(peer, key);
       });
   if (sys_ != nullptr) {
@@ -137,15 +179,25 @@ bool ReplicaManager::InsertCopy(PeerId reader, PeerId origin,
   // stale silently).
   subscriptions_.Subscribe(key, reader);
 
-  // Install + advertise, unless the local name is taken — by the reader's
-  // own document or by a copy from another origin (the cache still
-  // serves repeated reads either way). The installed document is a
-  // *clone*: local reads hand trees out unshared-with-the-cache, so no
-  // consumer can mutate the content-addressed blob behind its digest.
-  if (installed_.count({reader, name}) > 0 || holder->HasDocument(name)) {
-    return true;  // cached, but the local name slot is taken
+  // Install + advertise. The installed document is a *clone*: local
+  // reads hand trees out unshared-with-the-cache, so no consumer can
+  // mutate the content-addressed blob behind its digest.
+  InstallAndAdvertise(reader, origin, name, entry->tree->Clone(holder->gen()));
+  return true;
+}
+
+void ReplicaManager::InstallAndAdvertise(PeerId reader, PeerId origin,
+                                         const DocName& name,
+                                         TreePtr tree) {
+  Peer* holder = sys_->peer(reader);
+  // Skip when the local name is taken — by the reader's own document or
+  // by a copy from another origin (the cache still serves repeated reads
+  // either way).
+  if (holder == nullptr || installed_.count({reader, name}) > 0 ||
+      holder->HasDocument(name)) {
+    return;
   }
-  holder->PutDocument(name, entry->tree->Clone(holder->gen()));
+  holder->PutDocument(name, std::move(tree));
   installed_[{reader, name}] = origin;
   if (sys_->catalog() != nullptr) {
     sys_->catalog()->Register(ResourceKind::kDocument, name, reader);
@@ -154,7 +206,6 @@ bool ReplicaManager::InsertCopy(PeerId reader, PeerId origin,
        sys_->generics().DocumentClassesOf(ClassMember{name, origin})) {
     sys_->generics().AddDocumentMember(cls, ClassMember{name, reader});
   }
-  return true;
 }
 
 TreePtr ReplicaManager::LookupFresh(PeerId reader, PeerId origin,
@@ -182,8 +233,31 @@ uint64_t ReplicaManager::FreshCopyBytes(PeerId reader, PeerId origin,
   const TransferCache* cache = FindCache(reader);
   if (cache == nullptr) return 0;
   const TransferCache::Entry* e = cache->Peek(ReplicaKey{origin, name});
-  if (e == nullptr || e->origin_version != Version(origin, name)) return 0;
-  return e->bytes;
+  if (e != nullptr && e->origin_version == Version(origin, name)) {
+    return e->bytes;
+  }
+  // A complete sharded copy is as fresh as a whole-document one.
+  return ShardedResidentBytes(reader, origin, name,
+                              /*require_complete=*/true);
+}
+
+uint64_t ReplicaManager::ShardedResidentBytes(PeerId reader, PeerId origin,
+                                              const DocName& name,
+                                              bool require_complete) const {
+  const TransferCache* cache = FindCache(reader);
+  if (cache == nullptr) return 0;
+  const TransferCache::Entry* m = cache->Peek(ManifestKey(origin, name));
+  if (m == nullptr || m->origin_version != Version(origin, name)) return 0;
+  uint64_t bytes = 0;
+  for (const std::string& id : ManifestShardIds(*m->tree)) {
+    const TransferCache::Entry* e = cache->Peek(ReplicaKey{origin, name, id});
+    if (e == nullptr) {
+      if (require_complete) return 0;
+      continue;
+    }
+    bytes += e->bytes;
+  }
+  return bytes;
 }
 
 bool ReplicaManager::IsCachedCopy(PeerId peer, const DocName& name) const {
@@ -217,8 +291,14 @@ bool ReplicaManager::DropCopy(PeerId reader, PeerId origin,
                               const DocName& name) {
   auto it = caches_.find(reader);
   if (it == caches_.end()) return false;
-  return it->second->Erase(ReplicaKey{origin, name},
-                           /*invalidation=*/true);
+  // Whole-document entry and manifest both carry the copy's identity;
+  // data shards are immutable content and stay (reused by the next
+  // delta, garbage-collected by eviction or orphan cleanup).
+  const bool whole = it->second->Erase(ReplicaKey{origin, name},
+                                       /*invalidation=*/true);
+  const bool manifest = it->second->Erase(ManifestKey(origin, name),
+                                          /*invalidation=*/true);
+  return whole || manifest;
 }
 
 void ReplicaManager::DropAllCopies() {
@@ -257,6 +337,7 @@ void ReplicaManager::ResetStats() {
   for (auto& [peer, cache] : caches_) cache->ResetStats();
   subscription_stats_ = SubscriptionStats{};
   placement_stats_ = PlacementStats{};
+  shard_stats_ = ShardStats{};
   uncached_misses_ = 0;
   refresh_spent_.clear();
   placement_spent_.clear();
@@ -300,15 +381,39 @@ void ReplicaManager::RetractAdvertisements(PeerId reader,
 void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
   // Snapshot: dropping a copy unsubscribes its holder mid-iteration.
   const std::vector<PeerId> holders = subscriptions_.HoldersOf(key);
+  if (holders.empty()) return;
+  // Shard ids the *new* version still references; resident data shards
+  // outside this set are orphans no future manifest will name.
+  std::set<std::string> live;
+  if (sharding_enabled_) {
+    if (const ShardedDocument* sd = OriginShards(key.origin, key.name)) {
+      for (const DocumentShard& s : sd->shards) {
+        live.insert(s.id.ToString());
+      }
+    }
+  }
   for (PeerId holder : holders) {
     ++subscription_stats_.notifies;
     // The notification is wire traffic on the origin->holder link;
-    // NetStats tallies it apart from data transfers.
-    sys_->network().SendNotify(key.origin, holder, kNotifyMsgBytes, [] {});
+    // NetStats tallies it apart from data transfers. Inside a
+    // NotifyBatch window, events to the same (origin, holder) pair share
+    // one message.
+    QueueNotify(key.origin, holder);
     // Coherence is synchronous: copy and advertisements are gone before
     // the mutating call returns — no lookup can ever see them stale.
     if (DropCopy(holder, key.origin, key.name)) {
       ++subscription_stats_.drops;
+    }
+    if (sharding_enabled_) {
+      auto cit = caches_.find(holder);
+      if (cit != caches_.end()) {
+        for (const ReplicaKey& k :
+             cit->second->KeysForDoc(key.origin, key.name)) {
+          if (k.is_shard_data() && live.count(k.shard) == 0) {
+            cit->second->Erase(k, /*invalidation=*/true);
+          }
+        }
+      }
     }
     if (refresh_policy_ == RefreshPolicy::kEagerRefresh &&
         StartRefresh(holder, key, /*retry=*/false)) {
@@ -317,6 +422,293 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
       subscriptions_.Subscribe(key, holder);
     }
   }
+}
+
+void ReplicaManager::QueueNotify(PeerId origin, PeerId holder) {
+  if (notify_batch_depth_ > 0) {
+    uint64_t& queued = pending_notifies_[{origin, holder}];
+    if (queued > 0) ++subscription_stats_.batched;
+    ++queued;
+    return;
+  }
+  if (sys_ != nullptr) {
+    sys_->network().SendNotify(origin, holder, kNotifyMsgBytes, [] {});
+  }
+}
+
+void ReplicaManager::BeginNotifyBatch() { ++notify_batch_depth_; }
+
+void ReplicaManager::EndNotifyBatch() {
+  AXML_CHECK(notify_batch_depth_ > 0);
+  if (--notify_batch_depth_ > 0) return;
+  for (const auto& [pair, queued] : pending_notifies_) {
+    if (sys_ != nullptr && queued > 0) {
+      sys_->network().SendNotify(
+          pair.first, pair.second,
+          kNotifyMsgBytes + (queued - 1) * kNotifyKeyBytes, [] {});
+    }
+  }
+  pending_notifies_.clear();
+}
+
+void ReplicaManager::set_sharding_config(ShardingConfig cfg) {
+  shard_config_ = cfg;
+  // Memoized splits were cut under the old knobs; recut on next use.
+  origin_shards_.clear();
+}
+
+const ShardedDocument* ReplicaManager::OriginShards(
+    PeerId origin, const DocName& name) const {
+  if (!sharding_enabled_ || sys_ == nullptr || !origin.is_concrete()) {
+    return nullptr;
+  }
+  Peer* host = sys_->peer(origin);
+  const ReplicaKey key{origin, name};
+  TreePtr root = host == nullptr ? nullptr : host->GetDocument(name);
+  // Service calls are excluded as on every caching path: a shard blob
+  // would freeze their activation state.
+  if (root == nullptr || root->ContainsServiceCall() ||
+      !ShouldShard(*root, shard_config_)) {
+    origin_shards_.erase(key);
+    return nullptr;
+  }
+  const uint64_t version = Version(origin, name);
+  auto it = origin_shards_.find(key);
+  if (it != origin_shards_.end() && it->second.version == version) {
+    return &it->second.sharded;
+  }
+  OriginShardState state;
+  state.version = version;
+  state.sharded = SplitDocument(*root, shard_config_, host->gen());
+  auto pos = origin_shards_.insert_or_assign(key, std::move(state)).first;
+  return &pos->second.sharded;
+}
+
+bool ReplicaManager::ShardedReadApplies(PeerId origin,
+                                        const DocName& name) const {
+  return OriginShards(origin, name) != nullptr;
+}
+
+bool ReplicaManager::HasFreshWholeCopy(PeerId reader, PeerId origin,
+                                       const DocName& name) const {
+  const TransferCache* cache = FindCache(reader);
+  if (cache == nullptr) return false;
+  const TransferCache::Entry* e = cache->Peek(ReplicaKey{origin, name});
+  return e != nullptr && e->origin_version == Version(origin, name);
+}
+
+bool ReplicaManager::ShardedDeltaBytes(PeerId reader, PeerId origin,
+                                       const DocName& name,
+                                       uint64_t* bytes) const {
+  const ShardedDocument* sd = OriginShards(origin, name);
+  if (sd == nullptr || reader == origin) return false;
+  const TransferCache* cache = FindCache(reader);
+  uint64_t delta = 0;
+  const TransferCache::Entry* m =
+      cache == nullptr ? nullptr : cache->Peek(ManifestKey(origin, name));
+  if (m == nullptr || m->origin_version != Version(origin, name)) {
+    delta += sd->manifest_bytes;
+  }
+  std::set<std::string> seen;
+  for (const DocumentShard& s : sd->shards) {
+    if (!seen.insert(s.id.ToString()).second) continue;  // ships once
+    if (cache == nullptr ||
+        cache->Peek(ShardDataKey(origin, name, s.id)) == nullptr) {
+      delta += s.bytes;
+    }
+  }
+  *bytes = delta;
+  return true;
+}
+
+TreePtr ReplicaManager::LookupShardedFresh(PeerId reader, PeerId origin,
+                                           const DocName& name) {
+  if (sys_ == nullptr || reader == origin || !origin.is_concrete()) {
+    return nullptr;
+  }
+  auto it = caches_.find(reader);
+  if (it == caches_.end()) {
+    ++uncached_misses_;  // as in LookupFresh: never allocate for a miss
+    return nullptr;
+  }
+  TransferCache* cache = it->second.get();
+  // A stale manifest is dropped by this Get (with its advertisements,
+  // via the evict listener) and the read falls through to a delta fetch.
+  TreePtr manifest = cache->Get(ManifestKey(origin, name),
+                                Version(origin, name));
+  if (manifest == nullptr) return nullptr;
+  const std::vector<std::string> ids = ManifestShardIds(*manifest);
+  // Probe completeness first with Peek: an incomplete copy must not
+  // charge recency/hit credit for shards this read cannot use yet (the
+  // delta fetch that follows will claim them).
+  for (const std::string& id : ids) {
+    if (cache->Peek(ReplicaKey{origin, name, id}) == nullptr) {
+      return nullptr;
+    }
+  }
+  std::map<std::string, TreePtr> parts;
+  for (const std::string& id : ids) {
+    parts[id] = cache->Get(ReplicaKey{origin, name, id}, kImmutableVersion);
+  }
+  Peer* holder = sys_->peer(reader);
+  if (holder == nullptr) return nullptr;
+  TreePtr assembled = AssembleDocument(
+      *manifest,
+      [&parts](const std::string& id) -> TreePtr {
+        auto p = parts.find(id);
+        return p == parts.end() ? nullptr : p->second;
+      },
+      holder->gen());
+  if (assembled != nullptr) ++shard_stats_.full_hits;
+  return assembled;
+}
+
+bool ReplicaManager::FetchForRead(PeerId reader, PeerId origin,
+                                  const DocName& name,
+                                  std::function<void(TreePtr)> deliver,
+                                  uint64_t* delta_bytes) {
+  if (sys_ == nullptr || reader == origin) return false;
+  const ShardedDocument* sd = OriginShards(origin, name);
+  Peer* dest = sys_->peer(reader);
+  if (sd == nullptr || dest == nullptr) return false;
+  TransferCache* cache = CacheFor(reader);
+  const uint64_t snap_version = Version(origin, name);
+
+  // Partition the manifest's shards: residents serve locally (each a
+  // cache hit — the partial-copy payoff), the rest cross the wire.
+  std::map<std::string, TreePtr> parts;
+  std::vector<DocumentShard> missing;
+  uint64_t wire = 0;
+  uint64_t reused_bytes = 0;
+  for (const DocumentShard& s : sd->shards) {
+    const ReplicaKey key = ShardDataKey(origin, name, s.id);
+    // A duplicated id (two byte-identical groups) crosses the wire
+    // once; the manifest references it twice and assembly reuses it.
+    if (parts.count(s.id.ToString()) > 0) continue;
+    if (TreePtr resident = cache->Get(key, kImmutableVersion)) {
+      parts[s.id.ToString()] = std::move(resident);
+      reused_bytes += s.bytes;
+      ++shard_stats_.shards_reused;
+    } else {
+      DocumentShard shipped;
+      shipped.id = s.id;
+      shipped.bytes = s.bytes;
+      shipped.content = s.content->Clone(dest->gen());
+      parts[s.id.ToString()] = shipped.content;
+      wire += s.bytes;
+      missing.push_back(std::move(shipped));
+    }
+  }
+  const TransferCache::Entry* m = cache->Peek(ManifestKey(origin, name));
+  const bool need_manifest =
+      m == nullptr || m->origin_version != snap_version;
+  // Holding the resident manifest's TreePtr keeps its blob alive even if
+  // the entry is evicted while the delta is on the wire.
+  TreePtr manifest =
+      need_manifest ? sd->manifest->Clone(dest->gen()) : m->tree;
+  if (need_manifest) {
+    wire += sd->manifest_bytes;
+    ++shard_stats_.manifests_shipped;
+  }
+  ++shard_stats_.sharded_reads;
+  shard_stats_.shards_shipped += missing.size();
+  shard_stats_.shard_bytes_shipped += wire - (need_manifest ? sd->manifest_bytes : 0);
+  shard_stats_.shard_bytes_saved += reused_bytes;
+  if (reused_bytes > 0) ++shard_stats_.partial_hits;
+  if (delta_bytes != nullptr) *delta_bytes = wire;
+
+  sys_->network().Send(
+      origin, reader, wire,
+      [this, reader, origin, name, manifest, missing = std::move(missing),
+       parts = std::move(parts), snap_version,
+       deliver = std::move(deliver)] {
+        // Cache what landed (a stale snapshot is refused there but the
+        // read below still delivers it — a read observes the version it
+        // was issued against, exactly like the whole-document path).
+        InsertShardedCopy(reader, origin, name, manifest, missing,
+                          snap_version);
+        Peer* dest = sys_->peer(reader);
+        TreePtr assembled =
+            dest == nullptr
+                ? nullptr
+                : AssembleDocument(
+                      *manifest,
+                      [&parts](const std::string& id) -> TreePtr {
+                        auto p = parts.find(id);
+                        return p == parts.end() ? nullptr : p->second;
+                      },
+                      dest->gen());
+        deliver(std::move(assembled));
+      });
+  return true;
+}
+
+bool ReplicaManager::InsertShardedCopy(PeerId reader, PeerId origin,
+                                       const DocName& name,
+                                       const TreePtr& manifest,
+                                       const std::vector<DocumentShard>& shipped,
+                                       uint64_t snapshot_version) {
+  if (sys_ == nullptr || reader == origin || !origin.is_concrete()) {
+    return false;
+  }
+  Peer* holder = sys_->peer(reader);
+  if (holder == nullptr || manifest == nullptr) return false;
+  if (snapshot_version != Version(origin, name)) {
+    return false;  // the origin moved on while the delta was on the wire
+  }
+
+  TransferCache* cache = CacheFor(reader);
+  const ReplicaKey mkey = ManifestKey(origin, name);
+  // Re-Putting an identical fresh manifest would churn the evict
+  // listener (retract + re-advertise) for nothing — skip it.
+  const TransferCache::Entry* resident = cache->Peek(mkey);
+  const ContentDigest mdigest = DigestOf(*manifest);
+  if (resident == nullptr || resident->origin_version != snapshot_version ||
+      !(resident->digest == mdigest)) {
+    if (!cache->Put(mkey, manifest, mdigest, snapshot_version)) {
+      return false;  // manifest alone over budget: nothing to anchor on
+    }
+  }
+  for (const DocumentShard& s : shipped) {
+    // Budget refusals are fine — the copy stays partial and later reads
+    // fetch the gap again.
+    (void)cache->Put(ShardDataKey(origin, name, s.id), s.content, s.id,
+                     kImmutableVersion);
+  }
+  // The shard Puts may have evicted the manifest right back out.
+  const TransferCache::Entry* m = cache->Peek(mkey);
+  if (m == nullptr) return false;
+
+  // The origin now owes this reader a push on every mutation (partial
+  // copies included: their manifest must not go stale silently).
+  subscriptions_.Subscribe(ReplicaKey{origin, name}, reader);
+
+  // Install + advertise only a *complete* copy; a partial one serves
+  // delta reads but must never be read by name.
+  std::map<std::string, TreePtr> parts;
+  bool complete = true;
+  for (const std::string& id : ManifestShardIds(*m->tree)) {
+    const TransferCache::Entry* e = cache->Peek(ReplicaKey{origin, name, id});
+    if (e == nullptr) {
+      complete = false;
+      break;
+    }
+    parts[id] = e->tree;
+  }
+  if (complete) {
+    TreePtr assembled = AssembleDocument(
+        *m->tree,
+        [&parts](const std::string& id) -> TreePtr {
+          auto p = parts.find(id);
+          return p == parts.end() ? nullptr : p->second;
+        },
+        holder->gen());
+    if (assembled != nullptr) {
+      // AssembleDocument already minted fresh nodes — no extra clone.
+      InstallAndAdvertise(reader, origin, name, std::move(assembled));
+    }
+  }
+  return true;
 }
 
 size_t ReplicaManager::RunPlacement() {
@@ -332,7 +724,7 @@ size_t ReplicaManager::RunPlacement() {
 bool ReplicaManager::LaunchShipment(
     PeerId holder, const ReplicaKey& key,
     const std::function<bool(uint64_t bytes)>& admit,
-    std::function<void(const TreePtr& shipped, uint64_t snap_version,
+    std::function<void(const ShipmentPayload& payload, uint64_t snap_version,
                        uint64_t bytes)>
         on_land) {
   AXML_CHECK(refresh_inflight_.count({holder, key}) == 0);
@@ -344,18 +736,69 @@ bool ReplicaManager::LaunchShipment(
   // service calls is excluded, as on the evaluator's insert path — a
   // copy would freeze its activation state.
   if (root == nullptr || root->ContainsServiceCall()) return false;
-  const uint64_t bytes = root->SerializedSize();
+
+  ShipmentPayload payload;
+  uint64_t bytes = 0;
+  uint64_t shard_bytes = 0;
+  uint64_t reused = 0;
+  uint64_t reused_bytes = 0;
+  bool need_manifest = false;
+  if (const ShardedDocument* sd = OriginShards(key.origin, key.name)) {
+    // Sharded delta: the manifest (unless the holder's is already
+    // fresh — e.g. a placement round completing a partial copy) plus
+    // only the data shards the holder lacks right now —
+    // content-addressed ids make "lacks" independent of the version the
+    // holder's stale copy was cut from.
+    const TransferCache* cache = FindCache(holder);
+    const TransferCache::Entry* m =
+        cache == nullptr ? nullptr : cache->Peek(ManifestKey(key.origin,
+                                                             key.name));
+    need_manifest =
+        m == nullptr || m->origin_version != Version(key.origin, key.name);
+    payload.manifest =
+        need_manifest ? sd->manifest->Clone(dest->gen()) : m->tree;
+    if (need_manifest) bytes += sd->manifest_bytes;
+    std::set<std::string> seen;
+    for (const DocumentShard& s : sd->shards) {
+      // A duplicated id (two byte-identical groups) ships — and is
+      // charged — once; the manifest references it twice.
+      if (!seen.insert(s.id.ToString()).second) continue;
+      if (cache != nullptr &&
+          cache->Peek(ShardDataKey(key.origin, key.name, s.id)) != nullptr) {
+        ++reused;
+        reused_bytes += s.bytes;
+        continue;
+      }
+      DocumentShard shipped;
+      shipped.id = s.id;
+      shipped.bytes = s.bytes;
+      shipped.content = s.content->Clone(dest->gen());
+      bytes += s.bytes;
+      shard_bytes += s.bytes;
+      payload.shards.push_back(std::move(shipped));
+    }
+  } else {
+    payload.whole = root->Clone(dest->gen());
+    bytes = root->SerializedSize();
+  }
   if (!admit(bytes)) return false;
+  if (payload.manifest != nullptr) {
+    ++shard_stats_.sharded_shipments;
+    if (need_manifest) ++shard_stats_.manifests_shipped;
+    shard_stats_.shards_shipped += payload.shards.size();
+    shard_stats_.shard_bytes_shipped += shard_bytes;
+    shard_stats_.shards_reused += reused;
+    shard_stats_.shard_bytes_saved += reused_bytes;
+  }
   const uint64_t generation = ++refresh_generation_;
   refresh_inflight_[{holder, key}] = generation;
   // Snapshot now: the shipped content is the version at send time; a
-  // mid-flight mutation must not brand it fresh (InsertCopy compares).
+  // mid-flight mutation must not brand it fresh (the insert compares).
   const uint64_t snap_version = Version(key.origin, key.name);
-  TreePtr shipped = root->Clone(dest->gen());
   sys_->network().Send(
       key.origin, holder, bytes,
-      [this, holder, key, shipped, snap_version, bytes, generation,
-       on_land = std::move(on_land)] {
+      [this, holder, key, payload = std::move(payload), snap_version, bytes,
+       generation, on_land = std::move(on_land)] {
         auto it = refresh_inflight_.find({holder, key});
         if (it == refresh_inflight_.end() || it->second != generation) {
           // Canceled (DropAllCopies) while on the wire — and possibly
@@ -364,9 +807,20 @@ bool ReplicaManager::LaunchShipment(
           return;
         }
         refresh_inflight_.erase(it);
-        on_land(shipped, snap_version, bytes);
+        on_land(payload, snap_version, bytes);
       });
   return true;
+}
+
+bool ReplicaManager::InsertLanded(PeerId holder, const ReplicaKey& key,
+                                  const ShipmentPayload& payload,
+                                  uint64_t snap_version) {
+  if (payload.whole != nullptr) {
+    return InsertCopy(holder, key.origin, key.name, payload.whole,
+                      snap_version);
+  }
+  return InsertShardedCopy(holder, key.origin, key.name, payload.manifest,
+                           payload.shards, snap_version);
 }
 
 bool ReplicaManager::StartPlacementShipment(
@@ -403,10 +857,9 @@ bool ReplicaManager::StartPlacementShipment(
         return true;
       },
       /*on_land=*/
-      [this, holder, key](const TreePtr& shipped, uint64_t snap_version,
-                          uint64_t /*bytes*/) {
-        if (InsertCopy(holder, key.origin, key.name, shipped,
-                       snap_version)) {
+      [this, holder, key](const ShipmentPayload& payload,
+                          uint64_t snap_version, uint64_t /*bytes*/) {
+        if (InsertLanded(holder, key, payload, snap_version)) {
           ++placement_stats_.landed;
         } else {
           // The origin moved on while this was on the wire, or the
@@ -448,10 +901,9 @@ bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
         return true;
       },
       /*on_land=*/
-      [this, holder, key](const TreePtr& shipped, uint64_t snap_version,
-                          uint64_t bytes) {
-        if (InsertCopy(holder, key.origin, key.name, shipped,
-                       snap_version)) {
+      [this, holder, key](const ShipmentPayload& payload,
+                          uint64_t snap_version, uint64_t bytes) {
+        if (InsertLanded(holder, key, payload, snap_version)) {
           ++subscription_stats_.refreshes;
           subscription_stats_.refresh_bytes += bytes;
         } else if (Version(key.origin, key.name) != snap_version) {

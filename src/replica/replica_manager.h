@@ -26,11 +26,26 @@
 //  - under RefreshPolicy::kLazy (the PR 1 baseline) a stale copy is
 //    instead dropped on its next lookup: evicted from the cache, removed
 //    as a local document, Catalog::Unregister'ed, and withdrawn from its
-//    generic classes.
+//    generic classes;
+//  - documents above the sharding threshold (xml/sharding.h, enabled via
+//    set_sharding_enabled) replicate as *shards*: a versioned manifest
+//    plus immutable content-addressed data shards, each its own cache
+//    entry. Reads, eager refresh and placement then ship only the shards
+//    the holder lacks (a "delta"), a mutation of one subtree re-ships
+//    one dirty shard instead of the whole document, and a byte budget
+//    smaller than the document can still hold a useful partial copy.
 //
 // Cached copies are soft state: AxmlSystem::StateFingerprint skips them,
 // so Σ-equivalence (the rule-equivalence property) is judged on durable
 // documents only.
+//
+// Threading / reentrancy contract: the manager (like the rest of the
+// system) runs on the single event-loop thread and is not thread-safe.
+// Mutation fan-out is synchronous — NoteMutation drops subscribed copies
+// before it returns — so callers must not invoke it while iterating
+// cache or subscription state. The caches' evict listeners call back
+// into the manager (advertisement retraction, unsubscription) but never
+// back into the cache that fired them.
 
 #ifndef AXML_REPLICA_REPLICA_MANAGER_H_
 #define AXML_REPLICA_REPLICA_MANAGER_H_
@@ -47,11 +62,30 @@
 #include "replica/placement.h"
 #include "replica/subscription.h"
 #include "replica/transfer_cache.h"
+#include "xml/sharding.h"
 #include "xml/tree.h"
 
 namespace axml {
 
 class AxmlSystem;
+
+/// Counters for the sharded-replication paths (bench_sharding reports
+/// these; cumulative since the last ResetStats).
+struct ShardStats {
+  uint64_t sharded_reads = 0;      ///< read-path delta fetches issued
+  uint64_t sharded_shipments = 0;  ///< refresh/placement delta shipments
+  uint64_t manifests_shipped = 0;  ///< manifests that crossed the wire
+  uint64_t shards_shipped = 0;     ///< data shards that crossed the wire
+  uint64_t shard_bytes_shipped = 0;
+  /// Resident shards a delta did not have to re-ship, and their bytes —
+  /// the wire traffic partial copies avoided.
+  uint64_t shards_reused = 0;
+  uint64_t shard_bytes_saved = 0;
+  uint64_t full_hits = 0;     ///< reads assembled entirely from residents
+  uint64_t partial_hits = 0;  ///< delta reads that reused >= 1 shard
+
+  std::string ToString() const;
+};
 
 /// Owns every peer's transfer cache and the document version table.
 class ReplicaManager {
@@ -103,6 +137,97 @@ class ReplicaManager {
     return subscription_stats_;
   }
   const SubscriptionTable& subscriptions() const { return subscriptions_; }
+
+  // --- Notification batching ---
+
+  /// Opens / closes a batching window (nestable) for push notifications:
+  /// while a window is open, invalidation events to the same (origin,
+  /// holder) pair coalesce into one wire message carrying many keys
+  /// (kNotifyMsgBytes + (n-1) * kNotifyKeyBytes), sent when the
+  /// outermost window closes. Copy drops stay synchronous — only the
+  /// wire accounting is deferred. Wrap these around an event-loop turn
+  /// that mutates many documents; see the NotifyBatch RAII helper.
+  void BeginNotifyBatch();
+  void EndNotifyBatch();
+
+  // --- Document sharding (xml/sharding.h) ---
+
+  /// Turns sharded replication on or off. When on, documents for which
+  /// ShouldShard holds (bigger than sharding_config().max_shard_bytes,
+  /// >= 2 root children, no embedded service calls) replicate as
+  /// manifest + data shards; everything else keeps the whole-document
+  /// path. Off by default.
+  void set_sharding_enabled(bool on) { sharding_enabled_ = on; }
+  bool sharding_enabled() const { return sharding_enabled_; }
+
+  /// Splitter knobs. Takes effect on the next version of each document
+  /// (the per-origin split is cached per document version).
+  void set_sharding_config(ShardingConfig cfg);
+  const ShardingConfig& sharding_config() const { return shard_config_; }
+
+  /// The current sharded form of origin's `name`, split once per
+  /// document version and cached. nullptr when sharding is disabled, the
+  /// document is absent or too small, or it embeds service calls (their
+  /// activation state must not be frozen into shard blobs). Logically
+  /// const: the memoized split and the origin's NodeIdGen do mutate.
+  const ShardedDocument* OriginShards(PeerId origin,
+                                      const DocName& name) const;
+
+  /// True when a read of origin's `name` should use the sharded path
+  /// (OriginShards != nullptr). The evaluator's gate.
+  bool ShardedReadApplies(PeerId origin, const DocName& name) const;
+
+  /// True when `reader` holds a fresh *whole-document* entry for
+  /// origin's `name` (shard dimension empty). No side effects and no
+  /// stats. The evaluator prefers such a copy over the sharded path —
+  /// e.g. one cached before sharding was enabled — so a read the cost
+  /// model prices at zero never re-fetches over the wire.
+  bool HasFreshWholeCopy(PeerId reader, PeerId origin,
+                         const DocName& name) const;
+
+  /// The document assembled from reader's resident shards, iff the
+  /// manifest is fresh and every data shard it references is resident.
+  /// Counts cache hits and touches recency for the manifest and every
+  /// shard; a stale manifest is dropped (with its advertisements) and
+  /// the call misses. The result is freshly built from clones — callers
+  /// may hand it out directly. nullptr on any miss.
+  TreePtr LookupShardedFresh(PeerId reader, PeerId origin,
+                             const DocName& name);
+
+  /// Starts a read-path delta fetch: ships only the manifest (if stale)
+  /// and the data shards `reader` lacks; resident shards are served
+  /// locally (each counts a cache hit). When the transfer lands, the
+  /// copy is cached + installed + advertised (InsertShardedCopy) and
+  /// `deliver` receives the assembled document (nullptr only if the
+  /// reader peer vanished mid-flight). `delta_bytes`, when non-null,
+  /// receives the wire bytes charged. Returns false without sending when
+  /// the sharded path does not apply — callers fall back to the
+  /// whole-document transfer.
+  bool FetchForRead(PeerId reader, PeerId origin, const DocName& name,
+                    std::function<void(TreePtr)> deliver,
+                    uint64_t* delta_bytes = nullptr);
+
+  /// Records a landed sharded shipment at `reader`: caches the manifest
+  /// (versioned) and each shipped data shard (immutable, version 0),
+  /// subscribes the holder, and — when every manifest shard is resident
+  /// and the local name slot is free — installs and advertises the
+  /// assembled document. Returns true when the manifest was cached (the
+  /// sharded copy exists, possibly partial); false when the snapshot is
+  /// stale or the cache refused the manifest.
+  bool InsertShardedCopy(PeerId reader, PeerId origin, const DocName& name,
+                         const TreePtr& manifest,
+                         const std::vector<DocumentShard>& shipped,
+                         uint64_t snapshot_version);
+
+  /// Wire bytes a sharded read of origin's `name` at `reader` would move
+  /// right now: the stale-or-absent manifest plus every non-resident
+  /// data shard. False when the sharded path does not apply (callers
+  /// price a full transfer). The cost model prices partial copies with
+  /// this — a peer holding most of the shards reads almost for free.
+  bool ShardedDeltaBytes(PeerId reader, PeerId origin, const DocName& name,
+                         uint64_t* bytes) const;
+
+  const ShardStats& shard_stats() const { return shard_stats_; }
 
   /// True when an eager-refresh shipment of origin's `name` toward
   /// `reader` is on the wire.
@@ -174,13 +299,18 @@ class ReplicaManager {
   /// generic classes) before returning the miss. Counts hit/miss stats.
   /// Never allocates: a reader that never cached anything gets a plain
   /// miss (counted manager-side, see TotalStats), not a TransferCache.
+  /// Whole-document entries only; sharded copies read through
+  /// LookupShardedFresh.
   TreePtr LookupFresh(PeerId reader, PeerId origin, const DocName& name);
 
-  /// True when `reader` holds a fresh copy of origin's `name`. No side
-  /// effects and no stats — the cost model probes with this.
+  /// True when `reader` holds a fresh copy of origin's `name` — a
+  /// whole-document entry at the current version, or a complete sharded
+  /// copy (fresh manifest, every data shard resident). No side effects
+  /// and no stats — the cost model probes with this.
   bool HasFresh(PeerId reader, PeerId origin, const DocName& name) const;
 
-  /// Serialized size of the fresh copy, 0 when absent.
+  /// Serialized content bytes of the fresh copy (for a sharded copy, the
+  /// sum of its data-shard bytes), 0 when absent or incomplete.
   uint64_t FreshCopyBytes(PeerId reader, PeerId origin,
                           const DocName& name) const;
 
@@ -222,10 +352,49 @@ class ReplicaManager {
   void ResetStats();
 
  private:
+  /// What one shipment carried: a whole-document clone, or a sharded
+  /// delta (manifest + the data shards the holder lacked at launch).
+  struct ShipmentPayload {
+    TreePtr whole;
+    TreePtr manifest;
+    std::vector<DocumentShard> shards;
+  };
+
+  /// Memoized origin-side split: recomputed when the document's version
+  /// moves past `version`.
+  struct OriginShardState {
+    uint64_t version = 0;
+    ShardedDocument sharded;
+  };
+
   /// Retracts the local document + catalog + generic-class advertisements
   /// of the copy `key` held at `reader`. Invoked by the caches' evict
-  /// listeners, so budget evictions retract advertisements too.
+  /// listeners, so budget evictions retract advertisements too. Losing
+  /// *any* piece of a sharded copy (manifest or data shard) retracts the
+  /// installed document — installed ⇔ fully resident in cache.
   void RetractAdvertisements(PeerId reader, const ReplicaKey& key);
+
+  /// Installs `tree` as reader's local document `name` and advertises it
+  /// (catalog + the origin's generic classes), unless the name slot is
+  /// taken. `tree` must be freshly minted for the reader (never a cache
+  /// blob). Shared tail of InsertCopy / InsertShardedCopy.
+  void InstallAndAdvertise(PeerId reader, PeerId origin,
+                           const DocName& name, TreePtr tree);
+
+  /// Caches one landed payload at `holder` via InsertCopy or
+  /// InsertShardedCopy, whichever matches its shape.
+  bool InsertLanded(PeerId holder, const ReplicaKey& key,
+                    const ShipmentPayload& payload, uint64_t snap_version);
+
+  /// Resident fresh shard-content bytes of (origin, name) at `reader`
+  /// (manifest must be at the current version). 0 when any referenced
+  /// shard is missing and `require_complete` is set.
+  uint64_t ShardedResidentBytes(PeerId reader, PeerId origin,
+                                const DocName& name,
+                                bool require_complete) const;
+
+  /// Sends one notification (or folds it into the open batch).
+  void QueueNotify(PeerId origin, PeerId holder);
 
   /// Mutation fan-out (kDrop / kEagerRefresh): notifies every subscribed
   /// holder of `key`, drops its copy synchronously, and — under eager
@@ -247,20 +416,22 @@ class ReplicaManager {
   bool StartPlacementShipment(const PlacementDecision& decision);
 
   /// Shared wire leg of StartRefresh and StartPlacementShipment: clones
-  /// the origin's current content, registers a generation token in
-  /// refresh_inflight_, and sends. `admit` sees the serialized size
-  /// before anything is committed — return false to veto (and charge
-  /// whatever budget applies on true). `on_land` runs at arrival with
-  /// the flight token already cleared; a landing whose token was
-  /// canceled (DropAllCopies) or superseded mid-flight is silently
-  /// discarded before `on_land`. Returns false when nothing launched
-  /// (missing peer or document, service calls frozen, admit veto).
-  /// Precondition: no shipment in flight for (holder, key).
+  /// the origin's current content — whole, or as a sharded delta against
+  /// the holder's resident shards when the sharded path applies —
+  /// registers a generation token in refresh_inflight_, and sends.
+  /// `admit` sees the wire size (the *delta* size for sharded
+  /// shipments) before anything is committed — return false to veto
+  /// (and charge whatever budget applies on true). `on_land` runs at
+  /// arrival with the flight token already cleared; a landing whose
+  /// token was canceled (DropAllCopies) or superseded mid-flight is
+  /// silently discarded before `on_land`. Returns false when nothing
+  /// launched (missing peer or document, service calls frozen, admit
+  /// veto). Precondition: no shipment in flight for (holder, key).
   bool LaunchShipment(
       PeerId holder, const ReplicaKey& key,
       const std::function<bool(uint64_t bytes)>& admit,
-      std::function<void(const TreePtr& shipped, uint64_t snap_version,
-                         uint64_t bytes)>
+      std::function<void(const ShipmentPayload& payload,
+                         uint64_t snap_version, uint64_t bytes)>
           on_land);
 
   AxmlSystem* sys_ = nullptr;
@@ -294,6 +465,34 @@ class ReplicaManager {
   /// Wire bytes placement spent per receiving holder (the placement
   /// config's per-holder budget draws down against this).
   std::map<PeerId, uint64_t> placement_spent_;
+
+  bool sharding_enabled_ = false;
+  ShardingConfig shard_config_;
+  /// Per-(origin, name) memoized split, keyed by document-level key;
+  /// mutable because cost-model probes (const) may recompute it.
+  mutable std::map<ReplicaKey, OriginShardState> origin_shards_;
+  ShardStats shard_stats_;
+
+  /// Open notify-batch windows; > 0 defers notification sends into
+  /// pending_notifies_.
+  int notify_batch_depth_ = 0;
+  /// (origin, holder) -> invalidation events queued in the open batch.
+  std::map<std::pair<PeerId, PeerId>, uint64_t> pending_notifies_;
+};
+
+/// RAII notify-batch window: all push notifications issued while alive
+/// coalesce into one wire message per (origin, holder) pair, flushed on
+/// destruction. Wrap one around any stretch that mutates many documents
+/// in a single event-loop turn.
+class NotifyBatch {
+ public:
+  explicit NotifyBatch(ReplicaManager* m) : m_(m) { m_->BeginNotifyBatch(); }
+  ~NotifyBatch() { m_->EndNotifyBatch(); }
+  NotifyBatch(const NotifyBatch&) = delete;
+  NotifyBatch& operator=(const NotifyBatch&) = delete;
+
+ private:
+  ReplicaManager* m_;
 };
 
 }  // namespace axml

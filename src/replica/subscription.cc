@@ -19,7 +19,8 @@ const char* RefreshPolicyName(RefreshPolicy p) {
 }
 
 std::string SubscriptionStats::ToString() const {
-  return StrCat("notifies=", notifies, " drops=", drops,
+  return StrCat("notifies=", notifies, " batched=", batched,
+                " drops=", drops,
                 " refreshes=", refreshes, " refresh_bytes=", refresh_bytes,
                 " coalesced=", coalesced, " retries=", retries,
                 " budget_denied=", budget_denied);

@@ -43,8 +43,16 @@ enum class RefreshPolicy {
 const char* RefreshPolicyName(RefreshPolicy p);
 
 /// Counters for the push path (benches compare policies with these).
+/// All counters are cumulative since the last ReplicaManager::ResetStats.
 struct SubscriptionStats {
-  uint64_t notifies = 0;       ///< invalidation messages sent to holders
+  /// Invalidation events pushed to holders — one per (mutated key,
+  /// holder) pair. Wire *messages* can be fewer: under a notify batch
+  /// (ReplicaManager::NotifyBatch) events to the same (origin, holder)
+  /// pair share one message (NetStats::notify_messages counts those).
+  uint64_t notifies = 0;
+  /// Notify events folded into an earlier message of the same batch;
+  /// `notifies - batched` is the number of wire messages sent.
+  uint64_t batched = 0;
   uint64_t drops = 0;          ///< copies dropped at mutation time
   uint64_t refreshes = 0;      ///< eager re-materializations that landed
   uint64_t refresh_bytes = 0;  ///< wire bytes those shipments cost
@@ -62,6 +70,11 @@ struct SubscriptionStats {
 /// Who holds copies of which (owner, doc). Maintained by the
 /// ReplicaManager: a successful cache insert subscribes the reader, any
 /// cache drop (staleness, budget eviction, overwrite) unsubscribes it.
+///
+/// Keys are always *document-level* (ReplicaKey::DocKey — shard
+/// dimension empty): a sharded copy subscribes its holder once, under
+/// the document key, however many shard entries it occupies. Not
+/// thread-safe (single-threaded event-loop simulation).
 class SubscriptionTable {
  public:
   /// Idempotent: a holder subscribes once per key.
@@ -82,6 +95,11 @@ class SubscriptionTable {
 
 /// Wire size of one invalidation notification (origin -> holder).
 constexpr uint64_t kNotifyMsgBytes = 48;
+
+/// Marginal wire bytes per *additional* key carried by a batched
+/// notification: a message invalidating n keys of one (origin, holder)
+/// pair costs kNotifyMsgBytes + (n-1) * kNotifyKeyBytes.
+constexpr uint64_t kNotifyKeyBytes = 16;
 
 }  // namespace axml
 

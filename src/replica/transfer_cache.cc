@@ -117,6 +117,18 @@ std::vector<ReplicaKey> TransferCache::KeysWithDigest(
   return keys;
 }
 
+std::vector<ReplicaKey> TransferCache::KeysForDoc(
+    PeerId origin, const DocName& name) const {
+  std::vector<ReplicaKey> keys;
+  for (auto it = entries_.lower_bound(ReplicaKey{origin, name});
+       it != entries_.end() && it->first.origin == origin &&
+       it->first.name == name;
+       ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
 std::vector<ReplicaKey> TransferCache::Keys() const {
   std::vector<ReplicaKey> keys;
   keys.reserve(entries_.size());

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "common/ids.h"
-#include "replica/digest.h"
+#include "xml/digest.h"
 #include "replica/eviction_policy.h"
 #include "replica/replica_key.h"
 #include "xml/tree.h"
@@ -57,6 +57,21 @@ struct TransferCacheStats {
 /// Byte-budgeted cache of materialized remote trees with
 /// content-addressed blob sharing and pluggable eviction. One instance
 /// per caching peer (owned by ReplicaManager).
+///
+/// Contract:
+///  - Not thread-safe. The whole system is a single-threaded event-loop
+///    simulation; every method assumes it runs on that one thread.
+///  - Reentrancy: the evict listener fires *during* Put / Get / Erase /
+///    Clear / set_byte_budget, before the entry is unlinked. It must not
+///    call back into this cache (the entry map is mid-mutation); it may
+///    freely touch other state (the ReplicaManager's listener retracts
+///    advertisements and subscriptions, which never re-enter the cache).
+///  - Returned TreePtrs alias the shared blob. Callers that hand content
+///    to consumers must clone first — mutating a blob in place would
+///    desynchronize it from its digest and every dedup alias.
+///  - Keys are opaque: the cache never inspects ReplicaKey::shard. Shard
+///    semantics (manifest freshness, data-shard immutability, orphan
+///    cleanup) live entirely in the ReplicaManager.
 class TransferCache {
  public:
   static constexpr uint64_t kDefaultByteBudget = 4ull << 20;  // 4 MiB
@@ -123,6 +138,12 @@ class TransferCache {
   /// Keys whose entries share `digest`'s blob (used when a blob is about
   /// to be mutated in place and every alias must go).
   std::vector<ReplicaKey> KeysWithDigest(const ContentDigest& digest) const;
+
+  /// Every resident key of document (origin, name) — the whole-document
+  /// entry, the manifest, and any data shards — in key order. O(log n +
+  /// answer); the ReplicaManager's shard orphan cleanup scans with this.
+  std::vector<ReplicaKey> KeysForDoc(PeerId origin,
+                                     const DocName& name) const;
 
   /// Every resident key, in key order (tests and debugging; no recency
   /// side effects).

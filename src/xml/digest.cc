@@ -1,4 +1,4 @@
-#include "replica/digest.h"
+#include "xml/digest.h"
 
 #include <cstdio>
 

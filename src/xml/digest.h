@@ -1,0 +1,44 @@
+// Content digests of canonical tree forms.
+//
+// A tree is identified by a digest of its *canonical* form (tree_equal.h),
+// so unordered-equal trees — however they were obtained, from whichever
+// origin — digest equal. Two consumers build on this: the replica layer's
+// content-addressed blob store (two copies of equal trees share one
+// stored blob), and the sharding layer (sharding.h), whose shard ids are
+// digests — an unchanged subtree keeps its id across document versions,
+// which is what makes delta shipment possible. The digest combines the
+// order-insensitive structural hash with an FNV-1a over the canonical
+// serialization; a collision requires both 64-bit halves to agree on
+// unequal trees.
+
+#ifndef AXML_XML_DIGEST_H_
+#define AXML_XML_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/tree.h"
+
+namespace axml {
+
+/// 128-bit content digest of one tree's canonical form.
+struct ContentDigest {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const ContentDigest&) const = default;
+  bool operator<(const ContentDigest& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+
+  /// Lowercase hex, e.g. "3f2a...e1" (for traces and dumps).
+  std::string ToString() const;
+};
+
+/// Digest of `node`'s canonical (order-insensitive) form. Unordered-equal
+/// trees digest equal; node identifiers do not participate.
+ContentDigest DigestOf(const TreeNode& node);
+
+}  // namespace axml
+
+#endif  // AXML_XML_DIGEST_H_

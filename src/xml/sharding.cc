@@ -1,0 +1,125 @@
+#include "xml/sharding.h"
+
+#include "common/logging.h"
+
+namespace axml {
+
+namespace {
+
+constexpr const char kManifestLabel[] = "#manifest";
+constexpr const char kDocLabel[] = "#doc";
+constexpr const char kShardRefLabel[] = "#shard";
+constexpr const char kShardDataLabel[] = "#shard-data";
+
+}  // namespace
+
+uint64_t ShardedDocument::TotalBytes() const {
+  uint64_t total = manifest_bytes;
+  for (const DocumentShard& s : shards) total += s.bytes;
+  return total;
+}
+
+bool ShouldShard(const TreeNode& root, const ShardingConfig& cfg) {
+  return root.is_element() && root.child_count() >= 2 &&
+         root.SerializedSize() > cfg.max_shard_bytes;
+}
+
+ShardedDocument SplitDocument(const TreeNode& root,
+                              const ShardingConfig& cfg, NodeIdGen* gen) {
+  AXML_CHECK(ShouldShard(root, cfg));
+  ShardedDocument out;
+
+  // Greedy grouping in insertion order: close the current group when the
+  // next child would push it over the cap. An oversized child travels
+  // alone (the splitter never descends below the root's children).
+  std::vector<std::vector<TreePtr>> groups;
+  std::vector<TreePtr> current;
+  uint64_t current_bytes = 0;
+  for (const TreePtr& child : root.children()) {
+    const uint64_t child_bytes = child->SerializedSize();
+    if (!current.empty() &&
+        current_bytes + child_bytes > cfg.max_shard_bytes) {
+      groups.push_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+    current.push_back(child);
+    current_bytes += child_bytes;
+  }
+  if (!current.empty()) groups.push_back(std::move(current));
+
+  TreePtr manifest = TreeNode::Element(kManifestLabel, gen);
+  // `#doc` wraps a childless clone of the root element, preserving its
+  // label for assembly (the wrapper keeps a root labeled `#shard` from
+  // masquerading as a reference).
+  TreePtr doc_holder = TreeNode::Element(kDocLabel, gen);
+  doc_holder->AddChild(TreeNode::Element(root.label_text(), gen));
+  manifest->AddChild(std::move(doc_holder));
+  for (const std::vector<TreePtr>& group : groups) {
+    TreePtr content = TreeNode::Element(kShardDataLabel, gen);
+    for (const TreePtr& member : group) {
+      content->AddChild(member->Clone(gen));
+    }
+    DocumentShard shard;
+    shard.id = DigestOf(*content);
+    shard.bytes = content->SerializedSize();
+    shard.content = std::move(content);
+    manifest->AddChild(
+        MakeTextElement(kShardRefLabel, shard.id.ToString(), gen));
+    out.shards.push_back(std::move(shard));
+  }
+  out.manifest_bytes = manifest->SerializedSize();
+  out.manifest = std::move(manifest);
+  return out;
+}
+
+bool IsShardManifest(const TreeNode& node) {
+  return node.is_element() && node.label_text() == kManifestLabel;
+}
+
+std::vector<std::string> ManifestShardIds(const TreeNode& manifest) {
+  std::vector<std::string> ids;
+  if (!IsShardManifest(manifest)) return ids;
+  for (const TreePtr& child : manifest.children()) {
+    if (child->is_element() && child->label_text() == kShardRefLabel) {
+      ids.push_back(child->StringValue());
+    }
+  }
+  return ids;
+}
+
+TreePtr AssembleDocument(
+    const TreeNode& manifest,
+    const std::function<TreePtr(const std::string& id_hex)>& shard_lookup,
+    NodeIdGen* gen) {
+  if (!IsShardManifest(manifest)) return nullptr;
+  TreePtr root;
+  for (const TreePtr& child : manifest.children()) {
+    if (child->is_element() && child->label_text() == kDocLabel) continue;
+    if (!child->is_element() || child->label_text() != kShardRefLabel) {
+      return nullptr;
+    }
+  }
+  const TreeNode* doc = nullptr;
+  for (const TreePtr& child : manifest.children()) {
+    if (child->is_element() && child->label_text() == kDocLabel) {
+      if (doc != nullptr) return nullptr;  // two #doc children
+      doc = child.get();
+    }
+  }
+  if (doc == nullptr || doc->child_count() != 1) return nullptr;
+  root = doc->child(0)->Clone(gen);
+  for (const std::string& id : ManifestShardIds(manifest)) {
+    TreePtr content = shard_lookup(id);
+    if (content == nullptr || !content->is_element() ||
+        content->label_text() != kShardDataLabel) {
+      return nullptr;
+    }
+    for (const TreePtr& member : content->children()) {
+      root->AddChild(member->Clone(gen));
+    }
+  }
+  return root;
+}
+
+}  // namespace axml

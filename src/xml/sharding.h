@@ -1,0 +1,109 @@
+// Subtree sharding: splitting one large document into content-addressed
+// shards so partial copies become possible.
+//
+// The replica layer materializes transferred trees as local copies (the
+// paper's rule (13)), but a whole-tree copy is all-or-nothing: a document
+// bigger than a holder's byte budget can never be cached, refreshed or
+// proactively placed, no matter how hot its subtrees are. The splitter
+// here partitions an unranked tree into *top-level-subtree shards*:
+//
+//  - the root's children are grouped greedily, in insertion order, into
+//    shards whose serialized size stays under ShardingConfig::
+//    max_shard_bytes (a single oversized subtree becomes its own shard —
+//    the splitter never descends below the root's children);
+//  - each shard's id is the ContentDigest of its canonical form, so an
+//    unchanged group of subtrees keeps its id across document versions —
+//    a mutation of one subtree dirties exactly the shard holding it, and
+//    only that shard must cross the wire again;
+//  - a small root *manifest* shard records the document's root element
+//    and the ordered list of child-shard ids. The manifest is itself a
+//    tree, so it ships, caches and dedups through the same machinery as
+//    any other content.
+//
+// Reassembly (AssembleDocument) is exact up to node identifiers: the
+// assembled tree is unordered-equal to the original (tree_equal.h), which
+// is the only equality the system observes.
+//
+// Shard-id stability caveat: group boundaries are chosen by accumulated
+// serialized size, so a mutation that changes a subtree's size can shift
+// the boundaries of *later* groups and dirty their ids too. Same-size
+// (or same-group-composition) mutations dirty exactly one shard; the
+// worst case degrades toward whole-document shipment, never past it.
+
+#ifndef AXML_XML_SHARDING_H_
+#define AXML_XML_SHARDING_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xml/digest.h"
+#include "xml/tree.h"
+
+namespace axml {
+
+/// Knobs for the splitter.
+struct ShardingConfig {
+  /// Target cap on one shard's serialized bytes. Also the sharding
+  /// threshold: a document at or below this size ships whole. A single
+  /// root child bigger than the cap still becomes one (oversized) shard.
+  uint64_t max_shard_bytes = 64 * 1024;
+};
+
+/// One data shard: a group of the root's children, wrapped for shipping.
+struct DocumentShard {
+  /// Digest of `content`'s canonical form — the shard's stable identity.
+  ContentDigest id;
+  /// A synthetic `#shard-data` element whose children are the group's
+  /// subtrees (clones; the original tree is never aliased).
+  TreePtr content;
+  /// SerializedSize of `content` (what shipping this shard costs).
+  uint64_t bytes = 0;
+};
+
+/// A split document: the manifest plus its data shards, in manifest
+/// order.
+struct ShardedDocument {
+  /// `#manifest` element: one childless `#doc` clone of the original
+  /// root, then one `#shard` text child per data shard (text = id hex).
+  TreePtr manifest;
+  uint64_t manifest_bytes = 0;
+  std::vector<DocumentShard> shards;
+
+  /// Manifest + data bytes: what shipping everything would cost.
+  uint64_t TotalBytes() const;
+};
+
+/// True when `root` is worth splitting under `cfg`: an element with at
+/// least two children whose serialized size exceeds the shard cap.
+/// Everything else ships whole.
+bool ShouldShard(const TreeNode& root, const ShardingConfig& cfg);
+
+/// Splits `root` into a manifest and size-capped data shards. Shard
+/// contents are clones minted from `gen`; `root` is not modified.
+/// Precondition: ShouldShard(root, cfg).
+ShardedDocument SplitDocument(const TreeNode& root,
+                              const ShardingConfig& cfg, NodeIdGen* gen);
+
+/// True when `node` looks like a manifest produced by SplitDocument.
+bool IsShardManifest(const TreeNode& node);
+
+/// The ordered shard-id hex strings a manifest references (empty when
+/// `manifest` is not a manifest).
+std::vector<std::string> ManifestShardIds(const TreeNode& manifest);
+
+/// Rebuilds the document a manifest describes. `shard_lookup` maps a
+/// shard-id hex string to that shard's `#shard-data` content tree (as
+/// stored by a cache or carried by a shipment); returning nullptr aborts
+/// the assembly. The result is built from clones minted from `gen` —
+/// callers may hand it out without aliasing cache blobs. Returns nullptr
+/// when `manifest` is malformed or any shard is missing.
+TreePtr AssembleDocument(
+    const TreeNode& manifest,
+    const std::function<TreePtr(const std::string& id_hex)>& shard_lookup,
+    NodeIdGen* gen);
+
+}  // namespace axml
+
+#endif  // AXML_XML_SHARDING_H_

@@ -4,8 +4,10 @@
 // Hand-written example tests stop scaling once the cache's state space
 // is policies × budgets × dedup aliasing × versioned staleness. This
 // harness drives ~10k seeded-random Put/Get/Erase/set_byte_budget ops
-// per policy against a plain-map reference oracle and asserts the
-// invariants after every single op:
+// per policy against a plain-map reference oracle — over *shard-granular*
+// keys (whole-document, manifest and data-shard entries of one document
+// coexist as independent entries) — and asserts the invariants after
+// every single op:
 //
 //   - resident_bytes <= byte_budget, blob_count <= entry_count,
 //   - blob refcounts match alias counts and the resident-byte sum
@@ -26,7 +28,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "replica/digest.h"
+#include "xml/digest.h"
 #include "replica/eviction_policy.h"
 #include "replica/transfer_cache.h"
 #include "test_util.h"
@@ -92,8 +94,18 @@ class CacheModelHarness {
 
  private:
   ReplicaKey RandomKey() {
-    return ReplicaKey{PeerId(static_cast<uint32_t>(rng_.Index(kOrigins))),
-                      StrCat("d", rng_.Index(kNames))};
+    ReplicaKey key{PeerId(static_cast<uint32_t>(rng_.Index(kOrigins))),
+                   StrCat("d", rng_.Index(kNames))};
+    // Shard-granular keys: the cache treats the shard dimension as
+    // opaque, so whole-document keys, manifests and data shards of one
+    // document must coexist as independent entries under every policy.
+    const uint64_t kind = rng_.Uniform(4);
+    if (kind == 1) {
+      key.shard = kManifestShardId;
+    } else if (kind >= 2) {
+      key.shard = StrCat("shard", rng_.Index(3));
+    }
+    return key;
   }
 
   OracleDoc& OracleFor(const ReplicaKey& key) { return oracle_[key]; }

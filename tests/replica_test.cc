@@ -9,7 +9,7 @@
 #include "common/rng.h"
 #include "net/catalog.h"
 #include "opt/optimizer.h"
-#include "replica/digest.h"
+#include "xml/digest.h"
 #include "replica/replica_manager.h"
 #include "replica/transfer_cache.h"
 #include "test_util.h"

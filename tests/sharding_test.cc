@@ -1,0 +1,493 @@
+// Tests for document sharding (xml/sharding.h) and sharded replication
+// (the shard-granular paths of src/replica/ and the evaluator).
+//
+// The splitter's contract is a *round trip*: split → reassemble is
+// unordered-equal to the original, across seeded-random trees (the
+// AXML_TEST_SEED pattern of tests/test_util.h), with stable
+// content-derived shard ids — a same-size mutation of one subtree
+// dirties exactly one shard. The system-level tests then check what the
+// ids buy: a mutation re-ships a small delta instead of the document,
+// and a byte budget smaller than the document still produces cache hits
+// through partial copies.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "net/catalog.h"
+#include "opt/cost_model.h"
+#include "replica/replica_manager.h"
+#include "replica/transfer_cache.h"
+#include "test_util.h"
+#include "xml/sharding.h"
+#include "xml/tree_equal.h"
+#include "xml/xml_serializer.h"
+
+namespace axml {
+namespace {
+
+using testing::MakeCatalog;
+using testing::MakeRandomTree;
+using testing::ResultsEqual;
+using testing::TestSeed;
+
+/// Reassembles a ShardedDocument from its own shards (the in-memory
+/// identity lookup every round-trip test uses).
+TreePtr Reassemble(const ShardedDocument& sd, NodeIdGen* gen) {
+  return AssembleDocument(
+      *sd.manifest,
+      [&sd](const std::string& id) -> TreePtr {
+        for (const DocumentShard& s : sd.shards) {
+          if (s.id.ToString() == id) return s.content;
+        }
+        return nullptr;
+      },
+      gen);
+}
+
+// --- Splitter unit tests ---
+
+TEST(ShardingTest, ShouldShardGates) {
+  NodeIdGen gen;
+  Rng rng(7);
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = 512;
+  // Too small: ships whole.
+  EXPECT_FALSE(ShouldShard(*MakeCatalog(2, &gen, &rng), cfg));
+  // Big enough and >= 2 children: shards.
+  EXPECT_TRUE(ShouldShard(*MakeCatalog(32, &gen, &rng), cfg));
+  // A single huge child cannot be split at the top level.
+  TreePtr lone = TreeNode::Element("r", &gen);
+  lone->AddChild(MakeTextElement("x", std::string(4096, 'a'), &gen));
+  EXPECT_FALSE(ShouldShard(*lone, cfg));
+  // Text roots never shard.
+  EXPECT_FALSE(ShouldShard(*TreeNode::Text("just text"), cfg));
+}
+
+TEST(ShardingTest, SplitRoundTripsCatalog) {
+  NodeIdGen gen;
+  Rng rng(TestSeed(41));
+  TreePtr doc = MakeCatalog(120, &gen, &rng);
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = 2048;
+  ASSERT_TRUE(ShouldShard(*doc, cfg));
+
+  ShardedDocument sd = SplitDocument(*doc, cfg, &gen);
+  EXPECT_TRUE(IsShardManifest(*sd.manifest));
+  EXPECT_GT(sd.shards.size(), 4u);
+  EXPECT_EQ(ManifestShardIds(*sd.manifest).size(), sd.shards.size());
+
+  TreePtr back = Reassemble(sd, &gen);
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(TreesEqualUnordered(*doc, *back));
+  // The original was never aliased: shard contents are clones.
+  EXPECT_EQ(doc->SerializedSize(), back->SerializedSize());
+}
+
+TEST(ShardingTest, SplitRoundTripsSeededRandomTrees) {
+  Rng rng(TestSeed(0x5EED));
+  for (int i = 0; i < 25; ++i) {
+    NodeIdGen gen;
+    const size_t nodes = 20 + rng.Index(400);
+    TreePtr doc = MakeRandomTree(nodes, &gen, &rng);
+    ShardingConfig cfg;
+    cfg.max_shard_bytes = 64 + rng.Uniform(512);
+    if (!ShouldShard(*doc, cfg)) continue;
+    ShardedDocument sd = SplitDocument(*doc, cfg, &gen);
+    TreePtr back = Reassemble(sd, &gen);
+    ASSERT_NE(back, nullptr) << "iteration " << i;
+    EXPECT_TRUE(TreesEqualUnordered(*doc, *back))
+        << "round trip broke at iteration " << i
+        << "; rerun with AXML_TEST_SEED pinned";
+  }
+}
+
+TEST(ShardingTest, ShardSizesRespectTheCap) {
+  NodeIdGen gen;
+  Rng rng(TestSeed(43));
+  TreePtr doc = MakeCatalog(200, &gen, &rng);
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = 4096;
+  ShardedDocument sd = SplitDocument(*doc, cfg, &gen);
+  uint64_t largest_child = 0;
+  for (const TreePtr& c : doc->children()) {
+    largest_child = std::max(largest_child, c->SerializedSize());
+  }
+  for (const DocumentShard& s : sd.shards) {
+    // A shard holds whole subtrees, so the wrapper can exceed the cap
+    // only when a single child does.
+    EXPECT_LE(s.bytes,
+              std::max(cfg.max_shard_bytes, largest_child) +
+                  uint64_t{32} /* wrapper tags */);
+    EXPECT_EQ(s.bytes, s.content->SerializedSize());
+    EXPECT_EQ(s.id, DigestOf(*s.content));
+  }
+  // The manifest is a sliver of the document.
+  EXPECT_LT(sd.manifest_bytes, doc->SerializedSize() / 10);
+}
+
+TEST(ShardingTest, ShardIdsAreStableAcrossSplits) {
+  NodeIdGen gen;
+  Rng rng(TestSeed(44));
+  TreePtr doc = MakeCatalog(100, &gen, &rng);
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = 2048;
+  ShardedDocument a = SplitDocument(*doc, cfg, &gen);
+  ShardedDocument b = SplitDocument(*doc, cfg, &gen);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i].id, b.shards[i].id);
+  }
+  // Fresh node ids on every split do not leak into the identity.
+  EXPECT_EQ(ManifestShardIds(*a.manifest), ManifestShardIds(*b.manifest));
+}
+
+TEST(ShardingTest, SameSizeMutationDirtiesExactlyOneShard) {
+  NodeIdGen gen;
+  Rng rng(TestSeed(45));
+  TreePtr doc = MakeCatalog(150, &gen, &rng);
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = 2048;
+  ShardedDocument before = SplitDocument(*doc, cfg, &gen);
+
+  // Overwrite one product's description with different bytes of the
+  // same length: group boundaries (chosen by size) cannot move.
+  TreePtr mutated = doc->CloneSameIds();
+  TreeNode* product = mutated->child(75).get();
+  TreeNode* desc = nullptr;
+  for (const TreePtr& c : product->children()) {
+    if (c->label_text() == "desc") desc = c.get();
+  }
+  ASSERT_NE(desc, nullptr);
+  const size_t len = desc->child(0)->text().size();
+  desc->child(0)->set_text(std::string(len, '!'));
+
+  ShardedDocument after = SplitDocument(*mutated, cfg, &gen);
+  ASSERT_EQ(before.shards.size(), after.shards.size());
+  size_t dirty = 0;
+  for (size_t i = 0; i < before.shards.size(); ++i) {
+    if (!(before.shards[i].id == after.shards[i].id)) ++dirty;
+  }
+  EXPECT_EQ(dirty, 1u);
+}
+
+TEST(ShardingTest, AssemblyFailsClosedOnMissingShard) {
+  NodeIdGen gen;
+  Rng rng(46);
+  TreePtr doc = MakeCatalog(64, &gen, &rng);
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = 1024;
+  ShardedDocument sd = SplitDocument(*doc, cfg, &gen);
+  // Lookup that "loses" the last shard.
+  const std::string lost = sd.shards.back().id.ToString();
+  TreePtr back = AssembleDocument(
+      *sd.manifest,
+      [&sd, &lost](const std::string& id) -> TreePtr {
+        if (id == lost) return nullptr;
+        for (const DocumentShard& s : sd.shards) {
+          if (s.id.ToString() == id) return s.content;
+        }
+        return nullptr;
+      },
+      &gen);
+  EXPECT_EQ(back, nullptr);
+  // Non-manifests are rejected outright.
+  EXPECT_EQ(AssembleDocument(*doc, [](const std::string&) { return nullptr; },
+                             &gen),
+            nullptr);
+}
+
+// --- Sharded replication through the system ---
+
+struct ShardedPeers {
+  AxmlSystem sys{Topology(LinkParams{0.050, 1.0e6})};
+  PeerId origin, client;
+  Query q;
+  uint64_t doc_bytes = 0;
+
+  explicit ShardedPeers(size_t n_products = 200,
+                        uint64_t max_shard_bytes = 2048) {
+    origin = sys.AddPeer("origin");
+    client = sys.AddPeer("client");
+    Rng rng(13);
+    TreePtr t = MakeCatalog(n_products, sys.peer(origin)->gen(), &rng);
+    doc_bytes = t->SerializedSize();
+    EXPECT_TRUE(sys.InstallDocument(origin, "d", t).ok());
+    ShardingConfig cfg;
+    cfg.max_shard_bytes = max_shard_bytes;
+    sys.replicas().set_sharding_config(cfg);
+    sys.replicas().set_sharding_enabled(true);
+    q = Query::Parse(
+            "for $p in input(0)/catalog/product "
+            "where $p/price < 900 return <r>{ $p/name }</r>")
+            .value();
+  }
+
+  ExprPtr Read() const {
+    return Expr::Apply(q, client, {Expr::Doc("d", origin)});
+  }
+
+  /// Replaces product `i`'s description through the mutation listener
+  /// (PutDocument), preserving every other subtree's content.
+  void MutateOneProduct(size_t i) {
+    Peer* host = sys.peer(origin);
+    TreePtr next = host->GetDocument("d")->CloneSameIds();
+    TreeNode* product = next->child(i).get();
+    TreeNode* desc = nullptr;
+    for (const TreePtr& c : product->children()) {
+      if (c->label_text() == "desc") desc = c.get();
+    }
+    ASSERT_NE(desc, nullptr);
+    const size_t len = desc->child(0)->text().size();
+    desc->child(0)->set_text(std::string(len, '~'));
+    host->PutDocument("d", next);
+  }
+};
+
+EvalOptions CachingOptions() {
+  EvalOptions opts;
+  opts.use_replica_cache = true;
+  return opts;
+}
+
+TEST(ShardedReplicaTest, ReadRoundTripsAndSecondReadIsLocal) {
+  ShardedPeers f;
+  // Baseline result set from the non-caching semantics.
+  Evaluator plain(&f.sys);
+  auto base = plain.Eval(f.client, f.Read());
+  ASSERT_TRUE(base.ok());
+
+  Evaluator ev(&f.sys, CachingOptions());
+  f.sys.network().mutable_stats()->Reset();
+  auto first = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(ResultsEqual(base->results, first->results));
+  EXPECT_GT(f.sys.network().stats().remote_bytes(), 0u);
+
+  // The landed delta installed + advertised a complete copy.
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+  EXPECT_TRUE(f.sys.replicas().IsCachedCopy(f.client, "d"));
+  EXPECT_TRUE(f.sys.catalog()->IsAdvertised(ResourceKind::kDocument, "d",
+                                            f.client));
+
+  // Second read: assembled from resident shards, zero wire bytes.
+  f.sys.network().mutable_stats()->Reset();
+  auto second = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(f.sys.network().stats().remote_bytes(), 0u);
+  EXPECT_TRUE(ResultsEqual(base->results, second->results));
+  EXPECT_GE(f.sys.replicas().shard_stats().full_hits, 1u);
+}
+
+TEST(ShardedReplicaTest, MutationShipsOnlyTheDirtyShard) {
+  ShardedPeers f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());  // warm copy
+  ASSERT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+
+  f.sys.network().mutable_stats()->Reset();
+  f.MutateOneProduct(120);
+  f.sys.RunToQuiescence();  // eager refresh lands the delta
+
+  const uint64_t delta = f.sys.network().stats().remote_bytes();
+  EXPECT_GT(delta, 0u);
+  // The acceptance bar: a single-subtree mutation moves < 25% of what a
+  // full-document refresh would.
+  EXPECT_LT(delta, f.doc_bytes / 4);
+  EXPECT_TRUE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+  EXPECT_GE(f.sys.replicas().shard_stats().shards_reused, 1u);
+
+  // The refreshed copy serves the post-mutation content locally.
+  Evaluator plain(&f.sys);
+  auto base = plain.Eval(f.client, f.Read());
+  ASSERT_TRUE(base.ok());
+  f.sys.network().mutable_stats()->Reset();
+  auto read = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(f.sys.network().stats().remote_bytes(), 0u);
+  EXPECT_TRUE(ResultsEqual(base->results, read->results));
+}
+
+TEST(ShardedReplicaTest, BudgetSmallerThanDocumentStillHits) {
+  ShardedPeers f;
+  // The cache can hold roughly a third of the document's shards.
+  f.sys.replicas().set_default_byte_budget(f.doc_bytes / 3);
+  Evaluator ev(&f.sys, CachingOptions());
+
+  auto first = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(first.ok());
+  const TransferCache* cache = f.sys.replicas().FindCache(f.client);
+  ASSERT_NE(cache, nullptr);
+  // Partial copy: some shards resident, the whole document not fresh.
+  EXPECT_GT(cache->resident_bytes(), 0u);
+  EXPECT_FALSE(f.sys.replicas().HasFresh(f.client, f.origin, "d"));
+
+  // The second read reuses the resident shards: non-zero cache hits and
+  // measurably fewer wire bytes than a cold full transfer.
+  f.sys.network().mutable_stats()->Reset();
+  f.sys.replicas().ResetStats();
+  auto second = ev.Eval(f.client, f.Read());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(ResultsEqual(first->results, second->results));
+  const TransferCacheStats total = f.sys.replicas().TotalStats();
+  EXPECT_GT(total.hits, 0u);
+  EXPECT_GE(f.sys.replicas().shard_stats().partial_hits, 1u);
+  EXPECT_LT(f.sys.network().stats().remote_bytes(), f.doc_bytes);
+
+  // Sanity: with sharding off the same budget can never cache the
+  // document at all — every read pays the full transfer.
+  f.sys.replicas().set_sharding_enabled(false);
+  f.sys.replicas().DropAllCopies();
+  f.sys.replicas().ResetStats();
+  Evaluator unsharded(&f.sys, CachingOptions());
+  ASSERT_TRUE(unsharded.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(unsharded.Eval(f.client, f.Read()).ok());
+  EXPECT_EQ(f.sys.replicas().TotalStats().hits, 0u);
+}
+
+TEST(ShardedReplicaTest, CostModelPricesPartialCopies) {
+  ShardedPeers f;
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());  // complete copy
+
+  CostModel cached(&f.sys, /*assume_replica_cache=*/true);
+  CostModel plain(&f.sys, /*assume_replica_cache=*/false);
+  ExprPtr doc = Expr::Doc("d", f.origin);
+  // Complete copy: free under the cache assumption.
+  EXPECT_EQ(cached.Estimate(f.client, doc).remote_bytes, 0.0);
+  EXPECT_GT(plain.Estimate(f.client, doc).remote_bytes, 0.0);
+
+  // Mutate: the manifest goes stale but the data shards survive, so the
+  // partial copy prices between free and the full transfer.
+  f.MutateOneProduct(10);
+  const double partial = cached.Estimate(f.client, doc).remote_bytes;
+  const double full = plain.Estimate(f.client, doc).remote_bytes;
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, full / 4);
+}
+
+TEST(ShardedReplicaTest, FreshWholeCopyIsPreferredOverReSharding) {
+  ShardedPeers f;
+  // Cache a whole-document copy first, with sharding off.
+  f.sys.replicas().set_sharding_enabled(false);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(f.sys.replicas().HasFreshWholeCopy(f.client, f.origin, "d"));
+
+  // Turning sharding on must not strand that copy: the cost model still
+  // prices the read at zero, so the evaluator must serve it instead of
+  // re-fetching the document as shards.
+  f.sys.replicas().set_sharding_enabled(true);
+  CostModel cached(&f.sys, /*assume_replica_cache=*/true);
+  EXPECT_EQ(cached.Estimate(f.client, Expr::Doc("d", f.origin)).remote_bytes,
+            0.0);
+  f.sys.network().mutable_stats()->Reset();
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  EXPECT_EQ(f.sys.network().stats().remote_bytes(), 0u);
+}
+
+TEST(ShardedReplicaTest, DuplicateShardIdsCrossTheWireOnce) {
+  AxmlSystem sys{Topology(LinkParams{0.050, 1.0e6})};
+  const PeerId origin = sys.AddPeer("origin");
+  const PeerId client = sys.AddPeer("client");
+  // 64 byte-identical products: groups repeat, so shard ids collide —
+  // the content-addressed win is shipping the repeated content once.
+  NodeIdGen* gen = sys.peer(origin)->gen();
+  TreePtr doc = TreeNode::Element("catalog", gen);
+  for (int i = 0; i < 64; ++i) {
+    TreePtr p = TreeNode::Element("product", gen);
+    p->AddChild(MakeTextElement("name", "same", gen));
+    p->AddChild(MakeTextElement("price", "100", gen));
+    p->AddChild(MakeTextElement("desc", std::string(64, 'x'), gen));
+    doc->AddChild(std::move(p));
+  }
+  const uint64_t doc_bytes = doc->SerializedSize();
+  ASSERT_TRUE(sys.InstallDocument(origin, "d", doc).ok());
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = 1024;
+  sys.replicas().set_sharding_config(cfg);
+  sys.replicas().set_sharding_enabled(true);
+
+  // The split itself: few distinct ids, exact reassembly.
+  const ShardedDocument* sd = sys.replicas().OriginShards(origin, "d");
+  ASSERT_NE(sd, nullptr);
+  std::set<std::string> distinct;
+  for (const DocumentShard& s : sd->shards) distinct.insert(s.id.ToString());
+  ASSERT_GT(sd->shards.size(), distinct.size());
+
+  Evaluator ev(&sys, CachingOptions());
+  Query q = Query::Parse(
+                "for $p in input(0)/catalog/product return <r>{ $p/name }</r>")
+                .value();
+  sys.network().mutable_stats()->Reset();
+  auto out = ev.Eval(client, Expr::Apply(q, client, {Expr::Doc("d", origin)}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->results.size(), 64u);
+  // Wire bytes: the duplicated content shipped once, not once per
+  // manifest reference.
+  EXPECT_LT(sys.network().stats().remote_bytes(), doc_bytes / 4);
+  // And the copy is complete: the next read assembles locally.
+  sys.network().mutable_stats()->Reset();
+  ASSERT_TRUE(
+      ev.Eval(client, Expr::Apply(q, client, {Expr::Doc("d", origin)})).ok());
+  EXPECT_EQ(sys.network().stats().remote_bytes(), 0u);
+}
+
+TEST(ShardedReplicaTest, BatchedNotificationsShareOneWireMessage) {
+  AxmlSystem sys{Topology(LinkParams{0.010, 1.0e6})};
+  const PeerId origin = sys.AddPeer("origin");
+  const PeerId reader = sys.AddPeer("reader");
+  Rng rng(9);
+  constexpr int kDocs = 5;
+  for (int i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(sys.InstallDocument(origin, StrCat("d", i),
+                                    MakeCatalog(8, sys.peer(origin)->gen(),
+                                                &rng))
+                    .ok());
+  }
+  Evaluator ev(&sys, CachingOptions());
+  Query q = Query::Parse(
+                "for $p in input(0)/catalog/product return <r>{ $p/name }</r>")
+                .value();
+  for (int i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(
+        ev.Eval(reader,
+                Expr::Apply(q, reader, {Expr::Doc(StrCat("d", i), origin)}))
+            .ok());
+    ASSERT_TRUE(sys.replicas().HasFresh(reader, origin, StrCat("d", i)));
+  }
+
+  // One event-loop turn mutates every document: one wire message per
+  // (origin, holder) pair, carrying all five keys.
+  sys.network().mutable_stats()->Reset();
+  sys.replicas().ResetStats();
+  {
+    NotifyBatch batch(&sys.replicas());
+    for (int i = 0; i < kDocs; ++i) {
+      sys.peer(origin)->PutDocument(
+          StrCat("d", i),
+          MakeCatalog(8, sys.peer(origin)->gen(), &rng));
+    }
+  }
+  sys.RunToQuiescence();
+  const SubscriptionStats& ss = sys.replicas().subscription_stats();
+  EXPECT_EQ(ss.notifies, static_cast<uint64_t>(kDocs));
+  EXPECT_EQ(ss.batched, static_cast<uint64_t>(kDocs - 1));
+  EXPECT_EQ(sys.network().stats().notify_messages(), 1u);
+  // The batched message is bigger than a lone notification but far
+  // smaller than five of them.
+  EXPECT_EQ(sys.network().stats().notify_bytes(),
+            kNotifyMsgBytes + (kDocs - 1) * kNotifyKeyBytes);
+  // Coherence was still synchronous: every copy dropped at mutation.
+  for (int i = 0; i < kDocs; ++i) {
+    EXPECT_FALSE(sys.replicas().HasFresh(reader, origin, StrCat("d", i)));
+  }
+}
+
+}  // namespace
+}  // namespace axml

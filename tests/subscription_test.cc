@@ -8,7 +8,7 @@
 
 #include "algebra/evaluator.h"
 #include "common/rng.h"
-#include "replica/digest.h"
+#include "xml/digest.h"
 #include "replica/replica_manager.h"
 #include "replica/subscription.h"
 #include "test_util.h"
