@@ -20,6 +20,19 @@
 // reader re-reads a hot document repeatedly. Sweep: {unsharded,
 // sharded}. Reported cache_hits stay 0 unsharded (the whole-tree Put is
 // refused) and go positive sharded, with falling per-read wire bytes.
+//
+// Workload C (BoundaryShift): pure splitter comparison of the group
+// boundary rule. Split, insert one product in the middle, re-split,
+// count the shard ids the insertion dirtied (ids a delta against the
+// old copy must ship). Sweep: document size × {greedy,
+// content_defined}. Greedy dirties every downstream id (the avalanche);
+// content-defined re-synchronizes within ~3 ids.
+//
+// Workload D (NotifyFanout): shard-level subscriptions. Eight partial
+// holders each cache a disjoint 1/8 slice of a sharded document; each
+// round mutates one product. Document-level subscriptions would notify
+// all eight; shard-granular fan-out notifies only holders of the dirty
+// shard (counters: notifies vs clean_skips per round).
 
 #include "bench_common.h"
 
@@ -70,8 +83,8 @@ Setup Build(int64_t n_products, bool sharded) {
 
 /// Same-size mutation of one product's description: the shard holding
 /// it dirties, every other shard keeps its content-derived id.
-void MutateOneProduct(Setup& s, Rng* rng) {
-  Peer* host = s.sys->peer(s.origin);
+void MutateOneProduct(AxmlSystem* sys, PeerId origin, Rng* rng) {
+  Peer* host = sys->peer(origin);
   TreePtr next = host->GetDocument("d")->CloneSameIds();
   TreeNode* product =
       next->child(rng->Index(next->child_count())).get();
@@ -132,7 +145,7 @@ void RunWriteDelta(benchmark::State& state, bool sharded) {
     const SimTime t0 = s.sys->loop().now();
     size_t results = 0;
     for (int round = 0; round < kWriteRounds; ++round) {
-      MutateOneProduct(s, &mut_rng);
+      MutateOneProduct(s.sys.get(), s.origin, &mut_rng);
       s.sys->RunToQuiescence();  // refresh shipments land
       results += read_all();
     }
@@ -196,8 +209,116 @@ void BM_Sharding_TightBudget_Sharded(benchmark::State& state) {
   RunTightBudget(state, /*sharded=*/true);
 }
 
+// --- Workload C: boundary rule vs dirtied shard ids ---
+
+void RunBoundaryShift(benchmark::State& state, ShardBoundary boundary) {
+  NodeIdGen gen;
+  Rng rng(13);
+  TreePtr doc = bench::MakeCatalog(static_cast<size_t>(state.range(0)),
+                                   &gen, &rng, /*desc_bytes=*/64);
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = kMaxShardBytes;
+  cfg.boundary = boundary;
+  TreePtr wedge = TreeNode::Element("product", &gen);
+  wedge->AddChild(MakeTextElement("name", "wedge", &gen));
+  wedge->AddChild(MakeTextElement("price", "1", &gen));
+  wedge->AddChild(MakeTextElement("desc", rng.Identifier(64), &gen));
+  TreePtr grown = doc->CloneSameIds();
+  grown->InsertChild(grown->child_count() / 2, wedge);
+  for (auto _ : state) {
+    const ShardedDocument before = SplitDocument(*doc, cfg, &gen);
+    const ShardedDocument after = SplitDocument(*grown, cfg, &gen);
+    state.counters["shards"] = static_cast<double>(before.shards.size());
+    state.counters["dirtied_ids"] =
+        static_cast<double>(DirtiedShardIds(before, after).size());
+  }
+}
+
+void BM_Sharding_BoundaryShift_Greedy(benchmark::State& state) {
+  RunBoundaryShift(state, ShardBoundary::kGreedy);
+}
+
+void BM_Sharding_BoundaryShift_ContentDefined(benchmark::State& state) {
+  RunBoundaryShift(state, ShardBoundary::kContentDefined);
+}
+
+// --- Workload D: shard-level subscription notify fan-out ---
+
+void BM_Sharding_NotifyFanout(benchmark::State& state) {
+  constexpr int kHolders = 8;
+  auto sys =
+      std::make_unique<AxmlSystem>(Topology(LinkParams{0.040, 2.0e6}));
+  const PeerId origin = sys->AddPeer("origin");
+  std::vector<PeerId> holders;
+  for (int i = 0; i < kHolders; ++i) {
+    holders.push_back(sys->AddPeer(StrCat("h", i)));
+  }
+  Rng rng(13);
+  TreePtr t = bench::MakeCatalog(static_cast<size_t>(state.range(0)),
+                                 sys->peer(origin)->gen(), &rng,
+                                 /*desc_bytes=*/64);
+  (void)sys->InstallDocument(origin, "d", t);
+  // A finer cut than the transfer workloads: the fan-out story needs
+  // clearly more shards than holders even at the smoke size.
+  ShardingConfig cfg;
+  cfg.max_shard_bytes = 512;
+  cfg.min_shard_bytes = 128;
+  sys->replicas().set_sharding_config(cfg);
+  sys->replicas().set_sharding_enabled(true);
+
+  // Each holder caches a disjoint slice of the shards (plus the
+  // manifest), subscribing shard-granularly, as a budget-bound partial
+  // replica would.
+  const ShardedDocument* sd = sys->replicas().OriginShards(origin, "d");
+  if (sd == nullptr || sd->shards.size() < kHolders) {
+    state.SkipWithError("document did not shard into enough pieces");
+    return;
+  }
+  const uint64_t version = sys->replicas().Version(origin, "d");
+  const size_t per_holder = sd->shards.size() / kHolders;
+  for (int h = 0; h < kHolders; ++h) {
+    std::vector<DocumentShard> slice;
+    const size_t from = h * per_holder;
+    const size_t to =
+        h + 1 == kHolders ? sd->shards.size() : from + per_holder;
+    for (size_t i = from; i < to; ++i) {
+      DocumentShard s;
+      s.id = sd->shards[i].id;
+      s.bytes = sd->shards[i].bytes;
+      s.content = sd->shards[i].content->Clone(sys->peer(holders[h])->gen());
+      slice.push_back(std::move(s));
+    }
+    if (!sys->replicas().InsertShardedCopy(
+            holders[h], origin, "d",
+            sd->manifest->Clone(sys->peer(holders[h])->gen()), slice,
+            version)) {
+      state.SkipWithError("partial seed refused");
+      return;
+    }
+  }
+
+  constexpr int kMutations = 16;
+  Rng mut_rng(99);
+  for (auto _ : state) {
+    sys->replicas().ResetStats();
+    sys->network().mutable_stats()->Reset();
+    for (int round = 0; round < kMutations; ++round) {
+      MutateOneProduct(sys.get(), origin, &mut_rng);
+      sys->RunToQuiescence();
+    }
+    const SubscriptionStats& ss = sys->replicas().subscription_stats();
+    state.counters["notifies_per_mut"] =
+        static_cast<double>(ss.notifies) / kMutations;
+    state.counters["clean_skips_per_mut"] =
+        static_cast<double>(ss.clean_skips) / kMutations;
+    state.counters["doc_level_fanout"] = kHolders;
+    state.counters["notify_msgs"] =
+        static_cast<double>(sys->network().stats().notify_messages());
+  }
+}
+
 void Sweep(benchmark::internal::Benchmark* b) {
-  for (int64_t n : {256, 1024, 4096}) {
+  for (int64_t n : {64, 256, 1024, 4096}) {
     b->Args({n});
   }
   b->Iterations(1)->Unit(benchmark::kMillisecond);
@@ -207,6 +328,9 @@ BENCHMARK(BM_Sharding_WriteDelta_Unsharded)->Apply(Sweep);
 BENCHMARK(BM_Sharding_WriteDelta_Sharded)->Apply(Sweep);
 BENCHMARK(BM_Sharding_TightBudget_Unsharded)->Apply(Sweep);
 BENCHMARK(BM_Sharding_TightBudget_Sharded)->Apply(Sweep);
+BENCHMARK(BM_Sharding_BoundaryShift_Greedy)->Apply(Sweep);
+BENCHMARK(BM_Sharding_BoundaryShift_ContentDefined)->Apply(Sweep);
+BENCHMARK(BM_Sharding_NotifyFanout)->Apply(Sweep);
 
 }  // namespace
 }  // namespace axml

@@ -37,7 +37,21 @@ class EventLoop {
   /// this time.
   void Post(Callback cb) { ScheduleAt(now_, std::move(cb)); }
 
-  /// Runs the earliest event. Returns false when the queue is empty.
+  /// Registers a recurring task firing every `interval` (> 0) seconds of
+  /// virtual time, starting one interval from now. Periodic tasks never
+  /// keep the loop alive: a due tick fires only while real events are
+  /// being processed (just before the event that would carry time past
+  /// it), so an empty queue still quiesces and Run() terminates — the
+  /// tick piggybacks on ongoing activity instead of spinning an idle
+  /// simulation forever. When activity jumps time across several
+  /// intervals at once, the missed ticks coalesce into one firing.
+  /// Returns an id for RemovePeriodic.
+  uint64_t AddPeriodic(SimTime interval, Callback cb);
+  /// Cancels a periodic task; unknown ids are ignored.
+  void RemovePeriodic(uint64_t id);
+
+  /// Runs the earliest event (firing any periodic tasks due before it).
+  /// Returns false when the queue is empty.
   bool RunOne();
   /// Runs to quiescence. Returns the number of events executed.
   uint64_t Run();
@@ -55,6 +69,12 @@ class EventLoop {
     uint64_t seq;
     Callback cb;
   };
+  struct Periodic {
+    uint64_t id;
+    SimTime interval;
+    SimTime next;  ///< next due time
+    Callback cb;
+  };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -62,9 +82,17 @@ class EventLoop {
     }
   };
 
+  /// Fires every periodic task due at or before the current queue head,
+  /// earliest first, re-reading the head after every firing (a tick may
+  /// post events — possibly earlier than the old head — or mutate the
+  /// registry).
+  void FirePeriodics();
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Periodic> periodics_;
   SimTime now_ = kSimStart;
   uint64_t next_seq_ = 0;
+  uint64_t next_periodic_id_ = 1;
   uint64_t executed_ = 0;
 };
 

@@ -151,10 +151,15 @@ CostEstimate CostModel::DocTransferCost(PeerId reader, PeerId owner,
     // Partial sharded copies pay only for what is missing: the stale
     // manifest plus the non-resident data shards. A peer holding most
     // of a document's shards reads it almost for free, so the optimizer
-    // prefers routing the read there over a cold peer.
+    // prefers routing the read there over a cold peer. The delta is
+    // clamped to the plain transfer: shard wrappers and nested
+    // sub-manifests carry overhead, so a *cold* delta can exceed the
+    // raw document size — but a partial copy must never be priced above
+    // the whole-document transfer it replaces.
     uint64_t delta = 0;
     if (sys_->replicas().ShardedDeltaBytes(reader, owner, name, &delta)) {
-      return TransferCost(owner, reader, static_cast<double>(delta));
+      return TransferCost(owner, reader,
+                          std::min(static_cast<double>(delta), bytes));
     }
   }
   return TransferCost(owner, reader, bytes);

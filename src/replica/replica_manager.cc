@@ -120,14 +120,12 @@ TransferCache* ReplicaManager::CacheFor(PeerId peer) {
                                                default_eviction_policy_);
   cache->set_evict_listener(
       [this, peer](const ReplicaKey& key, const TransferCache::Entry&) {
-        // A departing whole-document copy or manifest ends the origin's
-        // obligation to notify this peer. A data-shard eviction keeps
-        // the subscription — the manifest is still resident and worth
-        // refreshing by delta — but still retracts the installed
-        // document below (installed ⇔ fully resident in cache).
-        if (!key.is_shard_data()) {
-          subscriptions_.Unsubscribe(key.DocKey(), peer);
-        }
+        // Subscriptions mirror residency exactly: each departing entry
+        // — whole document, manifest, or data shard — ends its own
+        // subscription, so mutation fan-out targets precisely what the
+        // holder still has. The installed document is retracted on
+        // losing *any* piece (installed ⇔ fully resident in cache).
+        subscriptions_.Unsubscribe(key, peer);
         RetractAdvertisements(peer, key);
       });
   if (sys_ != nullptr) {
@@ -379,11 +377,14 @@ void ReplicaManager::RetractAdvertisements(PeerId reader,
 }
 
 void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
-  // Snapshot: dropping a copy unsubscribes its holder mid-iteration.
-  const std::vector<PeerId> holders = subscriptions_.HoldersOf(key);
-  if (holders.empty()) return;
+  // Snapshot of this document's subscription keys (the drop loop below
+  // unsubscribes mid-flight). No subscribers: nothing to push — and no
+  // reason to split the new version.
+  const std::vector<ReplicaKey> sub_keys =
+      subscriptions_.KeysForDoc(key.origin, key.name);
+  if (sub_keys.empty()) return;
   // Shard ids the *new* version still references; resident data shards
-  // outside this set are orphans no future manifest will name.
+  // outside this set are dirty — no future manifest will name them.
   std::set<std::string> live;
   if (sharding_enabled_) {
     if (const ShardedDocument* sd = OriginShards(key.origin, key.name)) {
@@ -392,8 +393,45 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
       }
     }
   }
-  for (PeerId holder : holders) {
+  // Classify subscribed holders. A holder is dirty — and must be
+  // pushed — when its copy's *content by name* changed or it holds
+  // pieces the new version abandoned:
+  //  - a whole-document entry or a pending refresh (doc-level key);
+  //  - an installed sharded copy (manifest key + installed slot): it is
+  //    advertised and readable by name, so any mutation dirties it;
+  //  - a data shard outside the new live set.
+  // Everything else — partial holders whose every resident shard is
+  // still referenced — is clean: their manifest's version check catches
+  // the staleness on the next lookup, and nothing they advertise (they
+  // advertise nothing) can serve a stale read meanwhile.
+  std::vector<PeerId> dirty;  // notification order: first subscription wins
+  std::set<PeerId> dirty_set;
+  std::set<PeerId> doc_wide;  // dirty through a doc-level/installed copy
+  std::set<PeerId> subscribed;
+  for (const ReplicaKey& sk : sub_keys) {
+    for (PeerId holder : subscriptions_.HoldersOf(sk)) {
+      subscribed.insert(holder);
+      bool holder_dirty = false;
+      if (sk.is_doc()) {
+        holder_dirty = true;
+      } else if (sk.is_manifest()) {
+        holder_dirty = InstalledOrigin(holder, key.name) == key.origin;
+      } else {
+        holder_dirty = live.count(sk.shard) == 0;
+      }
+      if (!holder_dirty) continue;
+      if (dirty_set.insert(holder).second) dirty.push_back(holder);
+      if (!sk.is_shard_data()) doc_wide.insert(holder);
+    }
+  }
+  subscription_stats_.clean_skips += subscribed.size() - dirty_set.size();
+  for (PeerId holder : dirty) {
     ++subscription_stats_.notifies;
+    if (doc_wide.count(holder) > 0) {
+      ++subscription_stats_.doc_notifies;
+    } else {
+      ++subscription_stats_.shard_notifies;
+    }
     // The notification is wire traffic on the origin->holder link;
     // NetStats tallies it apart from data transfers. Inside a
     // NotifyBatch window, events to the same (origin, holder) pair share
@@ -404,21 +442,23 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
     if (DropCopy(holder, key.origin, key.name)) {
       ++subscription_stats_.drops;
     }
-    if (sharding_enabled_) {
-      auto cit = caches_.find(holder);
-      if (cit != caches_.end()) {
-        for (const ReplicaKey& k :
-             cit->second->KeysForDoc(key.origin, key.name)) {
-          if (k.is_shard_data() && live.count(k.shard) == 0) {
-            cit->second->Erase(k, /*invalidation=*/true);
-          }
+    // Dirty data shards go too; live residents stay and seed the next
+    // delta. (The scan also covers copies stranded by disabling
+    // sharding: live is empty then, so every shard is dirty.)
+    auto cit = caches_.find(holder);
+    if (cit != caches_.end()) {
+      for (const ReplicaKey& k :
+           cit->second->KeysForDoc(key.origin, key.name)) {
+        if (k.is_shard_data() && live.count(k.shard) == 0) {
+          cit->second->Erase(k, /*invalidation=*/true);
         }
       }
     }
     if (refresh_policy_ == RefreshPolicy::kEagerRefresh &&
         StartRefresh(holder, key, /*retry=*/false)) {
-      // The holder stays subscribed while its copy re-materializes, so a
-      // mutation overtaking the shipment is pushed (and coalesced) too.
+      // The holder stays subscribed (doc-level flight interest) while
+      // its copy re-materializes, so a mutation overtaking the shipment
+      // is pushed (and coalesced) too.
       subscriptions_.Subscribe(key, holder);
     }
   }
@@ -669,19 +709,25 @@ bool ReplicaManager::InsertShardedCopy(PeerId reader, PeerId origin,
       return false;  // manifest alone over budget: nothing to anchor on
     }
   }
+  // Subscriptions mirror residency: each data shard that survives its
+  // Put subscribes the holder under its exact key (a later Put may
+  // evict it again — the evict listener unsubscribes then), so mutation
+  // fan-out can skip this holder while its pieces stay referenced.
+  // Shards resident from earlier deltas subscribed at their own insert.
   for (const DocumentShard& s : shipped) {
+    const ReplicaKey skey = ShardDataKey(origin, name, s.id);
     // Budget refusals are fine — the copy stays partial and later reads
     // fetch the gap again.
-    (void)cache->Put(ShardDataKey(origin, name, s.id), s.content, s.id,
-                     kImmutableVersion);
+    if (cache->Put(skey, s.content, s.id, kImmutableVersion) &&
+        cache->Peek(skey) != nullptr) {
+      subscriptions_.Subscribe(skey, reader);
+    }
   }
-  // The shard Puts may have evicted the manifest right back out.
+  // The shard Puts may have evicted the manifest right back out; the
+  // surviving shards stay resident (and subscribed) for future deltas.
   const TransferCache::Entry* m = cache->Peek(mkey);
   if (m == nullptr) return false;
-
-  // The origin now owes this reader a push on every mutation (partial
-  // copies included: their manifest must not go stale silently).
-  subscriptions_.Subscribe(ReplicaKey{origin, name}, reader);
+  subscriptions_.Subscribe(mkey, reader);
 
   // Install + advertise only a *complete* copy; a partial one serves
   // delta reads but must never be read by name.
@@ -719,6 +765,19 @@ size_t ReplicaManager::RunPlacement() {
     if (StartPlacementShipment(decision)) ++started;
   }
   return started;
+}
+
+void ReplicaManager::set_placement_tick_interval(SimTime interval_s) {
+  AXML_CHECK(sys_ != nullptr);
+  if (placement_tick_id_ != 0) {
+    sys_->loop().RemovePeriodic(placement_tick_id_);
+    placement_tick_id_ = 0;
+  }
+  placement_tick_interval_ = interval_s;
+  if (interval_s > 0) {
+    placement_tick_id_ =
+        sys_->loop().AddPeriodic(interval_s, [this] { RunPlacement(); });
+  }
 }
 
 bool ReplicaManager::LaunchShipment(
@@ -906,6 +965,15 @@ bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
         if (InsertLanded(holder, key, payload, snap_version)) {
           ++subscription_stats_.refreshes;
           subscription_stats_.refresh_bytes += bytes;
+          // A sharded landing re-subscribed the holder under its
+          // manifest and shard keys; the doc-level flight interest has
+          // served its purpose unless a whole-document entry backs it.
+          if (payload.whole == nullptr) {
+            const TransferCache* c = FindCache(holder);
+            if (c == nullptr || c->Peek(key) == nullptr) {
+              subscriptions_.Unsubscribe(key, holder);
+            }
+          }
         } else if (Version(key.origin, key.name) != snap_version) {
           // The origin moved on while this was on the wire: one
           // catch-up shipment brings the holder current. If it cannot

@@ -15,8 +15,12 @@
 //    joins every generic class the origin belongs to — so d@any
 //    resolution routes to the nearest fresh copy;
 //  - every successful cache insert *subscribes* the holder at the origin
-//    (SubscriptionTable); a mutation at the origin pushes to every
-//    subscribed holder immediately — under RefreshPolicy::kDrop the
+//    under the inserted entry's exact key — whole-document, manifest or
+//    data shard (SubscriptionTable); a mutation at the origin pushes to
+//    every *dirty* holder immediately, where a partial sharded holder is
+//    dirty only if it holds a data shard the new version no longer
+//    references (clean partial holders are skipped: shard-granular
+//    fan-out) — under RefreshPolicy::kDrop the
 //    holder's copy and all its advertisements are retracted at mutation
 //    time (never a stale advertisement between a write and the next
 //    read); under kEagerRefresh the origin additionally ships the new
@@ -57,6 +61,7 @@
 #include <utility>
 
 #include "common/ids.h"
+#include "net/sim_time.h"
 #include "peer/generic.h"
 #include "replica/eviction_policy.h"
 #include "replica/placement.h"
@@ -280,6 +285,16 @@ class ReplicaManager {
   /// the caller drives the event loop to land them.
   size_t RunPlacement();
 
+  /// Periodic placement: when `interval_s` > 0, RunPlacement fires
+  /// automatically every `interval_s` seconds of virtual time
+  /// (EventLoop::AddPeriodic — the tick piggybacks on event activity,
+  /// so an idle loop still quiesces and manual rounds stay possible).
+  /// 0 cancels the tick. Default: off. Requires a bound system.
+  void set_placement_tick_interval(SimTime interval_s);
+  SimTime placement_tick_interval() const {
+    return placement_tick_interval_;
+  }
+
   // --- Copies ---
 
   /// Records that `landed` — a copy of origin's `name` — materialized at
@@ -396,9 +411,17 @@ class ReplicaManager {
   /// Sends one notification (or folds it into the open batch).
   void QueueNotify(PeerId origin, PeerId holder);
 
-  /// Mutation fan-out (kDrop / kEagerRefresh): notifies every subscribed
-  /// holder of `key`, drops its copy synchronously, and — under eager
-  /// refresh — starts the re-materializing shipment.
+  /// Mutation fan-out (kDrop / kEagerRefresh), shard-granular: computes
+  /// which subscribed holders are *dirty* — whole-document holders and
+  /// pending refreshes always; holders of an installed (complete)
+  /// sharded copy; partial holders only when a data shard they hold is
+  /// no longer referenced by the new version — then notifies each dirty
+  /// holder, drops its dirty entries synchronously, and — under eager
+  /// refresh — starts the re-materializing shipment. Clean partial
+  /// holders are skipped entirely (SubscriptionStats::clean_skips):
+  /// their shards are still current, their stale manifest is caught by
+  /// the version check on its next lookup, and they were never
+  /// installed or advertised, so no stale read can route to them.
   void PushInvalidate(const ReplicaKey& key);
 
   /// Ships the origin's current version of `key` to `holder`; the copy
@@ -465,6 +488,8 @@ class ReplicaManager {
   /// Wire bytes placement spent per receiving holder (the placement
   /// config's per-holder budget draws down against this).
   std::map<PeerId, uint64_t> placement_spent_;
+  SimTime placement_tick_interval_ = 0;
+  uint64_t placement_tick_id_ = 0;  ///< EventLoop periodic id; 0 = none
 
   bool sharding_enabled_ = false;
   ShardingConfig shard_config_;

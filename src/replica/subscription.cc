@@ -19,8 +19,9 @@ const char* RefreshPolicyName(RefreshPolicy p) {
 }
 
 std::string SubscriptionStats::ToString() const {
-  return StrCat("notifies=", notifies, " batched=", batched,
-                " drops=", drops,
+  return StrCat("notifies=", notifies, " (doc=", doc_notifies,
+                " shard=", shard_notifies, ") clean_skips=", clean_skips,
+                " batched=", batched, " drops=", drops,
                 " refreshes=", refreshes, " refresh_bytes=", refresh_bytes,
                 " coalesced=", coalesced, " retries=", retries,
                 " budget_denied=", budget_denied);
@@ -53,6 +54,20 @@ bool SubscriptionTable::IsSubscribed(const ReplicaKey& key,
   if (it == holders_.end()) return false;
   const auto& v = it->second;
   return std::find(v.begin(), v.end(), holder) != v.end();
+}
+
+std::vector<ReplicaKey> SubscriptionTable::KeysForDoc(
+    PeerId origin, const DocName& name) const {
+  std::vector<ReplicaKey> keys;
+  // Keys order by (origin, name, shard), so one document's keys — the
+  // doc key (shard "") first — form a contiguous range.
+  for (auto it = holders_.lower_bound(ReplicaKey{origin, name});
+       it != holders_.end() && it->first.origin == origin &&
+       it->first.name == name;
+       ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
 }
 
 size_t SubscriptionTable::subscription_count() const {

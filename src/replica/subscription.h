@@ -50,6 +50,17 @@ struct SubscriptionStats {
   /// (ReplicaManager::NotifyBatch) events to the same (origin, holder)
   /// pair share one message (NetStats::notify_messages counts those).
   uint64_t notifies = 0;
+  /// Notifies split by targeting: `doc_notifies` went to holders whose
+  /// copy is dirty as a whole (a whole-document entry, an installed
+  /// sharded copy, or a pending refresh shipment); `shard_notifies`
+  /// went to partial holders only because they held a data shard the
+  /// new version no longer references. doc + shard == notifies.
+  uint64_t doc_notifies = 0;
+  uint64_t shard_notifies = 0;
+  /// Subscribed holders a mutation did *not* notify because every piece
+  /// they hold is still referenced by the new version — the fan-out
+  /// shard-granular subscriptions save over document-level ones.
+  uint64_t clean_skips = 0;
   /// Notify events folded into an earlier message of the same batch;
   /// `notifies - batched` is the number of wire messages sent.
   uint64_t batched = 0;
@@ -67,14 +78,17 @@ struct SubscriptionStats {
   std::string ToString() const;
 };
 
-/// Who holds copies of which (owner, doc). Maintained by the
-/// ReplicaManager: a successful cache insert subscribes the reader, any
-/// cache drop (staleness, budget eviction, overwrite) unsubscribes it.
-///
-/// Keys are always *document-level* (ReplicaKey::DocKey — shard
-/// dimension empty): a sharded copy subscribes its holder once, under
-/// the document key, however many shard entries it occupies. Not
-/// thread-safe (single-threaded event-loop simulation).
+/// Who holds copies of which (owner, doc, shard). Maintained by the
+/// ReplicaManager: a successful cache insert subscribes the reader under
+/// the inserted entry's *exact* key — whole-document (shard dimension
+/// empty), `#manifest`, or one data shard — and any cache drop
+/// (staleness, budget eviction, overwrite) unsubscribes that key, so a
+/// holder is subscribed to exactly the pieces it has resident. (One
+/// exception: an eager-refresh shipment in flight keeps its holder
+/// subscribed under the document-level key until it lands.) Mutation
+/// fan-out unions the dirty keys' holders, so a partial holder caching
+/// only untouched shards is not notified at all. Not thread-safe
+/// (single-threaded event-loop simulation).
 class SubscriptionTable {
  public:
   /// Idempotent: a holder subscribes once per key.
@@ -85,6 +99,12 @@ class SubscriptionTable {
   /// unsubscribes holders) while iterating.
   std::vector<PeerId> HoldersOf(const ReplicaKey& key) const;
   bool IsSubscribed(const ReplicaKey& key, PeerId holder) const;
+
+  /// Every subscribed key of document (origin, name) — the document
+  /// key, the manifest, and any data shards — in key order. O(log n +
+  /// answer); mutation fan-out classifies holders with this.
+  std::vector<ReplicaKey> KeysForDoc(PeerId origin,
+                                     const DocName& name) const;
 
   /// Total (key, holder) pairs across all keys.
   size_t subscription_count() const;

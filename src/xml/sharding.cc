@@ -1,5 +1,9 @@
 #include "xml/sharding.h"
 
+#include <algorithm>
+#include <set>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace axml {
@@ -7,11 +11,117 @@ namespace axml {
 namespace {
 
 constexpr const char kManifestLabel[] = "#manifest";
+constexpr const char kSubManifestLabel[] = "#submanifest";
 constexpr const char kDocLabel[] = "#doc";
 constexpr const char kShardRefLabel[] = "#shard";
 constexpr const char kShardDataLabel[] = "#shard-data";
 
+/// True when the recursive splitter can descend into `node`: an element
+/// with >= 2 children, or a single-child element chain that reaches one.
+bool Splittable(const TreeNode& node) {
+  const TreeNode* cur = &node;
+  while (cur->is_element()) {
+    if (cur->child_count() >= 2) return true;
+    if (cur->child_count() == 0) return false;
+    cur = cur->child(0).get();
+  }
+  return false;  // the chain bottomed out in a text leaf
+}
+
+/// Shared state of one SplitDocument run.
+struct Splitter {
+  const ShardingConfig& cfg;
+  NodeIdGen* gen;
+  ShardedDocument* out;
+  uint64_t min_bytes;  // resolved min clamp for content-defined cuts
+  uint64_t modulus;    // resolved boundary modulus (>= 1)
+
+  /// Wraps `group` into a `#shard-data` shard, records it, and appends
+  /// its `#shard` reference under `manifest_node`.
+  void EmitGroup(std::vector<const TreeNode*>& group, TreePtr& manifest_node) {
+    if (group.empty()) return;
+    TreePtr content = TreeNode::Element(kShardDataLabel, gen);
+    for (const TreeNode* member : group) {
+      content->AddChild(member->Clone(gen));
+    }
+    DocumentShard shard;
+    shard.id = DigestOf(*content);
+    shard.bytes = content->SerializedSize();
+    shard.content = std::move(content);
+    manifest_node->AddChild(
+        MakeTextElement(kShardRefLabel, shard.id.ToString(), gen));
+    out->shards.push_back(std::move(shard));
+    group.clear();
+  }
+
+  /// Groups `node`'s children into shards and sub-manifests, appending
+  /// manifest entries (in document order) under `manifest_node`.
+  void SplitChildren(const TreeNode& node, TreePtr& manifest_node) {
+    std::vector<const TreeNode*> current;
+    uint64_t current_bytes = 0;
+    auto close = [&] {
+      EmitGroup(current, manifest_node);
+      current_bytes = 0;
+    };
+    for (const TreePtr& child : node.children()) {
+      const uint64_t child_bytes = child->SerializedSize();
+      if (child_bytes > cfg.max_shard_bytes) {
+        close();
+        if (Splittable(*child)) {
+          // Recursive split: a nested sub-manifest stands in for the
+          // oversized child; its own children group below.
+          TreePtr sub = TreeNode::Element(kSubManifestLabel, gen);
+          TreePtr holder = TreeNode::Element(kDocLabel, gen);
+          holder->AddChild(TreeNode::Element(child->label_text(), gen));
+          sub->AddChild(std::move(holder));
+          SplitChildren(*child, sub);
+          manifest_node->AddChild(std::move(sub));
+        } else {
+          // Indivisible (text leaf or a chain ending in one): it travels
+          // alone, over the cap — the one shape the byte budget cannot
+          // cut finer.
+          ++out->oversized_leaves;
+          AXML_LOG(Info) << "sharding: indivisible node of " << child_bytes
+                         << " B exceeds the " << cfg.max_shard_bytes
+                         << " B cap; shipping as an oversized shard";
+          current.push_back(child.get());
+          current_bytes = child_bytes;
+          close();
+        }
+        continue;
+      }
+      // Max clamp, both modes: never let a group overflow the cap.
+      if (!current.empty() &&
+          current_bytes + child_bytes > cfg.max_shard_bytes) {
+        close();
+      }
+      current.push_back(child.get());
+      current_bytes += child_bytes;
+      // Content-defined cut: the boundary is a property of the child's
+      // content, so an insertion or deletion upstream re-synchronizes at
+      // the next surviving boundary child instead of shifting every
+      // later group.
+      if (cfg.boundary == ShardBoundary::kContentDefined &&
+          current_bytes >= min_bytes &&
+          DigestOf(*child).lo % modulus == 0) {
+        close();
+      }
+    }
+    close();
+  }
+};
+
 }  // namespace
+
+const char* ShardBoundaryName(ShardBoundary b) {
+  switch (b) {
+    case ShardBoundary::kGreedy:
+      return "greedy";
+    case ShardBoundary::kContentDefined:
+      return "content_defined";
+  }
+  return "?";
+}
 
 uint64_t ShardedDocument::TotalBytes() const {
   uint64_t total = manifest_bytes;
@@ -20,7 +130,7 @@ uint64_t ShardedDocument::TotalBytes() const {
 }
 
 bool ShouldShard(const TreeNode& root, const ShardingConfig& cfg) {
-  return root.is_element() && root.child_count() >= 2 &&
+  return root.is_element() && Splittable(root) &&
          root.SerializedSize() > cfg.max_shard_bytes;
 }
 
@@ -29,24 +139,13 @@ ShardedDocument SplitDocument(const TreeNode& root,
   AXML_CHECK(ShouldShard(root, cfg));
   ShardedDocument out;
 
-  // Greedy grouping in insertion order: close the current group when the
-  // next child would push it over the cap. An oversized child travels
-  // alone (the splitter never descends below the root's children).
-  std::vector<std::vector<TreePtr>> groups;
-  std::vector<TreePtr> current;
-  uint64_t current_bytes = 0;
-  for (const TreePtr& child : root.children()) {
-    const uint64_t child_bytes = child->SerializedSize();
-    if (!current.empty() &&
-        current_bytes + child_bytes > cfg.max_shard_bytes) {
-      groups.push_back(std::move(current));
-      current.clear();
-      current_bytes = 0;
-    }
-    current.push_back(child);
-    current_bytes += child_bytes;
-  }
-  if (!current.empty()) groups.push_back(std::move(current));
+  Splitter splitter{
+      cfg, gen, &out,
+      /*min_bytes=*/
+      std::min(cfg.min_shard_bytes != 0 ? cfg.min_shard_bytes
+                                        : cfg.max_shard_bytes / 4,
+               cfg.max_shard_bytes),
+      /*modulus=*/std::max<uint64_t>(cfg.boundary_modulus, 1)};
 
   TreePtr manifest = TreeNode::Element(kManifestLabel, gen);
   // `#doc` wraps a childless clone of the root element, preserving its
@@ -55,19 +154,7 @@ ShardedDocument SplitDocument(const TreeNode& root,
   TreePtr doc_holder = TreeNode::Element(kDocLabel, gen);
   doc_holder->AddChild(TreeNode::Element(root.label_text(), gen));
   manifest->AddChild(std::move(doc_holder));
-  for (const std::vector<TreePtr>& group : groups) {
-    TreePtr content = TreeNode::Element(kShardDataLabel, gen);
-    for (const TreePtr& member : group) {
-      content->AddChild(member->Clone(gen));
-    }
-    DocumentShard shard;
-    shard.id = DigestOf(*content);
-    shard.bytes = content->SerializedSize();
-    shard.content = std::move(content);
-    manifest->AddChild(
-        MakeTextElement(kShardRefLabel, shard.id.ToString(), gen));
-    out.shards.push_back(std::move(shard));
-  }
+  splitter.SplitChildren(root, manifest);
   out.manifest_bytes = manifest->SerializedSize();
   out.manifest = std::move(manifest);
   return out;
@@ -77,40 +164,51 @@ bool IsShardManifest(const TreeNode& node) {
   return node.is_element() && node.label_text() == kManifestLabel;
 }
 
-std::vector<std::string> ManifestShardIds(const TreeNode& manifest) {
-  std::vector<std::string> ids;
-  if (!IsShardManifest(manifest)) return ids;
-  for (const TreePtr& child : manifest.children()) {
-    if (child->is_element() && child->label_text() == kShardRefLabel) {
-      ids.push_back(child->StringValue());
+namespace {
+
+void CollectShardIds(const TreeNode& manifest_node,
+                     std::vector<std::string>* ids) {
+  for (const TreePtr& child : manifest_node.children()) {
+    if (!child->is_element()) continue;
+    if (child->label_text() == kShardRefLabel) {
+      ids->push_back(child->StringValue());
+    } else if (child->label_text() == kSubManifestLabel) {
+      CollectShardIds(*child, ids);
     }
   }
-  return ids;
 }
 
-TreePtr AssembleDocument(
-    const TreeNode& manifest,
+/// Rebuilds the element a (sub-)manifest node describes. Shared by the
+/// top-level assembly and the nested recursion.
+TreePtr AssembleNode(
+    const TreeNode& manifest_node,
     const std::function<TreePtr(const std::string& id_hex)>& shard_lookup,
     NodeIdGen* gen) {
-  if (!IsShardManifest(manifest)) return nullptr;
-  TreePtr root;
-  for (const TreePtr& child : manifest.children()) {
-    if (child->is_element() && child->label_text() == kDocLabel) continue;
-    if (!child->is_element() || child->label_text() != kShardRefLabel) {
+  // Validate the shape first: exactly one #doc holding one childless
+  // element; every other child a #shard reference or a nested
+  // #submanifest.
+  const TreeNode* doc = nullptr;
+  for (const TreePtr& child : manifest_node.children()) {
+    if (!child->is_element()) return nullptr;
+    const std::string& label = child->label_text();
+    if (label == kDocLabel) {
+      if (doc != nullptr) return nullptr;  // two #doc children
+      doc = child.get();
+    } else if (label != kShardRefLabel && label != kSubManifestLabel) {
       return nullptr;
     }
   }
-  const TreeNode* doc = nullptr;
-  for (const TreePtr& child : manifest.children()) {
-    if (child->is_element() && child->label_text() == kDocLabel) {
-      if (doc != nullptr) return nullptr;  // two #doc children
-      doc = child.get();
-    }
-  }
   if (doc == nullptr || doc->child_count() != 1) return nullptr;
-  root = doc->child(0)->Clone(gen);
-  for (const std::string& id : ManifestShardIds(manifest)) {
-    TreePtr content = shard_lookup(id);
+  TreePtr root = doc->child(0)->Clone(gen);
+  for (const TreePtr& child : manifest_node.children()) {
+    if (child.get() == doc) continue;
+    if (child->label_text() == kSubManifestLabel) {
+      TreePtr sub = AssembleNode(*child, shard_lookup, gen);
+      if (sub == nullptr) return nullptr;
+      root->AddChild(std::move(sub));
+      continue;
+    }
+    TreePtr content = shard_lookup(child->StringValue());
     if (content == nullptr || !content->is_element() ||
         content->label_text() != kShardDataLabel) {
       return nullptr;
@@ -120,6 +218,40 @@ TreePtr AssembleDocument(
     }
   }
   return root;
+}
+
+}  // namespace
+
+std::vector<std::string> ManifestShardIds(const TreeNode& manifest) {
+  std::vector<std::string> ids;
+  if (!IsShardManifest(manifest)) return ids;
+  CollectShardIds(manifest, &ids);
+  return ids;
+}
+
+std::vector<std::string> DirtiedShardIds(const ShardedDocument& before,
+                                         const ShardedDocument& after) {
+  std::set<std::string> old_ids;
+  for (const DocumentShard& s : before.shards) {
+    old_ids.insert(s.id.ToString());
+  }
+  std::set<std::string> seen;
+  std::vector<std::string> dirty;
+  for (const DocumentShard& s : after.shards) {
+    std::string id = s.id.ToString();
+    if (old_ids.count(id) == 0 && seen.insert(id).second) {
+      dirty.push_back(std::move(id));
+    }
+  }
+  return dirty;
+}
+
+TreePtr AssembleDocument(
+    const TreeNode& manifest,
+    const std::function<TreePtr(const std::string& id_hex)>& shard_lookup,
+    NodeIdGen* gen) {
+  if (!IsShardManifest(manifest)) return nullptr;
+  return AssembleNode(manifest, shard_lookup, gen);
 }
 
 }  // namespace axml

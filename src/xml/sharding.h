@@ -5,30 +5,41 @@
 // paper's rule (13)), but a whole-tree copy is all-or-nothing: a document
 // bigger than a holder's byte budget can never be cached, refreshed or
 // proactively placed, no matter how hot its subtrees are. The splitter
-// here partitions an unranked tree into *top-level-subtree shards*:
+// here partitions an unranked tree into subtree shards:
 //
-//  - the root's children are grouped greedily, in insertion order, into
-//    shards whose serialized size stays under ShardingConfig::
-//    max_shard_bytes (a single oversized subtree becomes its own shard —
-//    the splitter never descends below the root's children);
+//  - the root's children are grouped, in insertion order, into shards
+//    whose serialized size stays under ShardingConfig::max_shard_bytes.
+//    Group boundaries are *content-defined* by default (see below); the
+//    pure greedy size cut survives as ShardBoundary::kGreedy for benches
+//    and back-to-back comparison;
+//  - a child bigger than the cap is split *recursively*: its own children
+//    shard the same way, and the manifest records a nested sub-manifest
+//    node in its place — so no data shard exceeds the cap except a single
+//    indivisible node (a text leaf or a childless/one-leaf element),
+//    which travels as its own oversized shard and bumps
+//    ShardedDocument::oversized_leaves;
 //  - each shard's id is the ContentDigest of its canonical form, so an
 //    unchanged group of subtrees keeps its id across document versions —
 //    a mutation of one subtree dirties exactly the shard holding it, and
 //    only that shard must cross the wire again;
 //  - a small root *manifest* shard records the document's root element
-//    and the ordered list of child-shard ids. The manifest is itself a
-//    tree, so it ships, caches and dedups through the same machinery as
-//    any other content.
+//    and the ordered tree of child-shard ids (nested sub-manifests
+//    included). The manifest is itself a tree, so it ships, caches and
+//    dedups through the same machinery as any other content.
 //
 // Reassembly (AssembleDocument) is exact up to node identifiers: the
 // assembled tree is unordered-equal to the original (tree_equal.h), which
 // is the only equality the system observes.
 //
-// Shard-id stability caveat: group boundaries are chosen by accumulated
-// serialized size, so a mutation that changes a subtree's size can shift
-// the boundaries of *later* groups and dirty their ids too. Same-size
-// (or same-group-composition) mutations dirty exactly one shard; the
-// worst case degrades toward whole-document shipment, never past it.
+// Shard-id stability: under ShardBoundary::kContentDefined a group
+// closes after a child whose content digest satisfies
+// `digest mod boundary_modulus == 0` (clamped to [min, max] group
+// bytes). The boundary is a property of the child's *content*, not of
+// accumulated size, so an insertion or deletion re-synchronizes at the
+// next surviving boundary child: O(1) neighboring shard ids dirty
+// instead of every downstream one. Under kGreedy a size-shifting
+// mutation can move every later boundary and degrade toward
+// whole-document re-shipment (never past it).
 
 #ifndef AXML_XML_SHARDING_H_
 #define AXML_XML_SHARDING_H_
@@ -43,15 +54,40 @@
 
 namespace axml {
 
+/// How the splitter chooses group boundaries among a node's children.
+enum class ShardBoundary {
+  /// Close the group when the next child would overflow the cap. Size
+  /// shifts cascade: one insertion can dirty every downstream shard id.
+  kGreedy,
+  /// Close the group after a child whose content digest hits the
+  /// boundary modulus (within the min/max clamps). Insertions and
+  /// deletions dirty only the neighboring shard ids. The default.
+  kContentDefined,
+};
+
+const char* ShardBoundaryName(ShardBoundary b);
+
 /// Knobs for the splitter.
 struct ShardingConfig {
   /// Target cap on one shard's serialized bytes. Also the sharding
   /// threshold: a document at or below this size ships whole. A single
-  /// root child bigger than the cap still becomes one (oversized) shard.
+  /// indivisible node bigger than the cap still becomes one (oversized)
+  /// shard; splittable oversized children are descended into instead.
   uint64_t max_shard_bytes = 64 * 1024;
+  /// Boundary rule for grouping children. kContentDefined keeps shard
+  /// ids stable around insertions/deletions.
+  ShardBoundary boundary = ShardBoundary::kContentDefined;
+  /// Content-defined boundaries may not fire before a group holds this
+  /// many bytes (keeps pathological all-boundary content from emitting
+  /// one shard per child). 0 means max_shard_bytes / 4.
+  uint64_t min_shard_bytes = 0;
+  /// A child closes its group when `DigestOf(child).lo % boundary_modulus
+  /// == 0`; the expected group length past the min clamp is this many
+  /// children. 0 is treated as 1 (every child a boundary).
+  uint64_t boundary_modulus = 8;
 };
 
-/// One data shard: a group of the root's children, wrapped for shipping.
+/// One data shard: a group of sibling subtrees, wrapped for shipping.
 struct DocumentShard {
   /// Digest of `content`'s canonical form — the shard's stable identity.
   ContentDigest id;
@@ -63,21 +99,31 @@ struct DocumentShard {
 };
 
 /// A split document: the manifest plus its data shards, in manifest
-/// order.
+/// (depth-first) order.
 struct ShardedDocument {
   /// `#manifest` element: one childless `#doc` clone of the original
-  /// root, then one `#shard` text child per data shard (text = id hex).
+  /// root, then — in document order — `#shard` text children (text = id
+  /// hex) and `#submanifest` elements for recursively split children.
+  /// A `#submanifest` has the same shape (its `#doc` holds the childless
+  /// clone of the split child) and may nest further.
   TreePtr manifest;
   uint64_t manifest_bytes = 0;
+  /// Every data shard at every nesting depth, in manifest order.
   std::vector<DocumentShard> shards;
+  /// Indivisible nodes bigger than the cap that had to travel as their
+  /// own oversized shard (also logged at Info by the splitter).
+  uint64_t oversized_leaves = 0;
 
   /// Manifest + data bytes: what shipping everything would cost.
   uint64_t TotalBytes() const;
 };
 
-/// True when `root` is worth splitting under `cfg`: an element with at
-/// least two children whose serialized size exceeds the shard cap.
-/// Everything else ships whole.
+/// True when `root` is worth splitting under `cfg`: an element whose
+/// serialized size exceeds the shard cap and whose structure is
+/// splittable — at least two children at some depth reachable through
+/// single-child element chains (the recursive splitter descends such
+/// chains, so a document whose size lives in one huge child still
+/// shards). Everything else ships whole.
 bool ShouldShard(const TreeNode& root, const ShardingConfig& cfg);
 
 /// Splits `root` into a manifest and size-capped data shards. Shard
@@ -89,16 +135,26 @@ ShardedDocument SplitDocument(const TreeNode& root,
 /// True when `node` looks like a manifest produced by SplitDocument.
 bool IsShardManifest(const TreeNode& node);
 
-/// The ordered shard-id hex strings a manifest references (empty when
-/// `manifest` is not a manifest).
+/// The data-shard id hex strings a manifest references, nested
+/// sub-manifests included, in depth-first manifest order (empty when
+/// `manifest` is not a manifest). May contain duplicates when
+/// byte-identical groups repeat.
 std::vector<std::string> ManifestShardIds(const TreeNode& manifest);
 
-/// Rebuilds the document a manifest describes. `shard_lookup` maps a
-/// shard-id hex string to that shard's `#shard-data` content tree (as
-/// stored by a cache or carried by a shipment); returning nullptr aborts
-/// the assembly. The result is built from clones minted from `gen` —
-/// callers may hand it out without aliasing cache blobs. Returns nullptr
-/// when `manifest` is malformed or any shard is missing.
+/// The distinct shard ids `after` references that `before` did not —
+/// what a delta against a copy of `before` must ship. The boundary
+/// rule's quality metric: content-defined boundaries keep this O(1)
+/// around an insertion or deletion where greedy cuts cascade.
+std::vector<std::string> DirtiedShardIds(const ShardedDocument& before,
+                                         const ShardedDocument& after);
+
+/// Rebuilds the document a manifest describes, recursing into nested
+/// sub-manifests. `shard_lookup` maps a shard-id hex string to that
+/// shard's `#shard-data` content tree (as stored by a cache or carried
+/// by a shipment); returning nullptr aborts the assembly. The result is
+/// built from clones minted from `gen` — callers may hand it out without
+/// aliasing cache blobs. Returns nullptr when `manifest` is malformed or
+/// any shard is missing.
 TreePtr AssembleDocument(
     const TreeNode& manifest,
     const std::function<TreePtr(const std::string& id_hex)>& shard_lookup,

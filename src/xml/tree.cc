@@ -34,6 +34,14 @@ const TreePtr& TreeNode::AddChild(TreePtr child) {
   return children_.back();
 }
 
+void TreeNode::InsertChild(size_t i, TreePtr child) {
+  AXML_CHECK(is_element_) << "text nodes cannot have children";
+  AXML_CHECK(child != nullptr);
+  AXML_CHECK_LE(i, children_.size());
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(i),
+                   std::move(child));
+}
+
 void TreeNode::RemoveChild(size_t i) {
   AXML_CHECK_LT(i, children_.size());
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));

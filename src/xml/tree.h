@@ -72,6 +72,8 @@ class TreeNode {
 
   /// Appends `child`; returns it for chaining.
   const TreePtr& AddChild(TreePtr child);
+  /// Inserts `child` before position `i` (`i == child_count()` appends).
+  void InsertChild(size_t i, TreePtr child);
   /// Removes the child at index `i`.
   void RemoveChild(size_t i);
   /// Removes the first child identified by `id` anywhere below this node

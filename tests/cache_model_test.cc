@@ -16,7 +16,10 @@
 //   - hits + misses == Gets issued,
 //   - a hit is *sound*: the returned tree is exactly the content the
 //     oracle recorded at the expected version — never stale bytes,
-//   - the evict listener fired exactly once per departing entry.
+//   - the evict listener fired exactly once per departing entry,
+//   - a subscription table driven by the manager's shard-granular rule
+//     (subscribe each surviving insert, unsubscribe each departure)
+//     tracks exactly the resident key set.
 //
 // The seed comes from AXML_TEST_SEED (tests/test_util.h); CI runs a
 // 5-seed matrix, so a failure reproduces as a pinned one-liner.
@@ -62,6 +65,10 @@ class CacheModelHarness {
     cache_.set_evict_listener(
         [this](const ReplicaKey& key, const TransferCache::Entry&) {
           departures_.push_back(key);
+          // Mirror of the ReplicaManager's shard-granular subscription
+          // rule: every departing entry — whole-document, manifest or
+          // data shard — ends its own subscription.
+          subscribed_.erase(key);
         });
     // Content pool: distinct sizes exercise budget pressure; two entries
     // share identical content to exercise dedup aliasing under eviction.
@@ -164,6 +171,12 @@ class CacheModelHarness {
       EXPECT_EQ(e->origin_version, doc.version);
       EXPECT_EQ(CanonicalForm(*e->tree), canonical_[doc.content]);
     }
+    // Subscribe exactly the entries that survived the insert — the
+    // manager's rule (it re-checks residency with Peek after Put, since
+    // a Put can self-evict its own key under budget pressure).
+    if (accepted && cache_.Peek(key) != nullptr) {
+      subscribed_.insert(key);
+    }
   }
 
   void DoGet(const ReplicaKey& key) {
@@ -215,6 +228,15 @@ class CacheModelHarness {
     // hits + misses arithmetic.
     EXPECT_EQ(cache_.stats().hits + cache_.stats().misses, gets_issued_);
 
+    // Shard-granular subscription invariant: a holder driven by the
+    // subscribe-on-insert / unsubscribe-on-evict rule is subscribed to
+    // exactly the keys it has resident — whole-document, manifest and
+    // data-shard entries alike. This is what lets mutation fan-out skip
+    // holders of untouched shards without ever leaking a subscription.
+    const std::vector<ReplicaKey> resident = cache_.Keys();
+    EXPECT_EQ(subscribed_,
+              std::set<ReplicaKey>(resident.begin(), resident.end()));
+
     // Evict-listener contract: exactly one event per departing entry.
     // Departures this op = entries before + entries inserted - entries
     // after (the only ways in and out).
@@ -248,6 +270,7 @@ class CacheModelHarness {
   std::vector<std::string> canonical_;
   std::map<ReplicaKey, OracleDoc> oracle_;
   std::vector<ReplicaKey> departures_;
+  std::set<ReplicaKey> subscribed_;  ///< mirror of resident keys
   uint64_t gets_issued_ = 0;
 };
 

@@ -69,6 +69,61 @@ TEST(EventLoopTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(loop.pending(), 1u);
 }
 
+TEST(EventLoopTest, PeriodicFiresAsEventActivityAdvancesTime) {
+  EventLoop loop;
+  std::vector<SimTime> ticks;
+  loop.AddPeriodic(1.0, [&] { ticks.push_back(loop.now()); });
+  // No events: the loop quiesces immediately — the periodic task never
+  // keeps it alive.
+  EXPECT_EQ(loop.Run(), 0u);
+  EXPECT_TRUE(ticks.empty());
+  // Activity denser than the interval drives the plain cadence: events
+  // at 1.5 and 2.5 carry time past the ticks due at 1.0 and 2.0, each
+  // of which fires first, at its own due time.
+  std::vector<SimTime> event_times;
+  loop.ScheduleAt(1.5, [&] { event_times.push_back(loop.now()); });
+  loop.ScheduleAt(2.5, [&] { event_times.push_back(loop.now()); });
+  loop.Run();
+  ASSERT_EQ(ticks.size(), 2u);
+  EXPECT_DOUBLE_EQ(ticks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ticks[1], 2.0);
+  ASSERT_EQ(event_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(event_times[1], 2.5);
+}
+
+TEST(EventLoopTest, PeriodicCoalescesMissedTicksAndCanBeRemoved) {
+  EventLoop loop;
+  int fired = 0;
+  const uint64_t id = loop.AddPeriodic(1.0, [&] { ++fired; });
+  // Jump time far ahead: the periodic fires for the earliest due tick,
+  // then resumes its cadence from the current time instead of replaying
+  // every missed interval.
+  loop.ScheduleAt(100.0, [] {});
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  loop.RemovePeriodic(id);
+  loop.ScheduleAt(200.0, [] {});
+  loop.Run();
+  EXPECT_EQ(fired, 1);  // removed: no further firings
+}
+
+TEST(EventLoopTest, PeriodicTickMayPostEvents) {
+  EventLoop loop;
+  std::vector<std::string> order;
+  loop.AddPeriodic(1.0, [&] {
+    order.push_back("tick");
+    loop.Post([&] { order.push_back("posted"); });
+  });
+  loop.ScheduleAt(1.5, [&] { order.push_back("event"); });
+  loop.Run();
+  // The tick fires before the event that carried time past it, and the
+  // work it posts runs before the later event.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "tick");
+  EXPECT_EQ(order[1], "posted");
+  EXPECT_EQ(order[2], "event");
+}
+
 // --- Topology ---
 
 TEST(TopologyTest, DefaultAndOverrides) {

@@ -3,14 +3,21 @@
 // An 8-peer system (two distant origins, six readers on a fast regional
 // backbone) runs Zipf-skewed reads — direct doc@origin reads and
 // d@any generic resolutions — interleaved with periodic mutations at
-// the origins and proactive placement rounds, under every
-// (EvictionPolicy × RefreshPolicy) pair. Two properties must hold:
+// the origins and proactive placement rounds (manual or tick-driven),
+// under every (EvictionPolicy × RefreshPolicy) pair. Sharding is on
+// with a cap small enough that the larger documents replicate as
+// manifest + data shards, so every combination also soaks the
+// shard-granular paths. Three properties must hold:
 //
 //   1. No stale read ever lands: every read returns content equal to
 //      the origin's document *at read time*, whichever copy served it.
 //   2. At quiescence, catalog and generic-class advertisements exactly
 //      mirror cache contents: every resident copy is installed and
 //      advertised; every absent copy is neither.
+//   3. Subscriptions mirror residency shard-granularly: a holder is
+//      subscribed to exactly the keys it has resident — so a mutation
+//      can target holders of dirty shards and skip the rest without
+//      ever leaking or dropping a subscription.
 //
 // The seed comes from AXML_TEST_SEED (CI runs a 5-seed matrix).
 
@@ -61,8 +68,9 @@ TreePtr MakeDoc(const SoakDoc& doc, NodeIdGen* gen) {
 class SoakHarness {
  public:
   SoakHarness(EvictionPolicy eviction, RefreshPolicy refresh,
-              uint64_t seed)
-      : rng_(seed),
+              uint64_t seed, bool tick_placement = false)
+      : tick_placement_(tick_placement),
+        rng_(seed),
         // Readers share a fast backbone; origin links cross a slow WAN.
         sys_(Topology::TwoClusters(
             kOrigins + kReaders, kOrigins,
@@ -78,12 +86,23 @@ class SoakHarness {
     sys_.replicas().set_default_eviction_policy(eviction);
     // Tight enough that hot-tail churn forces evictions.
     sys_.replicas().set_default_byte_budget(5000);
+    // Small enough that the larger docs shard (the smaller ones keep
+    // the whole-document path, so both coexist in every cache).
+    ShardingConfig shard_cfg;
+    shard_cfg.max_shard_bytes = 300;
+    sys_.replicas().set_sharding_config(shard_cfg);
+    sys_.replicas().set_sharding_enabled(true);
     PlacementConfig placement;
     placement.enabled = true;
     placement.min_picks = 3;
     placement.max_targets_per_class = 1;
     placement.max_shipments_per_round = 8;
     sys_.replicas().placement().set_config(placement);
+    if (tick_placement_) {
+      // Placement rides the event loop instead of manual rounds; reads
+      // and refreshes below generate the activity that advances time.
+      sys_.replicas().set_placement_tick_interval(0.5);
+    }
 
     for (size_t o = 0; o < kOrigins; ++o) {
       for (size_t d = 0; d < kDocsPerOrigin; ++d) {
@@ -136,13 +155,18 @@ class SoakHarness {
         host->PutDocument(victim.name, MakeDoc(victim, host->gen()));
         sys_.RunToQuiescence();
       }
-      if (i % 30 == 29) {
+      if (!tick_placement_ && i % 30 == 29) {
         sys_.replicas().RunPlacement();
         sys_.RunToQuiescence();
       }
     }
     sys_.RunToQuiescence();
     CheckQuiescentMirror();
+    if (tick_placement_) {
+      // The tick actually drove placement: rounds ran without any
+      // manual RunPlacement call.
+      EXPECT_GT(sys_.replicas().placement_stats().shipments, 0u);
+    }
   }
 
  private:
@@ -153,20 +177,50 @@ class SoakHarness {
   /// never advertised.
   void CheckQuiescentMirror() {
     const RefreshPolicy refresh = sys_.replicas().refresh_policy();
+    const SubscriptionTable& subs = sys_.replicas().subscriptions();
     for (PeerId reader : readers_) {
       const TransferCache* cache = sys_.replicas().FindCache(reader);
       std::set<std::pair<PeerId, DocName>> resident;  // (origin, name)
+      std::set<ReplicaKey> resident_keys;
       if (cache != nullptr) {
         EXPECT_EQ(cache->IntegrityError(), "");
         for (const ReplicaKey& key : cache->Keys()) {
           resident.insert({key.origin, key.name});
-          if (refresh != RefreshPolicy::kLazy) {
-            // Push policies leave no stale entry behind at quiescence.
+          resident_keys.insert(key);
+          // Property 3, forward direction: whatever is resident is
+          // subscribed under its exact key.
+          EXPECT_TRUE(subs.IsSubscribed(key, reader))
+              << key.ToString() << " resident at " << reader.ToString()
+              << " but not subscribed";
+          if (refresh != RefreshPolicy::kLazy && !key.is_shard_data()) {
+            // Push policies leave no stale *dirty* entry behind at
+            // quiescence: whole-document entries are always pushed;
+            // data shards are immutable (version 0 by design); a
+            // manifest may outlive the version it was cut at only on a
+            // clean partial holder — never installed, so nothing
+            // advertised can serve it, and its version check drops it
+            // on the next lookup.
             const TransferCache::Entry* e = cache->Peek(key);
             ASSERT_NE(e, nullptr);
-            EXPECT_EQ(e->origin_version,
-                      sys_.replicas().Version(key.origin, key.name))
-                << key.ToString() << " resident but stale under push";
+            if (key.is_doc() ||
+                sys_.replicas().InstalledOrigin(reader, key.name) ==
+                    key.origin) {
+              EXPECT_EQ(e->origin_version,
+                        sys_.replicas().Version(key.origin, key.name))
+                  << key.ToString() << " resident but stale under push";
+            }
+          }
+        }
+      }
+      // Property 3, reverse direction: every subscription of this
+      // reader names a resident entry — shard-granular fan-out never
+      // leaks a subscription past its entry's departure.
+      for (const SoakDoc& doc : docs_) {
+        for (const ReplicaKey& key : subs.KeysForDoc(doc.origin, doc.name)) {
+          if (subs.IsSubscribed(key, reader)) {
+            EXPECT_TRUE(resident_keys.count(key) > 0)
+                << key.ToString() << " subscribed by " << reader.ToString()
+                << " without a resident entry";
           }
         }
       }
@@ -220,6 +274,7 @@ class SoakHarness {
     return false;
   }
 
+  bool tick_placement_;
   Rng rng_;
   AxmlSystem sys_;
   std::vector<PeerId> origins_;
@@ -249,6 +304,83 @@ INSTANTIATE_TEST_SUITE_P(
       return StrCat(EvictionPolicyName(std::get<0>(info.param)), "_",
                     RefreshPolicyName(std::get<1>(info.param)));
     });
+
+// The same soak with placement driven by the event-loop tick instead of
+// manual rounds: every invariant must hold, and the tick must actually
+// have shipped seeds.
+TEST(ReplicaSoakTickTest, TickDrivenPlacementHoldsEveryInvariant) {
+  SoakHarness harness(EvictionPolicy::kLru, RefreshPolicy::kDrop,
+                      TestSeed(0x50AD), /*tick_placement=*/true);
+  harness.Run();
+}
+
+// A tick-driven placement round is the same round RunPlacement runs by
+// hand: identical demand in identical twin systems must yield identical
+// shipments and identical landed copies.
+TEST(ReplicaSoakTickTest, TickDrivenRoundMatchesAManualRound) {
+  auto build = [](AxmlSystem& sys, std::vector<PeerId>* peers) {
+    PeerId origin = sys.AddPeer("origin");
+    PeerId r0 = sys.AddPeer("r0");
+    PeerId r1 = sys.AddPeer("r1");
+    NodeIdGen* gen = sys.peer(origin)->gen();
+    TreePtr doc = TreeNode::Element("doc", gen);
+    for (int i = 0; i < 12; ++i) {
+      doc->AddChild(MakeTextElement("x", StrCat("payload-", i), gen));
+    }
+    ASSERT_TRUE(sys.InstallDocument(origin, "hot", doc).ok());
+    sys.generics().AddDocumentMember("cls_hot", ClassMember{"hot", origin});
+    PlacementConfig placement;
+    placement.enabled = true;
+    placement.min_picks = 2;
+    placement.max_targets_per_class = 2;
+    sys.replicas().placement().set_config(placement);
+    *peers = {origin, r0, r1};
+    // Identical demand in both systems: r0 resolves the class four
+    // times, r1 twice (resolution alone caches nothing, so placement
+    // has something to seed).
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(sys.generics()
+                      .PickDocument("cls_hot", r0, PickPolicy::kNearest,
+                                    sys.network(), 64)
+                      .ok());
+    }
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(sys.generics()
+                      .PickDocument("cls_hot", r1, PickPolicy::kNearest,
+                                    sys.network(), 64)
+                      .ok());
+    }
+  };
+
+  AxmlSystem manual_sys;
+  std::vector<PeerId> manual_peers;
+  build(manual_sys, &manual_peers);
+  manual_sys.replicas().RunPlacement();
+  manual_sys.RunToQuiescence();
+
+  AxmlSystem tick_sys;
+  std::vector<PeerId> tick_peers;
+  build(tick_sys, &tick_peers);
+  tick_sys.replicas().set_placement_tick_interval(0.5);
+  // Any activity carrying virtual time past the interval fires the
+  // tick; an empty turn of bookkeeping is enough.
+  tick_sys.loop().ScheduleAfter(1.0, [] {});
+  tick_sys.RunToQuiescence();
+
+  const PlacementStats& m = manual_sys.replicas().placement_stats();
+  const PlacementStats& t = tick_sys.replicas().placement_stats();
+  EXPECT_GT(m.shipments, 0u);
+  EXPECT_EQ(m.shipments, t.shipments);
+  EXPECT_EQ(m.landed, t.landed);
+  EXPECT_EQ(m.shipped_bytes, t.shipped_bytes);
+  for (size_t i = 1; i < manual_peers.size(); ++i) {
+    EXPECT_EQ(manual_sys.replicas().HasFresh(manual_peers[i],
+                                             manual_peers[0], "hot"),
+              tick_sys.replicas().HasFresh(tick_peers[i], tick_peers[0],
+                                           "hot"))
+        << "reader " << i;
+  }
+}
 
 }  // namespace
 }  // namespace axml
