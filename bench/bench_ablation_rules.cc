@@ -154,4 +154,4 @@ BENCHMARK(BM_Ablation_OverCall)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

@@ -106,4 +106,4 @@ BENCHMARK(BM_Catalog_Flood)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

@@ -15,17 +15,146 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "algebra/evaluator.h"
 #include "common/rng.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/optimizer.h"
 #include "peer/system.h"
 #include "xml/tree.h"
 
 namespace axml {
 namespace bench {
+
+/// Machine-readable bench output. When $AXML_BENCH_JSON_DIR is set, every
+/// benchmark binary built on AXML_BENCH_MAIN() writes
+/// `<dir>/<exe basename>.json` after its runs:
+///
+///   {"schema_version": 1, "bench": "bench_foo", "runs": [
+///     {"name": "BM_X/64", "iterations": 1,
+///      "counters": {"sim_s": ..., ...},
+///      "metrics": { ...System::DumpMetrics() of the measured system... }}]}
+///
+/// Counters come from the google-benchmark reporter (so names match the
+/// console rows exactly); the registry snapshot is captured by
+/// RecordStandardCounters and attached to the next reported run.
+/// scripts/check_bench_json.py validates the schema in CI.
+class JsonReport {
+ public:
+  static JsonReport& Instance() {
+    static JsonReport r;
+    return r;
+  }
+
+  bool enabled() const { return dir_ != nullptr && *dir_ != '\0'; }
+
+  /// Captures the measured system's registry snapshot for the run being
+  /// recorded (last call before the reporter row wins).
+  void NoteMetrics(const AxmlSystem& sys) {
+    if (!enabled()) return;
+    pending_metrics_ = sys.metrics().Snapshot().ToJson();
+  }
+
+  /// Appends one run row; called by the capturing reporter.
+  void AddRun(const std::string& name, int64_t iterations,
+              const benchmark::UserCounters& counters) {
+    if (!enabled()) return;
+    std::string row = StrCat("    {\"name\": \"", JsonEscape(name),
+                             "\", \"iterations\": ", iterations,
+                             ", \"counters\": {");
+    bool first = true;
+    for (const auto& [cname, counter] : counters) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", counter.value);
+      row += StrCat(first ? "" : ", ", "\"", JsonEscape(cname), "\": ", buf);
+      first = false;
+    }
+    row += "}, \"metrics\": ";
+    row += pending_metrics_.empty() ? "{}" : pending_metrics_;
+    row += "}";
+    pending_metrics_.clear();
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes `<dir>/<basename(argv0)>.json`; no-op when disabled or no
+  /// runs were recorded (e.g. everything filtered out).
+  void Write(const char* argv0) {
+    if (!enabled() || rows_.empty()) return;
+    std::string base = argv0;
+    if (auto slash = base.find_last_of('/'); slash != std::string::npos) {
+      base = base.substr(slash + 1);
+    }
+    const std::string path = StrCat(dir_, "/", base, ".json");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench json: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"schema_version\": 1,\n  \"bench\": \"" << JsonEscape(base)
+        << "\",\n  \"runs\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "bench json: wrote %s (%zu runs)\n", path.c_str(),
+                 rows_.size());
+  }
+
+ private:
+  JsonReport() = default;
+  const char* dir_ = std::getenv("AXML_BENCH_JSON_DIR");
+  std::string pending_metrics_;
+  std::vector<std::string> rows_;
+};
+
+/// Console reporter that additionally feeds every run row (name,
+/// iterations, user counters) into the JsonReport. google-benchmark
+/// 1.7.x has no State::name(), so the reporter is the one place run
+/// names exist.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (!run.error_occurred && run.run_type == Run::RT_Iteration) {
+        JsonReport::Instance().AddRun(run.benchmark_name(), run.iterations,
+                                      run.counters);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+/// True when $AXML_TRACE_OUT names a file the bench should export a
+/// Chrome-trace JSON to. Benches that support it enable the system's
+/// tracer when this holds and call MaybeExportTrace once after a run.
+inline const char* TraceOutPath() {
+  const char* path = std::getenv("AXML_TRACE_OUT");
+  return (path != nullptr && *path != '\0') ? path : nullptr;
+}
+inline bool TraceExportRequested() { return TraceOutPath() != nullptr; }
+
+/// Writes the system's trace buffer to $AXML_TRACE_OUT (Chrome
+/// trace-event JSON, loadable in Perfetto). No-op when unset.
+inline void MaybeExportTrace(const AxmlSystem& sys) {
+  const char* path = TraceOutPath();
+  if (path == nullptr) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trace export: cannot write %s\n", path);
+    return;
+  }
+  out << sys.tracer().ToChromeJson();
+  std::fprintf(stderr, "trace export: wrote %s (%zu spans)\n", path,
+               sys.tracer().size());
+}
 
 /// Builds the product-catalog workload (same generator as the tests).
 inline TreePtr MakeCatalog(size_t n_products, NodeIdGen* gen, Rng* rng,
@@ -56,6 +185,7 @@ inline void RecordStandardCounters(benchmark::State& state, AxmlSystem* sys,
   state.counters["msgs"] =
       static_cast<double>(sys->network().stats().remote_messages());
   state.counters["results"] = static_cast<double>(results);
+  JsonReport::Instance().NoteMetrics(*sys);
 }
 
 /// Runs eval@at(e) on a fresh evaluator and records the standard
@@ -75,5 +205,22 @@ inline void EvalAndRecord(benchmark::State& state, AxmlSystem* sys,
 
 }  // namespace bench
 }  // namespace axml
+
+/// Drop-in replacement for BENCHMARK_MAIN() that routes runs through the
+/// JsonCaptureReporter and flushes the bench JSON file (if requested via
+/// $AXML_BENCH_JSON_DIR) after the run.
+#define AXML_BENCH_MAIN()                                                \
+  int main(int argc, char** argv) {                                      \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+    {                                                                    \
+      ::axml::bench::JsonCaptureReporter reporter;                       \
+      ::benchmark::RunSpecifiedBenchmarks(&reporter);                    \
+    }                                                                    \
+    ::benchmark::Shutdown();                                             \
+    ::axml::bench::JsonReport::Instance().Write(argv[0]);                \
+    return 0;                                                            \
+  }                                                                      \
+  int main(int, char**)
 
 #endif  // AXML_BENCH_BENCH_COMMON_H_

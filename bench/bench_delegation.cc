@@ -75,4 +75,4 @@ BENCHMARK(BM_Delegation_Delegated)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

@@ -125,4 +125,4 @@ BENCHMARK(BM_NetworkMessageRate)->Arg(10000);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

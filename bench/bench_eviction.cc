@@ -223,4 +223,4 @@ BENCHMARK(BM_Placement_On)->Iterations(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

@@ -96,4 +96,4 @@ BENCHMARK(BM_Forward_ForwardList)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

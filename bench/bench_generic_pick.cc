@@ -104,4 +104,4 @@ BENCHMARK(BM_Pick_LeastLoaded)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

@@ -88,4 +88,4 @@ BENCHMARK(BM_Intermediary_SlowRelay_ViaRelay)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

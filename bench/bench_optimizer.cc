@@ -91,4 +91,4 @@ BENCHMARK(BM_Optimizer_Search)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

@@ -89,4 +89,4 @@ BENCHMARK(BM_PushOverSc_Rule16)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

@@ -62,6 +62,10 @@ Setup Build(int64_t n_products) {
 void RunWriteHeavy(benchmark::State& state, RefreshPolicy policy) {
   Setup s = Build(state.range(0));
   s.sys->replicas().set_refresh_policy(policy);
+  // $AXML_TRACE_OUT: record causal spans (mutation -> notify -> shipment
+  // -> install share one trace id) and export Chrome-trace JSON after
+  // the run. Whichever benchmark runs last wins the file.
+  if (bench::TraceExportRequested()) s.sys->tracer().set_enabled(true);
   EvalOptions opts;
   opts.use_replica_cache = true;
   Evaluator ev(s.sys.get(), opts);
@@ -110,6 +114,7 @@ void RunWriteHeavy(benchmark::State& state, RefreshPolicy policy) {
     state.counters["refresh_KB"] =
         static_cast<double>(ss.refresh_bytes) / 1024.0;
   }
+  bench::MaybeExportTrace(*s.sys);
 }
 
 void BM_PushRefresh_Lazy(benchmark::State& state) {
@@ -138,4 +143,4 @@ BENCHMARK(BM_PushRefresh_EagerRefresh)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

@@ -95,4 +95,4 @@ BENCHMARK(BM_Pushdown_Optimizer)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

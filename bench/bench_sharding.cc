@@ -335,4 +335,4 @@ BENCHMARK(BM_Sharding_NotifyFanout)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

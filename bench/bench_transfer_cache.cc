@@ -138,4 +138,4 @@ BENCHMARK(BM_Cache_ReplicaCache)->Apply(Sweep);
 }  // namespace
 }  // namespace axml
 
-BENCHMARK_MAIN();
+AXML_BENCH_MAIN();

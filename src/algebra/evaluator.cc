@@ -22,10 +22,23 @@ EmitFn Swallow() {
 
 }  // namespace
 
+void EvalCounters::ExportMetrics(MetricSink& sink) const {
+  sink.Value("replica_hits", replica_hits);
+  sink.Value("sharded_hits", sharded_hits);
+  sink.Value("remote_fetches", remote_fetches);
+  sink.Value("sharded_fetches", sharded_fetches);
+  sink.Value("coalesced_joins", coalesced_joins);
+  sink.Value("refresh_waits", refresh_waits);
+}
+
 Evaluator::Evaluator(AxmlSystem* system, EvalOptions options)
     : sys_(system), options_(options) {
   AXML_CHECK(system != nullptr);
+  metrics_source_ = sys_->metrics().RegisterSource(
+      "eval", [this](MetricSink& sink) { counters_.ExportMetrics(sink); });
 }
+
+Evaluator::~Evaluator() { sys_->metrics().UnregisterSource(metrics_source_); }
 
 void Evaluator::Fail(Status s) {
   AXML_CHECK(!s.ok());
@@ -268,6 +281,11 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
       // is freshly minted, so it is emitted without another clone.
       if (TreePtr assembled =
               sys_->replicas().LookupShardedFresh(ctx, owner, doc_name)) {
+        ++counters_.sharded_hits;
+        if (Tracer& tr = sys_->tracer(); tr.enabled()) {
+          tr.Record("eval", "shard_hit", ctx, 0, 0,
+                    StrCat(doc_name, "@", owner.ToString()));
+        }
         Trace(StrCat("replica-shard-hit ", doc_name, "@",
                      owner.ToString(), " assembled at ", ctx.ToString(),
                      " (0B on the wire)"));
@@ -283,6 +301,11 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
       // read locally — a transfer the cache's hit stats account for. A
       // stale copy is dropped by this very lookup (versioned
       // invalidation) and the read falls through to the wire.
+      ++counters_.replica_hits;
+      if (Tracer& tr = sys_->tracer(); tr.enabled()) {
+        tr.Record("eval", "replica_hit", ctx, 0, 0,
+                  StrCat(doc_name, "@", owner.ToString()));
+      }
       Trace(StrCat("replica-hit ", doc_name, "@", owner.ToString(),
                    " read at ", ctx.ToString(), " (0B on the wire)"));
       // Deliver a clone, as the ship this hit replaces would have
@@ -302,6 +325,11 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
     // rule (13)): the second reader waits for the first's copy.
     auto flight = inflight_.find({ctx, owner, doc_name});
     if (flight != inflight_.end()) {
+      ++counters_.coalesced_joins;
+      if (Tracer& tr = sys_->tracer(); tr.enabled()) {
+        tr.Record("eval", "coalesce", ctx, 0, 0,
+                  StrCat(doc_name, "@", owner.ToString()));
+      }
       Trace(StrCat("replica-coalesce ", doc_name, "@", owner.ToString(),
                    " read at ", ctx.ToString(), " joins in-flight copy"));
       flight->second.push_back(std::move(emit));
@@ -313,6 +341,11 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
     // land, then retry the read — it hits the re-materialized copy, or
     // falls through to the wire if the shipment was canceled.
     if (sys_->replicas().IsRefreshInFlight(ctx, owner, doc_name)) {
+      ++counters_.refresh_waits;
+      if (Tracer& tr = sys_->tracer(); tr.enabled()) {
+        tr.Record("eval", "refresh_wait", ctx, 0, 0,
+                  StrCat(doc_name, "@", owner.ToString()));
+      }
       Trace(StrCat("replica-refresh-wait ", doc_name, "@",
                    owner.ToString(), " read at ", ctx.ToString(),
                    " joins in-flight push refresh"));
@@ -354,6 +387,7 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
         },
         &delta);
     if (launched) {
+      ++counters_.sharded_fetches;
       Trace(StrCat("replica-shard-fetch ", doc_name, "@",
                    owner.ToString(), " -> ", ctx.ToString(), " ", delta,
                    "B delta"));
@@ -374,6 +408,17 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
       owner == ctx
           ? std::move(emit)
           : EmitFn([this, owner, ctx, doc_name, emit](TreePtr t) {
+              ++counters_.remote_fetches;
+              // A top-level remote read roots its own causal chain
+              // (unless already inside one); the Ship's network Send
+              // carries the id to the landing — cache insert and
+              // install included.
+              Tracer& tr = sys_->tracer();
+              Tracer::Scope trace_scope(&tr, tr.CurrentOrNew());
+              if (tr.enabled()) {
+                tr.Record("eval", "fetch", ctx, t->SerializedSize(), 0,
+                          StrCat(doc_name, "@", owner.ToString()));
+              }
               // Ship clones the content now; remember which origin
               // version that snapshot corresponds to (a mutation during
               // the wire delay must not brand it fresh).

@@ -79,6 +79,21 @@ struct TraceEvent {
   std::string what;
 };
 
+/// Counters for the evaluator's replica read path. Each Evaluator mounts
+/// its own into the system's MetricRegistry at "eval/..." for its
+/// lifetime (several evaluators on one system sum there).
+struct EvalCounters {
+  uint64_t replica_hits = 0;    ///< reads served from a fresh whole copy
+  uint64_t sharded_hits = 0;    ///< reads assembled from resident shards
+  uint64_t remote_fetches = 0;  ///< whole-document wire transfers issued
+  uint64_t sharded_fetches = 0;  ///< shard delta fetches launched
+  uint64_t coalesced_joins = 0;  ///< reads that joined an in-flight copy
+  uint64_t refresh_waits = 0;  ///< reads parked behind an eager refresh
+
+  /// Registry retrofit: every field above under its own name.
+  void ExportMetrics(MetricSink& sink) const;
+};
+
 /// What an evaluation produced and what it cost.
 struct EvalOutcome {
   /// Result stream collected at the evaluating peer.
@@ -97,6 +112,12 @@ struct EvalOutcome {
 class Evaluator {
  public:
   explicit Evaluator(AxmlSystem* system, EvalOptions options = {});
+  /// Unmounts this evaluator's counters from the system's registry (the
+  /// system must still be alive).
+  ~Evaluator();
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
 
   /// eval@p(e): deploys the expression, runs the system to quiescence,
   /// returns the collected results. Errors raised asynchronously (type
@@ -143,6 +164,10 @@ class Evaluator {
   AxmlSystem* system() { return sys_; }
   const EvalOptions& options() const { return options_; }
 
+  /// Replica read-path counters (cumulative over this evaluator's
+  /// lifetime; the registry reads these very fields at "eval/...").
+  const EvalCounters& counters() const { return counters_; }
+
  private:
   struct DeployCtx;
 
@@ -179,6 +204,8 @@ class Evaluator {
 
   AxmlSystem* sys_;
   EvalOptions options_;
+  EvalCounters counters_;
+  MetricRegistry::SourceId metrics_source_ = 0;
   Status async_status_;
   std::deque<std::function<void()>> finalizers_;
   /// Keeps standing query instances alive for the evaluator's lifetime.

@@ -1,9 +1,22 @@
 #include "common/logging.h"
 
+#include <cctype>
+#include <cstring>
+#include <string>
+
 namespace axml {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+
+/// Latched process-wide level. Function-local static: the AXML_LOG_LEVEL
+/// parse happens exactly once, on first use, and an explicit
+/// SetLogLevel afterwards simply overwrites the latched value.
+LogLevel& Level() {
+  static LogLevel level =
+      ParseLogLevel(std::getenv("AXML_LOG_LEVEL"), LogLevel::kWarning);
+  return level;
+}
+
 const char* LevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug:
@@ -19,8 +32,24 @@ const char* LevelName(LogLevel l) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return Level(); }
+void SetLogLevel(LogLevel level) { Level() = level; }
+
+LogLevel ParseLogLevel(const char* s, LogLevel fallback) {
+  if (s == nullptr) return fallback;
+  std::string lower;
+  for (const char* p = s; *p != '\0'; ++p) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
+}
 
 namespace internal {
 

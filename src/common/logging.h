@@ -1,8 +1,14 @@
 // Minimal logging and assertion macros.
 //
 // AXML_CHECK* abort with a message on violated invariants (library bugs).
+// AXML_DCHECK* are the debug-assertion tier: on by default in every
+// build (the checks guarded with them are cheap), compiled out when
+// AXML_DISABLE_DCHECKS is defined.
 // AXML_LOG writes to stderr and is compiled in at all build types; the
-// default level is kWarning so tests and benches stay quiet.
+// default level is kWarning so tests and benches stay quiet. The
+// AXML_LOG_LEVEL environment variable ("debug" | "info" | "warning" |
+// "error", or 0-3) overrides the default at startup; a programmatic
+// SetLogLevel still wins over both.
 
 #ifndef AXML_COMMON_LOGGING_H_
 #define AXML_COMMON_LOGGING_H_
@@ -15,9 +21,16 @@ namespace axml {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level actually emitted.
+/// Process-wide minimum level actually emitted. Initialized from the
+/// AXML_LOG_LEVEL environment variable on first use (default kWarning).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses a level name ("debug" | "info" | "warning" | "warn" |
+/// "error", case-insensitive, or the digits 0-3). Returns `fallback`
+/// for null or unrecognized input. Exposed for tests; GetLogLevel runs
+/// this over getenv("AXML_LOG_LEVEL") exactly once.
+LogLevel ParseLogLevel(const char* s, LogLevel fallback);
 
 namespace internal {
 
@@ -58,5 +71,26 @@ class LogMessage {
 #define AXML_CHECK_LE(a, b) AXML_CHECK((a) <= (b))
 #define AXML_CHECK_GT(a, b) AXML_CHECK((a) > (b))
 #define AXML_CHECK_GE(a, b) AXML_CHECK((a) >= (b))
+
+// Debug-tier assertions: identical to AXML_CHECK unless the build opts
+// out with -DAXML_DISABLE_DCHECKS (the `if (false)` form keeps the
+// condition compiled — and its symbols odr-used — either way).
+#ifdef AXML_DISABLE_DCHECKS
+#define AXML_DCHECK(cond)                                                 \
+  if (false && !(cond))                                                   \
+  ::axml::internal::LogMessage(::axml::LogLevel::kError, __FILE__,        \
+                               __LINE__, /*fatal=*/true)                  \
+      << "DCheck failed: " #cond " "
+#else
+#define AXML_DCHECK(cond)                                                 \
+  if (!(cond))                                                            \
+  ::axml::internal::LogMessage(::axml::LogLevel::kError, __FILE__,        \
+                               __LINE__, /*fatal=*/true)                  \
+      << "DCheck failed: " #cond " "
+#endif
+
+#define AXML_DCHECK_EQ(a, b) AXML_DCHECK((a) == (b))
+#define AXML_DCHECK_LT(a, b) AXML_DCHECK((a) < (b))
+#define AXML_DCHECK_LE(a, b) AXML_DCHECK((a) <= (b))
 
 #endif  // AXML_COMMON_LOGGING_H_

@@ -7,6 +7,7 @@ namespace axml {
 void NetStats::Record(PeerId from, PeerId to, uint64_t bytes) {
   ++total_messages_;
   total_bytes_ += bytes;
+  msg_bytes_.Add(bytes);
   if (from != to) {
     ++remote_messages_;
     remote_bytes_ += bytes;
@@ -27,7 +28,23 @@ void NetStats::RecordNotify(PeerId from, PeerId to, uint64_t bytes) {
   notify_bytes_ += bytes;
 }
 
+// Wholesale reassignment so coverage is total by construction: every
+// counter, the message-size histogram, *and* the per-pair map go back
+// to zero (a member-by-member reset once forgot the pair map; a test
+// now pins the full sweep).
 void NetStats::Reset() { *this = NetStats(); }
+
+void NetStats::ExportMetrics(MetricSink& sink) const {
+  sink.Value("total_messages", total_messages_);
+  sink.Value("total_bytes", total_bytes_);
+  sink.Value("remote_messages", remote_messages_);
+  sink.Value("remote_bytes", remote_bytes_);
+  sink.Value("control_messages", control_messages_);
+  sink.Value("control_bytes", control_bytes_);
+  sink.Value("notify_messages", notify_messages_);
+  sink.Value("notify_bytes", notify_bytes_);
+  sink.Histo("msg_bytes", msg_bytes_);
+}
 
 PairStats NetStats::Pair(PeerId from, PeerId to) const {
   auto it = pairs_.find(Key(from, to));

@@ -10,7 +10,9 @@
 #include <unordered_map>
 
 #include "common/ids.h"
+#include "common/logging.h"
 #include "net/sim_time.h"
+#include "obs/metrics.h"
 
 namespace axml {
 
@@ -46,10 +48,26 @@ class NetStats {
 
   PairStats Pair(PeerId from, PeerId to) const;
 
+  /// Distribution of per-message sizes (log2 buckets; Record and
+  /// RecordNotify feed it, control traffic does not — it has no single
+  /// message size).
+  const Histogram& message_bytes_histogram() const { return msg_bytes_; }
+
+  /// Emits every counter (and the size histogram) into `sink` under its
+  /// accessor's name — the registry retrofit. A test pins that these
+  /// exports and the typed accessors never drift.
+  void ExportMetrics(MetricSink& sink) const;
+
   std::string ToString() const;
 
  private:
   static uint64_t Key(PeerId a, PeerId b) {
+    // Both indices must be real peers: kInvalidIndex / kAnyIndex would
+    // silently alias distinct bogus pairs onto shared map slots.
+    AXML_DCHECK(a.is_concrete()) << "NetStats pair with non-peer "
+                                 << a.ToString();
+    AXML_DCHECK(b.is_concrete()) << "NetStats pair with non-peer "
+                                 << b.ToString();
     return (static_cast<uint64_t>(a.index()) << 32) | b.index();
   }
 
@@ -61,6 +79,7 @@ class NetStats {
   uint64_t control_bytes_ = 0;
   uint64_t notify_messages_ = 0;
   uint64_t notify_bytes_ = 0;
+  Histogram msg_bytes_;
   std::unordered_map<uint64_t, PairStats> pairs_;
 };
 

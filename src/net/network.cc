@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/str_util.h"
 
 namespace axml {
 
@@ -11,7 +12,7 @@ void Network::Send(PeerId from, PeerId to, uint64_t bytes,
   AXML_CHECK(from.is_concrete());
   AXML_CHECK(to.is_concrete());
   stats_.Record(from, to, bytes);
-  ScheduleDelivery(from, to, bytes, std::move(on_deliver));
+  ScheduleDelivery(from, to, bytes, std::move(on_deliver), "msg");
 }
 
 void Network::SendNotify(PeerId from, PeerId to, uint64_t bytes,
@@ -19,11 +20,11 @@ void Network::SendNotify(PeerId from, PeerId to, uint64_t bytes,
   AXML_CHECK(from.is_concrete());
   AXML_CHECK(to.is_concrete());
   stats_.RecordNotify(from, to, bytes);
-  ScheduleDelivery(from, to, bytes, std::move(on_deliver));
+  ScheduleDelivery(from, to, bytes, std::move(on_deliver), "notify");
 }
 
 void Network::ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
-                               DeliverFn on_deliver) {
+                               DeliverFn on_deliver, const char* kind) {
   const LinkParams link = topology_.Get(from, to);
   const double transmit =
       static_cast<double>(bytes) / link.bandwidth_bps;
@@ -33,6 +34,16 @@ void Network::ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
   busy_until = start + transmit;
   const SimTime arrival = start + transmit + link.latency_s;
 
+  if (tracer_ != nullptr) {
+    if (tracer_->enabled()) {
+      // The span covers queueing + transmit + propagation, stamped at
+      // the sender; it inherits whatever causal id is current.
+      tracer_->Record("net", kind, from, bytes, arrival - loop_->now(),
+                      StrCat("-> ", to.ToString()));
+    }
+    // Delivery runs under the sender's causal id — the cross-hop link.
+    on_deliver = tracer_->Bind(std::move(on_deliver));
+  }
   loop_->ScheduleAt(arrival, std::move(on_deliver));
 }
 

@@ -16,6 +16,7 @@
 #include "net/event_loop.h"
 #include "net/net_stats.h"
 #include "net/topology.h"
+#include "obs/trace.h"
 
 namespace axml {
 
@@ -53,6 +54,13 @@ class Network {
   const NetStats& stats() const { return stats_; }
   NetStats* mutable_stats() { return &stats_; }
 
+  /// Hooks the causal tracer in (AxmlSystem wires its own): every
+  /// message records a "net" span covering its time on the wire, and the
+  /// delivery callback runs under the causal id that was current at Send
+  /// time — the hop that carries a trace across the network without
+  /// touching any message struct. nullptr detaches.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Lower-bound one-way delay for `bytes` on link from->to (ignoring
   /// queueing); used by the optimizer's cost model.
   double EstimateTransferTime(PeerId from, PeerId to,
@@ -66,13 +74,15 @@ class Network {
   }
 
   /// Shared FIFO-link scheduling behind Send/SendNotify (stats already
-  /// recorded by the caller).
+  /// recorded by the caller; `kind` names the trace span: "msg" or
+  /// "notify").
   void ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
-                        DeliverFn on_deliver);
+                        DeliverFn on_deliver, const char* kind);
 
   EventLoop* loop_;
   Topology topology_;
   NetStats stats_;
+  Tracer* tracer_ = nullptr;
   /// Per directed link: when the link becomes free to start transmitting.
   std::unordered_map<uint64_t, SimTime> link_busy_until_;
 };

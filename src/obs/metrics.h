@@ -1,0 +1,166 @@
+// Unified metrics registry: one namespace for every counter the paper's
+// claims are about.
+//
+// The paper's results are quantitative — wire bytes saved, notifications
+// avoided, cache hits gained — but the codebase grew one ad-hoc stat
+// struct per subsystem (NetStats, SubscriptionStats, TransferCacheStats,
+// ShardStats, PlacementStats, evaluator counters), each with its own
+// accessors and reset discipline, and nothing that can say "give me
+// every number this system knows, right now" in a machine-readable
+// form. This registry is that layer:
+//
+//  - values carry hierarchical slash-separated names
+//    ("peer/3/replica/cache/hit_bytes", "net/notify_bytes");
+//  - the existing stat structs are *retrofitted*, not replaced: each
+//    keeps its typed fields and accessors and registers an export
+//    callback that reads those very fields at snapshot time, so the
+//    registry and the legacy accessors cannot drift (a test pins this);
+//  - Snapshot() captures everything at one instant; DiffSince() turns
+//    two snapshots into a per-interval delta — the shape every bench
+//    and soak-test quiescence check wants;
+//  - ToJson() dumps a snapshot as a flat JSON object, the data source
+//    for the bench_*.json perf-trajectory files (bench_common.h) and
+//    AxmlSystem::DumpMetrics().
+//
+// Everything here is single-threaded like the rest of the simulator;
+// export callbacks run synchronously inside Snapshot().
+
+#ifndef AXML_OBS_METRICS_H_
+#define AXML_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace axml {
+
+/// Log2-bucketed histogram for size/latency-like quantities. Bucket 0
+/// holds exact zeros; bucket i (i >= 1) holds values in
+/// [2^(i-1), 2^i). Cheap enough to sit on a hot path: Add is a
+/// count-leading-zeros plus two increments.
+class Histogram {
+ public:
+  /// Bucket 0 + one bucket per bit of uint64_t.
+  static constexpr size_t kBucketCount = 65;
+
+  void Add(uint64_t value) {
+    ++counts_[BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+
+  /// Largest bucket lower bound <= the p-quantile sample (0 <= p <= 1);
+  /// 0 on an empty histogram. A log-bucket approximation, good to 2x.
+  uint64_t ApproxQuantile(double p) const;
+
+  void Reset() { *this = Histogram(); }
+
+  /// 0 -> 0; otherwise 1 + floor(log2(value)).
+  static size_t BucketIndex(uint64_t value);
+  /// Smallest value landing in bucket `i` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerBound(size_t i);
+
+ private:
+  uint64_t counts_[kBucketCount] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+/// Collects (name, value) pairs during one Snapshot(). Export callbacks
+/// write through this; the prefix (the source's registered mount point)
+/// is prepended to every name.
+class MetricSink {
+ public:
+  MetricSink(std::string prefix, std::map<std::string, uint64_t>* out);
+
+  /// Emits one value at `<prefix>/<name>`. Re-emitting a name within
+  /// one snapshot accumulates (per-peer sources sum into totals).
+  void Value(const std::string& name, uint64_t v);
+
+  /// Flattens `h` under `<prefix>/<name>`: .../count, .../sum and one
+  /// .../ge_<lower bound> entry per non-empty bucket.
+  void Histo(const std::string& name, const Histogram& h);
+
+  /// A sink writing into the same snapshot at `<prefix>/<sub>` — how a
+  /// composite source (the ReplicaManager) mounts its sub-structs'
+  /// ExportMetrics at their own places in the namespace.
+  MetricSink Scoped(const std::string& sub) const;
+
+ private:
+  std::string prefix_;
+  std::map<std::string, uint64_t>* out_;
+};
+
+/// Everything the registry knew at one instant. Flat, sorted by name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> values;
+
+  /// Value of `name`, or `fallback` when absent.
+  uint64_t ValueOr(const std::string& name, uint64_t fallback = 0) const;
+
+  /// Per-name difference against an older snapshot (names absent there
+  /// count as 0). Names whose value did not move are kept — a diff has
+  /// the same keys as the newer snapshot.
+  MetricsSnapshot DiffSince(const MetricsSnapshot& older) const;
+
+  /// Flat JSON object, keys sorted: {"net/total_bytes": 123, ...}.
+  std::string ToJson() const;
+};
+
+/// The per-System metric namespace. Two kinds of values coexist:
+///  - *owned counters*: uint64 cells the registry allocates
+///    (FindOrCreateCounter) for call sites with no legacy struct;
+///  - *sources*: export callbacks mounted at a prefix, reading the
+///    retrofitted stat structs at snapshot time.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  using ExportFn = std::function<void(MetricSink&)>;
+  using SourceId = uint64_t;
+
+  /// Mounts an export callback at `prefix` ("" mounts at the root).
+  /// The returned id survives until UnregisterSource.
+  SourceId RegisterSource(std::string prefix, ExportFn fn);
+  /// Removes a source; unknown ids are ignored (idempotent teardown).
+  void UnregisterSource(SourceId id);
+
+  /// The owned counter cell named `name` (created zeroed on first use).
+  /// The pointer stays valid for the registry's lifetime.
+  uint64_t* FindOrCreateCounter(const std::string& name);
+
+  /// Captures owned counters and every source's exports.
+  MetricsSnapshot Snapshot() const;
+
+  size_t source_count() const { return sources_.size(); }
+
+ private:
+  struct Source {
+    SourceId id;
+    std::string prefix;
+    ExportFn fn;
+  };
+  std::vector<Source> sources_;
+  SourceId next_source_id_ = 1;
+  /// deque: FindOrCreateCounter hands out stable pointers.
+  std::deque<uint64_t> counter_cells_;
+  std::map<std::string, uint64_t*> counters_;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// shared by the snapshot dump, the Chrome-trace export and the bench
+/// JSON writer.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace axml
+
+#endif  // AXML_OBS_METRICS_H_

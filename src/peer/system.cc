@@ -11,8 +11,18 @@ namespace axml {
 AxmlSystem::AxmlSystem() : AxmlSystem(Topology(LinkParams{})) {}
 
 AxmlSystem::AxmlSystem(Topology topology)
-    : network_(std::make_unique<Network>(&loop_, std::move(topology))) {
+    : network_(std::make_unique<Network>(&loop_, std::move(topology))),
+      tracer_([this] { return loop_.now(); }) {
   replicas_.Bind(this);
+  network_->set_tracer(&tracer_);
+  // The registry retrofit: both sources read the very fields the typed
+  // accessors return, so registry snapshots and accessors cannot drift.
+  metrics_.RegisterSource("net", [this](MetricSink& sink) {
+    network_->stats().ExportMetrics(sink);
+  });
+  metrics_.RegisterSource("", [this](MetricSink& sink) {
+    replicas_.ExportMetrics(sink);
+  });
   generics_.set_document_validator(
       [this](const std::string& cls, const ClassMember& m) {
         return replicas_.ValidateMember(cls, m);

@@ -20,6 +20,8 @@
 #include "net/catalog.h"
 #include "net/event_loop.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "peer/generic.h"
 #include "peer/peer.h"
 #include "replica/replica_manager.h"
@@ -64,6 +66,22 @@ class AxmlSystem {
   ReplicaManager& replicas() { return replicas_; }
   const ReplicaManager& replicas() const { return replicas_; }
 
+  /// The unified metric namespace (obs/metrics.h). The constructor
+  /// mounts the network stats at "net/..." and the whole replica layer
+  /// ("replica/...", "peer/<idx>/replica/cache/..."); evaluators mount
+  /// their own counters while they live.
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+
+  /// Everything the registry knows right now, as a flat JSON object.
+  std::string DumpMetrics() const { return metrics_.Snapshot().ToJson(); }
+
+  /// The causal tracer (obs/trace.h), clocked by the event loop and
+  /// wired into the network. Disabled by default; call
+  /// `tracer().set_enabled(true)` to start recording spans.
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
   // --- State manipulation helpers (register resources in the catalog) ---
 
   /// Installs a document on `p` and advertises it.
@@ -99,6 +117,8 @@ class AxmlSystem {
   std::unique_ptr<Catalog> catalog_;
   GenericCatalog generics_;
   ReplicaManager replicas_;
+  MetricRegistry metrics_;
+  Tracer tracer_;
 };
 
 }  // namespace axml

@@ -15,6 +15,15 @@ std::string PlacementStats::ToString() const {
                 " budget_denied=", budget_denied, " wasted=", wasted);
 }
 
+void PlacementStats::ExportMetrics(MetricSink& sink) const {
+  sink.Value("shipments", shipments);
+  sink.Value("landed", landed);
+  sink.Value("shipped_bytes", shipped_bytes);
+  sink.Value("coalesced", coalesced);
+  sink.Value("budget_denied", budget_denied);
+  sink.Value("wasted", wasted);
+}
+
 std::vector<PlacementDecision> PlacementPolicy::Plan(
     const GenericCatalog& generics, const ReplicaManager& replicas) const {
   std::vector<PlacementDecision> plan;

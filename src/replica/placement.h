@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/metrics.h"
 #include "replica/replica_key.h"
 
 namespace axml {
@@ -69,6 +70,9 @@ struct PlacementStats {
   uint64_t wasted = 0;
 
   std::string ToString() const;
+
+  /// Registry retrofit: every field above under its own name.
+  void ExportMetrics(MetricSink& sink) const;
 };
 
 /// One planned shipment: push origin's document to `holder`.

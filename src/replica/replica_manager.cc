@@ -40,12 +40,35 @@ std::string ShardStats::ToString() const {
                 " full_hits=", full_hits, " partial_hits=", partial_hits);
 }
 
+void ShardStats::ExportMetrics(MetricSink& sink) const {
+  sink.Value("sharded_reads", sharded_reads);
+  sink.Value("sharded_shipments", sharded_shipments);
+  sink.Value("manifests_shipped", manifests_shipped);
+  sink.Value("shards_shipped", shards_shipped);
+  sink.Value("shard_bytes_shipped", shard_bytes_shipped);
+  sink.Value("shards_reused", shards_reused);
+  sink.Value("shard_bytes_saved", shard_bytes_saved);
+  sink.Value("full_hits", full_hits);
+  sink.Value("partial_hits", partial_hits);
+}
+
 uint64_t ReplicaManager::Version(PeerId owner, const DocName& name) const {
   auto it = versions_.find(ReplicaKey{owner, name});
   return it == versions_.end() ? 1 : it->second;
 }
 
 void ReplicaManager::NoteMutation(PeerId owner, const DocName& name) {
+  // One mutation = one causal chain: every notify, shipment and landing
+  // the fan-out below triggers — synchronously or across simulated
+  // network hops — inherits this id (unless the mutation is itself part
+  // of a chain already, e.g. a landed copy installing).
+  Tracer* tr = trace();
+  Tracer::Scope trace_scope(tr, tr != nullptr ? tr->CurrentOrNew() : 0);
+  if (tr != nullptr && tr->enabled()) {
+    tr->Record("replica", "mutation", owner, 0, 0,
+               ReplicaKey{owner, name}.ToString());
+  }
+
   // A never-mutated document is at version 1 (the header's contract), so
   // the first mutation must land on 2 — default-constructing the slot at
   // 0 and incrementing would leave it indistinguishable from fresh.
@@ -119,7 +142,12 @@ TransferCache* ReplicaManager::CacheFor(PeerId peer) {
   auto cache = std::make_unique<TransferCache>(default_budget_,
                                                default_eviction_policy_);
   cache->set_evict_listener(
-      [this, peer](const ReplicaKey& key, const TransferCache::Entry&) {
+      [this, peer](const ReplicaKey& key,
+                   const TransferCache::Entry& entry) {
+        if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+          tr->Record("replica", "evict", peer, entry.bytes, 0,
+                     key.ToString());
+        }
         // Subscriptions mirror residency exactly: each departing entry
         // — whole document, manifest, or data shard — ends its own
         // subscription, so mutation fan-out targets precisely what the
@@ -194,6 +222,10 @@ void ReplicaManager::InstallAndAdvertise(PeerId reader, PeerId origin,
   if (holder == nullptr || installed_.count({reader, name}) > 0 ||
       holder->HasDocument(name)) {
     return;
+  }
+  if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+    tr->Record("replica", "install", reader, 0, 0,
+               ReplicaKey{origin, name}.ToString());
   }
   holder->PutDocument(name, std::move(tree));
   installed_[{reader, name}] = origin;
@@ -331,6 +363,40 @@ TransferCacheStats ReplicaManager::TotalStats() const {
   return total;
 }
 
+Tracer* ReplicaManager::trace() const {
+  return sys_ == nullptr ? nullptr : &sys_->tracer();
+}
+
+void ReplicaManager::ExportMetrics(MetricSink& sink) const {
+  {
+    MetricSink s = sink.Scoped("replica/subscription");
+    subscription_stats_.ExportMetrics(s);
+  }
+  {
+    MetricSink s = sink.Scoped("replica/shard");
+    shard_stats_.ExportMetrics(s);
+  }
+  {
+    MetricSink s = sink.Scoped("replica/placement");
+    placement_stats_.ExportMetrics(s);
+  }
+  {
+    // The same sum TotalStats() returns — the drift test compares the
+    // two field by field.
+    MetricSink s = sink.Scoped("replica/cache");
+    TotalStats().ExportMetrics(s);
+  }
+  sink.Value("replica/subscriptions/active",
+             subscriptions_.subscription_count());
+  for (const auto& [peer, cache] : caches_) {
+    MetricSink s =
+        sink.Scoped(StrCat("peer/", peer.index(), "/replica/cache"));
+    cache->stats().ExportMetrics(s);
+    s.Value("resident_bytes", cache->resident_bytes());
+    s.Value("entry_count", cache->entry_count());
+  }
+}
+
 void ReplicaManager::ResetStats() {
   for (auto& [peer, cache] : caches_) cache->ResetStats();
   subscription_stats_ = SubscriptionStats{};
@@ -431,6 +497,10 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
       ++subscription_stats_.doc_notifies;
     } else {
       ++subscription_stats_.shard_notifies;
+    }
+    if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+      tr->Record("replica", "notify", holder, kNotifyMsgBytes, 0,
+                 key.ToString());
     }
     // The notification is wire traffic on the origin->holder link;
     // NetStats tallies it apart from data transfers. Inside a
@@ -657,6 +727,15 @@ bool ReplicaManager::FetchForRead(PeerId reader, PeerId origin,
   if (reused_bytes > 0) ++shard_stats_.partial_hits;
   if (delta_bytes != nullptr) *delta_bytes = wire;
 
+  // A read-path delta fetch roots its own chain (unless the read is
+  // already inside one); the Send below carries the id to the landing.
+  Tracer* tr = trace();
+  Tracer::Scope trace_scope(tr, tr != nullptr ? tr->CurrentOrNew() : 0);
+  if (tr != nullptr && tr->enabled()) {
+    tr->Record("replica", "delta_fetch", reader, wire, 0,
+               ReplicaKey{origin, name}.ToString());
+  }
+
   sys_->network().Send(
       origin, reader, wire,
       [this, reader, origin, name, manifest, missing = std::move(missing),
@@ -841,6 +920,9 @@ bool ReplicaManager::LaunchShipment(
     bytes = root->SerializedSize();
   }
   if (!admit(bytes)) return false;
+  if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+    tr->Record("replica", "shipment", holder, bytes, 0, key.ToString());
+  }
   if (payload.manifest != nullptr) {
     ++shard_stats_.sharded_shipments;
     if (need_manifest) ++shard_stats_.manifests_shipped;

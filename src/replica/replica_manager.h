@@ -73,6 +73,7 @@
 namespace axml {
 
 class AxmlSystem;
+class Tracer;
 
 /// Counters for the sharded-replication paths (bench_sharding reports
 /// these; cumulative since the last ResetStats).
@@ -90,6 +91,9 @@ struct ShardStats {
   uint64_t partial_hits = 0;  ///< delta reads that reused >= 1 shard
 
   std::string ToString() const;
+
+  /// Registry retrofit: every field above under its own name.
+  void ExportMetrics(MetricSink& sink) const;
 };
 
 /// Owns every peer's transfer cache and the document version table.
@@ -366,6 +370,14 @@ class ReplicaManager {
   TransferCacheStats TotalStats() const;
   void ResetStats();
 
+  /// Mounts the whole replica layer into `sink`: subscription counters
+  /// under "replica/subscription/...", shard counters under
+  /// "replica/shard/...", placement under "replica/placement/...", the
+  /// summed cache counters (TotalStats) under "replica/cache/...", and
+  /// each peer's own cache under "peer/<index>/replica/cache/...".
+  /// AxmlSystem registers this at the registry root.
+  void ExportMetrics(MetricSink& sink) const;
+
  private:
   /// What one shipment carried: a whole-document clone, or a sharded
   /// delta (manifest + the data shards the holder lacked at launch).
@@ -410,6 +422,10 @@ class ReplicaManager {
 
   /// Sends one notification (or folds it into the open batch).
   void QueueNotify(PeerId origin, PeerId holder);
+
+  /// The system's causal tracer, nullptr before Bind (headless unit
+  /// tests construct managers without a system).
+  Tracer* trace() const;
 
   /// Mutation fan-out (kDrop / kEagerRefresh), shard-granular: computes
   /// which subscribed holders are *dirty* — whole-document holders and

@@ -27,6 +27,20 @@ std::string SubscriptionStats::ToString() const {
                 " budget_denied=", budget_denied);
 }
 
+void SubscriptionStats::ExportMetrics(MetricSink& sink) const {
+  sink.Value("notifies", notifies);
+  sink.Value("doc_notifies", doc_notifies);
+  sink.Value("shard_notifies", shard_notifies);
+  sink.Value("clean_skips", clean_skips);
+  sink.Value("batched", batched);
+  sink.Value("drops", drops);
+  sink.Value("refreshes", refreshes);
+  sink.Value("refresh_bytes", refresh_bytes);
+  sink.Value("coalesced", coalesced);
+  sink.Value("retries", retries);
+  sink.Value("budget_denied", budget_denied);
+}
+
 void SubscriptionTable::Subscribe(const ReplicaKey& key, PeerId holder) {
   auto& v = holders_[key];
   if (std::find(v.begin(), v.end(), holder) == v.end()) {

@@ -76,6 +76,9 @@ struct SubscriptionStats {
   uint64_t budget_denied = 0;
 
   std::string ToString() const;
+
+  /// Registry retrofit: every field above under its own name.
+  void ExportMetrics(MetricSink& sink) const;
 };
 
 /// Who holds copies of which (owner, doc, shard). Maintained by the

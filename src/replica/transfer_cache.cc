@@ -21,6 +21,22 @@ std::string TransferCacheStats::ToString() const {
   return s;
 }
 
+void TransferCacheStats::ExportMetrics(MetricSink& sink) const {
+  sink.Value("hits", hits);
+  sink.Value("misses", misses);
+  sink.Value("inserts", inserts);
+  sink.Value("evictions", evictions);
+  sink.Value("invalidations", invalidations);
+  sink.Value("bytes_evicted", bytes_evicted);
+  sink.Value("bytes_saved", bytes_saved);
+  sink.Value("bytes_deduped", bytes_deduped);
+  for (size_t i = 0; i < kEvictionPolicyCount; ++i) {
+    sink.Value(StrCat("victims_",
+                      EvictionPolicyName(static_cast<EvictionPolicy>(i))),
+               victims_by_policy[i]);
+  }
+}
+
 void TransferCache::set_eviction_policy(EvictionPolicy policy) {
   if (policy == strategy_->policy()) return;
   RebuildStrategy(policy);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/metrics.h"
 #include "xml/digest.h"
 #include "replica/eviction_policy.h"
 #include "replica/replica_key.h"
@@ -52,6 +53,10 @@ struct TransferCacheStats {
   uint64_t bytes_deduped = 0;
 
   std::string ToString() const;
+
+  /// Registry retrofit: every field above, under its own name
+  /// (victims_by_policy as victims_<policy name>).
+  void ExportMetrics(MetricSink& sink) const;
 };
 
 /// Byte-budgeted cache of materialized remote trees with

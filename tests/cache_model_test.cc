@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "xml/digest.h"
 #include "replica/eviction_policy.h"
 #include "replica/transfer_cache.h"
@@ -81,6 +82,13 @@ class CacheModelHarness {
     for (const TreePtr& t : contents_) {
       canonical_.push_back(CanonicalForm(*t));
     }
+    // Registry cross-check rig: the same retrofit mount the system uses,
+    // re-verified against the typed accessors after every op.
+    registry_.RegisterSource("cache", [this](MetricSink& sink) {
+      cache_.stats().ExportMetrics(sink);
+      sink.Value("resident_bytes", cache_.resident_bytes());
+      sink.Value("entry_count", cache_.entry_count());
+    });
   }
 
   void Run(size_t ops) {
@@ -228,6 +236,28 @@ class CacheModelHarness {
     // hits + misses arithmetic.
     EXPECT_EQ(cache_.stats().hits + cache_.stats().misses, gets_issued_);
 
+    // Registry retrofit drift check: the snapshot equals the typed
+    // accessors, field for field, after every single op.
+    const MetricsSnapshot snap = registry_.Snapshot();
+    const TransferCacheStats& st = cache_.stats();
+    EXPECT_EQ(snap.ValueOr("cache/hits"), st.hits);
+    EXPECT_EQ(snap.ValueOr("cache/misses"), st.misses);
+    EXPECT_EQ(snap.ValueOr("cache/inserts"), st.inserts);
+    EXPECT_EQ(snap.ValueOr("cache/evictions"), st.evictions);
+    EXPECT_EQ(snap.ValueOr("cache/invalidations"), st.invalidations);
+    EXPECT_EQ(snap.ValueOr("cache/bytes_evicted"), st.bytes_evicted);
+    EXPECT_EQ(snap.ValueOr("cache/bytes_saved"), st.bytes_saved);
+    EXPECT_EQ(snap.ValueOr("cache/bytes_deduped"), st.bytes_deduped);
+    EXPECT_EQ(snap.ValueOr("cache/resident_bytes"), cache_.resident_bytes());
+    EXPECT_EQ(snap.ValueOr("cache/entry_count"), cache_.entry_count());
+    uint64_t victims = 0;
+    for (size_t i = 0; i < kEvictionPolicyCount; ++i) {
+      victims += snap.ValueOr(StrCat(
+          "cache/victims_",
+          EvictionPolicyName(static_cast<EvictionPolicy>(i))));
+    }
+    EXPECT_EQ(victims, st.evictions);
+
     // Shard-granular subscription invariant: a holder driven by the
     // subscribe-on-insert / unsubscribe-on-evict rule is subscribed to
     // exactly the keys it has resident — whole-document, manifest and
@@ -271,6 +301,7 @@ class CacheModelHarness {
   std::map<ReplicaKey, OracleDoc> oracle_;
   std::vector<ReplicaKey> departures_;
   std::set<ReplicaKey> subscribed_;  ///< mirror of resident keys
+  MetricRegistry registry_;
   uint64_t gets_issued_ = 0;
 };
 

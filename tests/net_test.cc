@@ -240,6 +240,50 @@ TEST(NetworkTest, StatsAccounting) {
   EXPECT_EQ(s.Pair(PeerId(1), PeerId(0)).messages, 0u);
 }
 
+TEST(NetStatsTest, ResetClearsEveryCounterPairAndHistogram) {
+  NetStats s;
+  s.Record(PeerId(0), PeerId(1), 100);
+  s.Record(PeerId(2), PeerId(2), 50);
+  s.RecordControl(3, 192);
+  s.RecordNotify(PeerId(1), PeerId(0), 48);
+  ASSERT_EQ(s.total_messages(), 3u);
+  ASSERT_EQ(s.message_bytes_histogram().count(), 3u);
+
+  s.Reset();
+
+  EXPECT_EQ(s.total_messages(), 0u);
+  EXPECT_EQ(s.total_bytes(), 0u);
+  EXPECT_EQ(s.remote_messages(), 0u);
+  EXPECT_EQ(s.remote_bytes(), 0u);
+  EXPECT_EQ(s.control_messages(), 0u);
+  EXPECT_EQ(s.control_bytes(), 0u);
+  EXPECT_EQ(s.notify_messages(), 0u);
+  EXPECT_EQ(s.notify_bytes(), 0u);
+  EXPECT_EQ(s.Pair(PeerId(0), PeerId(1)).messages, 0u);
+  EXPECT_EQ(s.Pair(PeerId(0), PeerId(1)).bytes, 0u);
+  EXPECT_EQ(s.Pair(PeerId(1), PeerId(0)).messages, 0u);
+  EXPECT_EQ(s.Pair(PeerId(2), PeerId(2)).bytes, 0u);
+  EXPECT_EQ(s.message_bytes_histogram().count(), 0u);
+  EXPECT_EQ(s.message_bytes_histogram().sum(), 0u);
+
+  // A reset object keeps working.
+  s.Record(PeerId(0), PeerId(1), 7);
+  EXPECT_EQ(s.total_bytes(), 7u);
+  EXPECT_EQ(s.message_bytes_histogram().count(), 1u);
+}
+
+#if defined(GTEST_HAS_DEATH_TEST) && !defined(AXML_DISABLE_DCHECKS)
+TEST(NetStatsDeathTest, NonConcretePeerInPairTripsTheDcheck) {
+  // kInvalidIndex / kAnyIndex would silently alias distinct bogus pairs
+  // onto shared map slots — the DCHECK turns that into a loud failure.
+  NetStats s;
+  EXPECT_DEATH(s.Record(PeerId::Invalid(), PeerId(1), 10), "non-peer");
+  EXPECT_DEATH(s.Record(PeerId(0), PeerId::Any(), 10), "non-peer");
+  EXPECT_DEATH(s.RecordNotify(PeerId::Any(), PeerId(0), 10), "non-peer");
+  EXPECT_DEATH(s.Pair(PeerId::Invalid(), PeerId::Invalid()), "non-peer");
+}
+#endif
+
 TEST(NetworkTest, ControlRoundtrip) {
   EventLoop loop;
   Network net(&loop, Topology(LinkParams{0.001, 1e6}));

@@ -1,0 +1,471 @@
+// Tests for the observability layer (src/obs/): the metrics registry
+// (histograms, sinks, snapshots, JSON dump) and the causal tracer (ring
+// buffer, scoped id propagation, Chrome-trace export) — plus the
+// system-level pins the retrofit promises: registry snapshots agree
+// exactly with the legacy typed accessors, and one mutation's
+// invalidation cascade shares one trace id end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "peer/system.h"
+#include "replica/replica_manager.h"
+#include "test_util.h"
+
+namespace axml {
+namespace {
+
+using testing::MakeCatalog;
+
+// --- Histogram ---
+
+TEST(HistogramTest, BucketEdges) {
+  // Bucket 0 holds exact zeros; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 63), 64u);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            64u);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(Histogram::BucketLowerBound(64), uint64_t{1} << 63);
+
+  // Round-trip: every value lands in the bucket whose range covers it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 5ull, 100ull, 65536ull}) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_GE(v, Histogram::BucketLowerBound(i)) << v;
+    if (i + 1 < Histogram::kBucketCount) {
+      EXPECT_LT(v, Histogram::BucketLowerBound(i + 1)) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, AddCountSumAndReset) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.Add(0);
+  h.Add(3);
+  h.Add(3);
+  h.Add(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(HistogramTest, ApproxQuantile) {
+  Histogram h;
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);  // empty
+  for (int i = 0; i < 90; ++i) h.Add(4);    // bucket 3, lb 4
+  for (int i = 0; i < 10; ++i) h.Add(512);  // bucket 10, lb 512
+  EXPECT_EQ(h.ApproxQuantile(0.5), 4u);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 512u);
+}
+
+// --- MetricSink / snapshot / JSON ---
+
+TEST(MetricSinkTest, PrefixAccumulationAndScoped) {
+  std::map<std::string, uint64_t> out;
+  MetricSink root("", &out);
+  root.Value("top", 1);
+  MetricSink net("net", &out);
+  net.Value("bytes", 10);
+  net.Value("bytes", 5);  // re-emitting accumulates
+  MetricSink sub = net.Scoped("tcp");
+  sub.Value("opens", 2);
+  EXPECT_EQ(out.at("top"), 1u);
+  EXPECT_EQ(out.at("net/bytes"), 15u);
+  EXPECT_EQ(out.at("net/tcp/opens"), 2u);
+}
+
+TEST(MetricSinkTest, HistoFlattensNonEmptyBuckets) {
+  std::map<std::string, uint64_t> out;
+  Histogram h;
+  h.Add(0);
+  h.Add(3);
+  h.Add(3);
+  MetricSink sink("net", &out);
+  sink.Histo("msg", h);
+  EXPECT_EQ(out.at("net/msg/count"), 3u);
+  EXPECT_EQ(out.at("net/msg/sum"), 6u);
+  EXPECT_EQ(out.at("net/msg/ge_0"), 1u);
+  EXPECT_EQ(out.at("net/msg/ge_2"), 2u);
+  EXPECT_EQ(out.count("net/msg/ge_1"), 0u);  // empty buckets elided
+}
+
+TEST(MetricsSnapshotTest, ValueOrDiffAndJson) {
+  MetricsSnapshot older{{{"a", 5}, {"gone", 7}}};
+  MetricsSnapshot newer{{{"a", 8}, {"b", 2}}};
+  EXPECT_EQ(newer.ValueOr("a"), 8u);
+  EXPECT_EQ(newer.ValueOr("nope", 42), 42u);
+
+  MetricsSnapshot diff = newer.DiffSince(older);
+  // Same keys as the newer snapshot; names absent in the older count 0.
+  EXPECT_EQ(diff.values.size(), 2u);
+  EXPECT_EQ(diff.ValueOr("a"), 3u);
+  EXPECT_EQ(diff.ValueOr("b"), 2u);
+
+  EXPECT_EQ(newer.ToJson(), "{\"a\": 8, \"b\": 2}");
+  EXPECT_EQ(MetricsSnapshot{}.ToJson(), "{}");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+// --- MetricRegistry ---
+
+TEST(MetricRegistryTest, OwnedCountersAndSources) {
+  MetricRegistry reg;
+  uint64_t* cell = reg.FindOrCreateCounter("app/widgets");
+  EXPECT_EQ(*cell, 0u);
+  *cell += 3;
+  EXPECT_EQ(reg.FindOrCreateCounter("app/widgets"), cell);
+
+  uint64_t hidden = 7;
+  MetricRegistry::SourceId id =
+      reg.RegisterSource("sub", [&](MetricSink& sink) {
+        sink.Value("x", hidden);
+      });
+  reg.RegisterSource("", [](MetricSink& sink) { sink.Value("rooted", 1); });
+  EXPECT_EQ(reg.source_count(), 2u);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.ValueOr("app/widgets"), 3u);
+  EXPECT_EQ(snap.ValueOr("sub/x"), 7u);
+  EXPECT_EQ(snap.ValueOr("rooted"), 1u);
+
+  // Snapshots are live reads, not caches.
+  hidden = 9;
+  EXPECT_EQ(reg.Snapshot().ValueOr("sub/x"), 9u);
+
+  reg.UnregisterSource(id);
+  reg.UnregisterSource(id);  // idempotent
+  EXPECT_EQ(reg.source_count(), 1u);
+  EXPECT_EQ(reg.Snapshot().ValueOr("sub/x", 123), 123u);
+}
+
+TEST(MetricRegistryTest, TwoSourcesSameNameAccumulate) {
+  MetricRegistry reg;
+  reg.RegisterSource("net", [](MetricSink& sink) { sink.Value("b", 10); });
+  reg.RegisterSource("net", [](MetricSink& sink) { sink.Value("b", 32); });
+  EXPECT_EQ(reg.Snapshot().ValueOr("net/b"), 42u);
+}
+
+// --- Tracer (unit) ---
+
+TEST(TracerTest, DisabledByDefaultAndRecordsWhenEnabled) {
+  SimTime now = 1.5;
+  Tracer tr([&] { return now; });
+  tr.Record("cat", "ev", PeerId(0));
+  EXPECT_EQ(tr.size(), 0u);
+
+  tr.set_enabled(true);
+  tr.Record("replica", "mutation", PeerId(2), 48, 0.25, "d@p0");
+  now = 2.0;
+  tr.Record("net", "msg", PeerId(0));
+  ASSERT_EQ(tr.size(), 2u);
+  std::vector<TraceSpan> events = tr.Events();
+  EXPECT_EQ(events[0].category, "replica");
+  EXPECT_EQ(events[0].name, "mutation");
+  EXPECT_EQ(events[0].peer, PeerId(2));
+  EXPECT_EQ(events[0].bytes, 48u);
+  EXPECT_DOUBLE_EQ(events[0].time, 1.5);
+  EXPECT_DOUBLE_EQ(events[0].duration, 0.25);
+  EXPECT_EQ(events[0].detail, "d@p0");
+  EXPECT_DOUBLE_EQ(events[1].time, 2.0);
+  EXPECT_LT(events[0].seq, events[1].seq);
+}
+
+TEST(TracerTest, RingWraparoundDropsOldestAndExposesSeqGaps) {
+  Tracer tr(nullptr, /*capacity=*/4);
+  tr.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    tr.Record("t", StrCat("e", i), PeerId(0));
+  }
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.recorded(), 6u);
+  EXPECT_EQ(tr.dropped(), 2u);
+  std::vector<TraceSpan> events = tr.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two fell off the front; what remains is e2..e5 in order.
+  EXPECT_EQ(events.front().name, "e2");
+  EXPECT_EQ(events.back().name, "e5");
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+
+  tr.Clear();
+  EXPECT_EQ(tr.size(), 0u);
+  tr.set_capacity(2);
+  tr.Record("t", "a", PeerId(0));
+  tr.Record("t", "b", PeerId(0));
+  tr.Record("t", "c", PeerId(0));
+  events = tr.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events.front().name, "b");
+}
+
+TEST(TracerTest, ScopesNestAndRestore) {
+  Tracer tr;
+  EXPECT_EQ(tr.current(), 0u);
+  const TraceId a = tr.NewTrace();
+  const TraceId b = tr.NewTrace();
+  EXPECT_NE(a, 0u);
+  EXPECT_LT(a, b);
+  {
+    Tracer::Scope outer(&tr, a);
+    EXPECT_EQ(tr.current(), a);
+    EXPECT_EQ(tr.CurrentOrNew(), a);  // inside a chain: no fresh id
+    {
+      Tracer::Scope inner(&tr, b);
+      EXPECT_EQ(tr.current(), b);
+    }
+    EXPECT_EQ(tr.current(), a);
+  }
+  EXPECT_EQ(tr.current(), 0u);
+  EXPECT_NE(tr.CurrentOrNew(), 0u);  // outside: mints
+
+  // A null tracer scope is inert (call sites need no null checks).
+  Tracer::Scope nothing(nullptr, 17);
+}
+
+TEST(TracerTest, BindCarriesTheCurrentIdAcrossDeferredInvocation) {
+  Tracer tr;
+  tr.set_enabled(true);
+  std::function<void()> deferred;
+  const TraceId id = tr.NewTrace();
+  {
+    Tracer::Scope scope(&tr, id);
+    deferred = tr.Bind([&] { tr.Record("t", "later", PeerId(1)); });
+  }
+  EXPECT_EQ(tr.current(), 0u);
+  tr.Record("t", "orphan", PeerId(0));
+  deferred();  // runs under the id current at Bind time
+  std::vector<TraceSpan> events = tr.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace, 0u);
+  EXPECT_EQ(events[1].trace, id);
+}
+
+TEST(TracerTest, ChromeJsonExportShape) {
+  SimTime now = 0.001;
+  Tracer tr([&] { return now; });
+  tr.set_enabled(true);
+  {
+    Tracer::Scope scope(&tr, tr.NewTrace());
+    tr.Record("replica", "mutation", PeerId(3), 48, 0.0005, "d\"q");
+  }
+  const std::string json = tr.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+  // Sim seconds -> microseconds.
+  EXPECT_NE(json.find("\"ts\": 1000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 500.000"), std::string::npos);
+  // Details are escaped.
+  EXPECT_NE(json.find("d\\\"q"), std::string::npos);
+}
+
+// --- System-level: retrofit drift pins + causal cascade ---
+
+struct ObsRig {
+  AxmlSystem sys{Topology(LinkParams{0.050, 1.0e6})};
+  PeerId origin, client;
+  Query q;
+
+  ObsRig() {
+    origin = sys.AddPeer("origin");
+    client = sys.AddPeer("client");
+    Rng rng(13);
+    EXPECT_TRUE(
+        sys.InstallDocument(origin, "d",
+                            MakeCatalog(24, sys.peer(origin)->gen(), &rng))
+            .ok());
+    q = Query::Parse(
+            "for $p in input(0)/catalog/product "
+            "where $p/price < 900 return <r>{ $p/name }</r>")
+            .value();
+  }
+
+  ExprPtr Read() const {
+    return Expr::Apply(q, client, {Expr::Doc("d", origin)});
+  }
+};
+
+EvalOptions CachingOptions() {
+  EvalOptions opts;
+  opts.use_replica_cache = true;
+  return opts;
+}
+
+TEST(ObsSystemTest, RegistrySnapshotAgreesWithTypedAccessors) {
+  ObsRig f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());  // miss + transfer
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(20, f.sys.peer(f.origin)->gen(), &rng));
+  f.sys.RunToQuiescence();
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());  // hit on the refresh
+
+  const MetricsSnapshot snap = f.sys.metrics().Snapshot();
+
+  const NetStats& ns = f.sys.network().stats();
+  EXPECT_EQ(snap.ValueOr("net/total_messages"), ns.total_messages());
+  EXPECT_EQ(snap.ValueOr("net/total_bytes"), ns.total_bytes());
+  EXPECT_EQ(snap.ValueOr("net/remote_bytes"), ns.remote_bytes());
+  EXPECT_EQ(snap.ValueOr("net/notify_messages"), ns.notify_messages());
+  EXPECT_EQ(snap.ValueOr("net/notify_bytes"), ns.notify_bytes());
+  EXPECT_EQ(snap.ValueOr("net/msg_bytes/count"),
+            ns.message_bytes_histogram().count());
+  EXPECT_EQ(snap.ValueOr("net/msg_bytes/sum"),
+            ns.message_bytes_histogram().sum());
+
+  const TransferCacheStats cs = f.sys.replicas().TotalStats();
+  EXPECT_GT(cs.hits, 0u);
+  EXPECT_EQ(snap.ValueOr("replica/cache/hits"), cs.hits);
+  EXPECT_EQ(snap.ValueOr("replica/cache/misses"), cs.misses);
+  EXPECT_EQ(snap.ValueOr("replica/cache/inserts"), cs.inserts);
+  EXPECT_EQ(snap.ValueOr("replica/cache/bytes_saved"), cs.bytes_saved);
+
+  const SubscriptionStats& ss = f.sys.replicas().subscription_stats();
+  EXPECT_GT(ss.refreshes, 0u);
+  EXPECT_EQ(snap.ValueOr("replica/subscription/notifies"), ss.notifies);
+  EXPECT_EQ(snap.ValueOr("replica/subscription/refreshes"), ss.refreshes);
+  EXPECT_EQ(snap.ValueOr("replica/subscription/refresh_bytes"),
+            ss.refresh_bytes);
+
+  const EvalCounters& ec = ev.counters();
+  EXPECT_GT(ec.remote_fetches + ec.replica_hits, 0u);
+  EXPECT_EQ(snap.ValueOr("eval/remote_fetches"), ec.remote_fetches);
+  EXPECT_EQ(snap.ValueOr("eval/replica_hits"), ec.replica_hits);
+
+  // The per-peer mount: the client's cache is the only one populated,
+  // so its entry sums to the aggregate.
+  EXPECT_EQ(snap.ValueOr(StrCat("peer/", f.client.index(),
+                                "/replica/cache/hits")),
+            cs.hits);
+
+  // DumpMetrics is the same snapshot as JSON.
+  const std::string dump = f.sys.DumpMetrics();
+  EXPECT_NE(dump.find("\"net/total_bytes\": "), std::string::npos);
+  EXPECT_NE(dump.find("\"replica/cache/hits\": "), std::string::npos);
+}
+
+TEST(ObsSystemTest, EvaluatorUnmountsItsCountersOnDestruction) {
+  ObsRig f;
+  const size_t base = f.sys.metrics().source_count();
+  {
+    Evaluator ev(&f.sys, CachingOptions());
+    EXPECT_EQ(f.sys.metrics().source_count(), base + 1);
+    ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+    EXPECT_GT(f.sys.metrics().Snapshot().ValueOr("eval/remote_fetches"), 0u);
+  }
+  EXPECT_EQ(f.sys.metrics().source_count(), base);
+  EXPECT_EQ(f.sys.metrics().Snapshot().ValueOr("eval/remote_fetches", 99),
+            99u);
+
+  // Two live evaluators sum at the same mount.
+  Evaluator ev1(&f.sys, CachingOptions());
+  Evaluator ev2(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev1.Eval(f.client, f.Read()).ok());
+  ASSERT_TRUE(ev2.Eval(f.client, f.Read()).ok());
+  EXPECT_EQ(f.sys.metrics().Snapshot().ValueOr("eval/replica_hits"),
+            ev1.counters().replica_hits + ev2.counters().replica_hits);
+}
+
+TEST(ObsSystemTest, MutationCascadeSharesOneTraceId) {
+  ObsRig f;
+  f.sys.replicas().set_refresh_policy(RefreshPolicy::kEagerRefresh);
+  Evaluator ev(&f.sys, CachingOptions());
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());  // client now holds a copy
+
+  f.sys.tracer().set_enabled(true);
+  Rng rng(17);
+  f.sys.peer(f.origin)->PutDocument(
+      "d", MakeCatalog(20, f.sys.peer(f.origin)->gen(), &rng));
+  f.sys.RunToQuiescence();
+
+  // One causal id carries the whole cascade: the mutation at the origin,
+  // the notify to the dirty holder, the eager-refresh shipment, and the
+  // install back at the client — across three network hops. (The install
+  // re-fires the client's mutation listeners, so later "mutation" spans
+  // at the client belong to the same chain; the root is the first one.)
+  TraceId cascade = 0;
+  for (const TraceSpan& s : f.sys.tracer().Events()) {
+    if (s.category == "replica" && s.name == "mutation") {
+      if (cascade == 0) {
+        cascade = s.trace;
+        EXPECT_EQ(s.peer, f.origin);
+      } else {
+        EXPECT_EQ(s.trace, cascade);
+        EXPECT_EQ(s.peer, f.client);
+      }
+    }
+  }
+  ASSERT_NE(cascade, 0u);
+  bool saw_notify = false, saw_shipment = false, saw_install = false;
+  int net_hops = 0;
+  for (const TraceSpan& s : f.sys.tracer().Events()) {
+    if (s.trace != cascade) continue;
+    if (s.category == "replica" && s.name == "notify") saw_notify = true;
+    if (s.category == "replica" && s.name == "shipment") {
+      saw_shipment = true;
+      EXPECT_GT(s.bytes, 0u);
+    }
+    if (s.category == "replica" && s.name == "install") {
+      saw_install = true;
+      EXPECT_EQ(s.peer, f.client);
+    }
+    if (s.category == "net") ++net_hops;
+  }
+  EXPECT_TRUE(saw_notify);
+  EXPECT_TRUE(saw_shipment);
+  EXPECT_TRUE(saw_install);
+  EXPECT_GE(net_hops, 2);  // notify + shipment at least
+
+  // And a fresh top-level read opens a *different* chain.
+  f.sys.replicas().DropAllCopies();
+  ASSERT_TRUE(ev.Eval(f.client, f.Read()).ok());
+  bool saw_fetch_chain = false;
+  for (const TraceSpan& s : f.sys.tracer().Events()) {
+    if (s.category == "eval" && s.name == "fetch") {
+      EXPECT_NE(s.trace, cascade);
+      EXPECT_NE(s.trace, 0u);
+      saw_fetch_chain = true;
+    }
+  }
+  EXPECT_TRUE(saw_fetch_chain);
+}
+
+}  // namespace
+}  // namespace axml

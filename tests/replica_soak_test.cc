@@ -18,11 +18,16 @@
 //      subscribed to exactly the keys it has resident — so a mutation
 //      can target holders of dirty shards and skip the rest without
 //      ever leaking or dropping a subscription.
+//   4. The metrics registry mirrors the legacy typed accessors exactly
+//      at quiescence, and the causal tracer (on for the whole soak)
+//      links each sampled mutation cascade under one trace id; the
+//      buffer round-trips through the Chrome-trace export.
 //
 // The seed comes from AXML_TEST_SEED (CI runs a 5-seed matrix).
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -30,6 +35,8 @@
 #include "algebra/evaluator.h"
 #include "common/rng.h"
 #include "net/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "peer/system.h"
 #include "replica/replica_manager.h"
 #include "test_util.h"
@@ -98,6 +105,9 @@ class SoakHarness {
     placement.max_targets_per_class = 1;
     placement.max_shipments_per_round = 8;
     sys_.replicas().placement().set_config(placement);
+    // Property 4 rides along: spans record for the whole soak (the ring
+    // wraps; the most recent cascades stay resident).
+    sys_.tracer().set_enabled(true);
     if (tick_placement_) {
       // Placement rides the event loop instead of manual rounds; reads
       // and refreshes below generate the activity that advances time.
@@ -162,6 +172,8 @@ class SoakHarness {
     }
     sys_.RunToQuiescence();
     CheckQuiescentMirror();
+    CheckRegistryMirror(ev);
+    CheckTraceCascades();
     if (tick_placement_) {
       // The tick actually drove placement: rounds ran without any
       // manual RunPlacement call.
@@ -258,6 +270,176 @@ class SoakHarness {
                                                doc.name, doc.origin));
       EXPECT_TRUE(InClass(doc.name, doc.origin));
     }
+  }
+
+  /// Property 4a: the registry snapshot equals every legacy typed
+  /// accessor, field for field, at quiescence — the retrofit's central
+  /// promise, checked after a workload that moved every counter.
+  void CheckRegistryMirror(const Evaluator& ev) {
+    const MetricsSnapshot snap = sys_.metrics().Snapshot();
+
+    const NetStats& ns = sys_.network().stats();
+    EXPECT_EQ(snap.ValueOr("net/total_messages"), ns.total_messages());
+    EXPECT_EQ(snap.ValueOr("net/total_bytes"), ns.total_bytes());
+    EXPECT_EQ(snap.ValueOr("net/remote_messages"), ns.remote_messages());
+    EXPECT_EQ(snap.ValueOr("net/remote_bytes"), ns.remote_bytes());
+    EXPECT_EQ(snap.ValueOr("net/control_messages"), ns.control_messages());
+    EXPECT_EQ(snap.ValueOr("net/control_bytes"), ns.control_bytes());
+    EXPECT_EQ(snap.ValueOr("net/notify_messages"), ns.notify_messages());
+    EXPECT_EQ(snap.ValueOr("net/notify_bytes"), ns.notify_bytes());
+    EXPECT_EQ(snap.ValueOr("net/msg_bytes/count"),
+              ns.message_bytes_histogram().count());
+    EXPECT_EQ(snap.ValueOr("net/msg_bytes/sum"),
+              ns.message_bytes_histogram().sum());
+
+    const TransferCacheStats cs = sys_.replicas().TotalStats();
+    EXPECT_EQ(snap.ValueOr("replica/cache/hits"), cs.hits);
+    EXPECT_EQ(snap.ValueOr("replica/cache/misses"), cs.misses);
+    EXPECT_EQ(snap.ValueOr("replica/cache/inserts"), cs.inserts);
+    EXPECT_EQ(snap.ValueOr("replica/cache/evictions"), cs.evictions);
+    EXPECT_EQ(snap.ValueOr("replica/cache/invalidations"),
+              cs.invalidations);
+    EXPECT_EQ(snap.ValueOr("replica/cache/bytes_evicted"),
+              cs.bytes_evicted);
+    EXPECT_EQ(snap.ValueOr("replica/cache/bytes_saved"), cs.bytes_saved);
+    EXPECT_EQ(snap.ValueOr("replica/cache/bytes_deduped"),
+              cs.bytes_deduped);
+    for (size_t i = 0; i < kEvictionPolicyCount; ++i) {
+      EXPECT_EQ(snap.ValueOr(StrCat(
+                    "replica/cache/victims_",
+                    EvictionPolicyName(static_cast<EvictionPolicy>(i)))),
+                cs.victims_by_policy[i]);
+    }
+
+    const SubscriptionStats& ss = sys_.replicas().subscription_stats();
+    EXPECT_EQ(snap.ValueOr("replica/subscription/notifies"), ss.notifies);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/doc_notifies"),
+              ss.doc_notifies);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/shard_notifies"),
+              ss.shard_notifies);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/clean_skips"),
+              ss.clean_skips);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/batched"), ss.batched);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/drops"), ss.drops);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/refreshes"),
+              ss.refreshes);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/refresh_bytes"),
+              ss.refresh_bytes);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/coalesced"),
+              ss.coalesced);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/retries"), ss.retries);
+    EXPECT_EQ(snap.ValueOr("replica/subscriptions/active"),
+              sys_.replicas().subscriptions().subscription_count());
+
+    const ShardStats& hs = sys_.replicas().shard_stats();
+    EXPECT_EQ(snap.ValueOr("replica/shard/sharded_reads"),
+              hs.sharded_reads);
+    EXPECT_EQ(snap.ValueOr("replica/shard/sharded_shipments"),
+              hs.sharded_shipments);
+    EXPECT_EQ(snap.ValueOr("replica/shard/manifests_shipped"),
+              hs.manifests_shipped);
+    EXPECT_EQ(snap.ValueOr("replica/shard/shards_shipped"),
+              hs.shards_shipped);
+    EXPECT_EQ(snap.ValueOr("replica/shard/shard_bytes_shipped"),
+              hs.shard_bytes_shipped);
+    EXPECT_EQ(snap.ValueOr("replica/shard/shards_reused"),
+              hs.shards_reused);
+    EXPECT_EQ(snap.ValueOr("replica/shard/shard_bytes_saved"),
+              hs.shard_bytes_saved);
+    EXPECT_EQ(snap.ValueOr("replica/shard/full_hits"), hs.full_hits);
+    EXPECT_EQ(snap.ValueOr("replica/shard/partial_hits"),
+              hs.partial_hits);
+
+    const PlacementStats& ps = sys_.replicas().placement_stats();
+    EXPECT_EQ(snap.ValueOr("replica/placement/shipments"), ps.shipments);
+    EXPECT_EQ(snap.ValueOr("replica/placement/landed"), ps.landed);
+    EXPECT_EQ(snap.ValueOr("replica/placement/shipped_bytes"),
+              ps.shipped_bytes);
+    EXPECT_EQ(snap.ValueOr("replica/placement/coalesced"), ps.coalesced);
+    EXPECT_EQ(snap.ValueOr("replica/placement/budget_denied"),
+              ps.budget_denied);
+    EXPECT_EQ(snap.ValueOr("replica/placement/wasted"), ps.wasted);
+
+    const EvalCounters& ec = ev.counters();
+    EXPECT_EQ(snap.ValueOr("eval/replica_hits"), ec.replica_hits);
+    EXPECT_EQ(snap.ValueOr("eval/sharded_hits"), ec.sharded_hits);
+    EXPECT_EQ(snap.ValueOr("eval/remote_fetches"), ec.remote_fetches);
+    EXPECT_EQ(snap.ValueOr("eval/sharded_fetches"), ec.sharded_fetches);
+    EXPECT_EQ(snap.ValueOr("eval/coalesced_joins"), ec.coalesced_joins);
+    EXPECT_EQ(snap.ValueOr("eval/refresh_waits"), ec.refresh_waits);
+
+    // Per-peer mounts: each reader's cache exports under its own index.
+    for (PeerId reader : readers_) {
+      const TransferCache* cache = sys_.replicas().FindCache(reader);
+      if (cache == nullptr) continue;
+      const std::string prefix =
+          StrCat("peer/", reader.index(), "/replica/cache/");
+      EXPECT_EQ(snap.ValueOr(StrCat(prefix, "hits")), cache->stats().hits);
+      EXPECT_EQ(snap.ValueOr(StrCat(prefix, "resident_bytes")),
+                cache->resident_bytes());
+      EXPECT_EQ(snap.ValueOr(StrCat(prefix, "entry_count")),
+                cache->entry_count());
+    }
+  }
+
+  /// Property 4b: every mutation span recorded at an origin anchors a
+  /// causal chain that reaches its notifies (and, under eager refresh,
+  /// the shipment and the re-install) under the same trace id; the
+  /// buffer exports as Chrome-trace JSON.
+  void CheckTraceCascades() {
+    const std::vector<TraceSpan> events = sys_.tracer().Events();
+    ASSERT_FALSE(events.empty());
+
+    std::set<PeerId> origin_set(origins_.begin(), origins_.end());
+    size_t cascades = 0, eager_complete = 0;
+    for (const TraceSpan& root : events) {
+      if (root.category != "replica" || root.name != "mutation" ||
+          origin_set.count(root.peer) == 0) {
+        continue;
+      }
+      EXPECT_NE(root.trace, 0u) << root.ToString();
+      bool notify = false, shipment = false, install = false;
+      for (const TraceSpan& s : events) {
+        if (s.trace != root.trace || s.seq <= root.seq) continue;
+        if (s.category != "replica") continue;
+        if (s.name == "notify") notify = true;
+        if (s.name == "shipment") shipment = true;
+        if (s.name == "install") install = true;
+      }
+      // A mutation with live holders must notify them in-chain. (The
+      // last cascades in the ring always have their tails resident —
+      // spans append in causal order, so a truncated chain can only
+      // lose its *head*, never break this implication.)
+      if (notify) ++cascades;
+      if (notify && shipment && install) ++eager_complete;
+    }
+    if (sys_.replicas().refresh_policy() != RefreshPolicy::kLazy) {
+      // Lazy never pushes, so only the push policies fan out in-chain.
+      EXPECT_GT(cascades, 0u) << "no mutation cascade left in the ring";
+    }
+    if (sys_.replicas().refresh_policy() == RefreshPolicy::kEagerRefresh) {
+      EXPECT_GT(eager_complete, 0u)
+          << "eager refresh never linked mutation->notify->shipment->"
+             "install under one trace id";
+    }
+
+    // The export round-trips: non-trivial JSON lands on disk.
+    const std::string path =
+        StrCat(::testing::TempDir(), "soak_trace_",
+               EvictionPolicyName(sys_.replicas().default_eviction_policy()),
+               "_", static_cast<int>(sys_.replicas().refresh_policy()),
+               tick_placement_ ? "_tick" : "", ".json");
+    {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << path;
+      out << sys_.tracer().ToChromeJson();
+    }
+    std::ifstream in(path);
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"replica\""), std::string::npos);
+    EXPECT_GT(json.size(), 1000u) << path;
   }
 
   bool InClass(const DocName& name, PeerId peer) {
