@@ -27,9 +27,9 @@ REQUIRED_EVENT_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
 
 
 def check_bench(path: pathlib.Path) -> list[str]:
-    errors = []
+    errors: list[str] = []
 
-    def err(msg):
+    def err(msg: str) -> None:
         errors.append(f"{path}: {msg}")
 
     try:
@@ -74,9 +74,9 @@ def check_bench(path: pathlib.Path) -> list[str]:
 
 
 def check_trace(path: pathlib.Path) -> list[str]:
-    errors = []
+    errors: list[str] = []
 
-    def err(msg):
+    def err(msg: str) -> None:
         errors.append(f"{path}: {msg}")
 
     try:
@@ -87,7 +87,7 @@ def check_trace(path: pathlib.Path) -> list[str]:
     if not isinstance(events, list) or not events:
         err("missing/empty 'traceEvents'")
         return errors
-    tid_counts = {}
+    tid_counts: dict[object, int] = {}
     for i, ev in enumerate(events):
         for field in REQUIRED_EVENT_FIELDS:
             if field not in ev:
@@ -105,9 +105,9 @@ def check_trace(path: pathlib.Path) -> list[str]:
 def main() -> int:
     args = sys.argv[1:]
     if not args:
-        print(__doc__.strip(), file=sys.stderr)
+        print((__doc__ or "").strip(), file=sys.stderr)
         return 2
-    errors = []
+    errors: list[str] = []
     if args[0] == "--trace":
         if len(args) != 2:
             print("--trace takes exactly one file", file=sys.stderr)

@@ -13,6 +13,7 @@ parent of this script's directory).
 import pathlib
 import re
 import sys
+from collections.abc import Iterator
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -24,7 +25,7 @@ CODE_SPAN_RE = re.compile(r"`[^`]*`")
 FENCE_RE = re.compile(r"^(```|~~~)")
 
 
-def links_in(path: pathlib.Path):
+def links_in(path: pathlib.Path) -> Iterator[tuple[int, str]]:
     in_fence = False
     for lineno, line in enumerate(path.read_text().splitlines(), 1):
         if FENCE_RE.match(line.strip()):
@@ -39,7 +40,7 @@ def links_in(path: pathlib.Path):
 def main() -> int:
     files = [REPO_ROOT / "README.md"]
     files += sorted((REPO_ROOT / "docs").rglob("*.md"))
-    broken = []
+    broken: list[str] = []
     checked = 0
     for md in files:
         if not md.exists():

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Self-test for check_source.py: every lint must flag its negative
+fixture and accept the clean one.
+
+This is what makes the lint gate load-bearing: a regression that stops
+a check from firing fails here, not silently in review. Fixtures live
+in scripts/lint_fixtures/; each encodes both the violation the check
+exists for and the nearby shapes it must NOT flag (waivers, wrapped
+news, deleted special members, ordered containers).
+
+Runs under the stdlib unittest runner (no third-party test deps):
+    python3 scripts/check_source_test.py
+and as the `check_source_selftest` ctest case.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import check_source as cs  # noqa: E402  (path bootstrap above)
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def fixture(name: str, pose_as: str | None = None) -> cs.SourceFile:
+    """Loads a fixture, optionally posing as `pose_as` relative to src/
+    (header-guard expectations derive from the posed path)."""
+    sf = cs.load(FIXTURES / name)
+    if pose_as is not None:
+        return cs.SourceFile(cs.REPO_ROOT / "src" / pose_as, sf.raw, sf.code)
+    return sf
+
+
+def flagged_lines(findings: list[cs.Finding], check: str) -> list[int]:
+    return sorted(f.line for f in findings if f.check == check)
+
+
+def marked_lines(sf: cs.SourceFile, marker: str = "MUST be flagged") -> list[int]:
+    return sorted(i for i, line in enumerate(sf.raw, 1) if marker in line)
+
+
+class MetricsDriftTest(unittest.TestCase):
+    def test_flags_exactly_the_drifting_struct(self) -> None:
+        sf = fixture("bad_metrics_drift.h", pose_as="bad_metrics_drift.h")
+        findings = list(cs.check_metrics_drift(sf))
+        self.assertEqual(len(findings), 1, findings)
+        self.assertIn("DriftStats", findings[0].message)
+        self.assertEqual(
+            findings[0].line,
+            next(i for i, line in enumerate(sf.raw, 1) if "struct DriftStats" in line),
+        )
+
+    def test_exempt_names_are_skipped(self) -> None:
+        sf = fixture("bad_metrics_drift.h", pose_as="bad_metrics_drift.h")
+        renamed = cs.SourceFile(
+            sf.path,
+            [line.replace("DriftStats", "PairStats") for line in sf.raw],
+            [line.replace("DriftStats", "PairStats") for line in sf.code],
+        )
+        self.assertEqual(list(cs.check_metrics_drift(renamed)), [])
+
+
+class DeterminismTest(unittest.TestCase):
+    def test_flags_each_marked_line_and_honors_waiver(self) -> None:
+        sf = fixture("bad_determinism.cc")
+        findings = list(cs.check_determinism(sf))
+        self.assertEqual(flagged_lines(findings, "determinism"), marked_lines(sf))
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    def test_flags_bare_loop_not_waived_or_ordered(self) -> None:
+        sf = fixture("bad_unordered_iteration.cc")
+        findings = list(cs.check_unordered_iteration(sf))
+        self.assertEqual(
+            flagged_lines(findings, "unordered-iteration"), marked_lines(sf)
+        )
+
+
+class HeaderHygieneTest(unittest.TestCase):
+    def test_flags_wrong_guard_name(self) -> None:
+        sf = fixture("bad_header_guard.h", pose_as="bad_header_guard.h")
+        findings = list(cs.check_header_hygiene(sf))
+        self.assertEqual(len(findings), 1, findings)
+        self.assertIn("AXML_BAD_HEADER_GUARD_H_", findings[0].message)
+
+    def test_flags_pragma_once(self) -> None:
+        sf = fixture("bad_pragma_once.h", pose_as="bad_pragma_once.h")
+        findings = list(cs.check_header_hygiene(sf))
+        self.assertTrue(any("#pragma once" in f.message for f in findings))
+
+    def test_expected_guard_spelling(self) -> None:
+        path = cs.REPO_ROOT / "src" / "replica" / "transfer_cache.h"
+        self.assertEqual(
+            cs.expected_guard(path), "AXML_REPLICA_TRANSFER_CACHE_H_"
+        )
+
+
+class RawNewDeleteTest(unittest.TestCase):
+    def test_flags_bare_new_and_delete_only(self) -> None:
+        sf = fixture("bad_raw_new.cc")
+        findings = list(cs.check_raw_new_delete(sf))
+        self.assertEqual(flagged_lines(findings, "raw-new-delete"), marked_lines(sf))
+
+    def test_exempt_file_is_skipped(self) -> None:
+        sf = fixture("bad_raw_new.cc")
+        posed = cs.SourceFile(
+            cs.REPO_ROOT / "src" / "xml" / "label_interner.cc", sf.raw, sf.code
+        )
+        self.assertEqual(list(cs.check_raw_new_delete(posed)), [])
+
+
+class CleanFixtureTest(unittest.TestCase):
+    def test_no_check_fires_on_clean_code(self) -> None:
+        sf = fixture("clean.cc")
+        findings = (
+            list(cs.check_determinism(sf))
+            + list(cs.check_unordered_iteration(sf))
+            + list(cs.check_raw_new_delete(sf))
+        )
+        self.assertEqual(findings, [])
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repository_is_lint_clean(self) -> None:
+        findings = cs.run_checks()
+        self.assertEqual(findings, [], "\n".join(str(f) for f in findings))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,28 @@
+// Negative fixture: every way real-world nondeterminism leaks into a
+// deterministic simulation. check_source.py's determinism check must
+// flag each marked line and accept the waived one.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace axml {
+
+int FixtureNondeterminism() {
+  int noise = rand();                                  // MUST be flagged
+  srand(42);                                           // MUST be flagged
+  std::random_device entropy;                          // MUST be flagged
+  auto wall = std::chrono::system_clock::now();        // MUST be flagged
+  auto mono = std::chrono::steady_clock::now();        // MUST be flagged
+  time_t stamp = time(nullptr);                        // MUST be flagged
+  // Comment-only mentions of rand() or system_clock are not flagged.
+  // lint: allow-determinism
+  int waived = rand();  // suppressed by the line above: NOT flagged
+  (void)entropy;
+  (void)wall;
+  (void)mono;
+  return noise + static_cast<int>(stamp) + waived;
+}
+
+}  // namespace axml

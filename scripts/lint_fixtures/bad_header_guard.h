@@ -1,0 +1,10 @@
+// Negative fixture: include guard that does not spell the canonical
+// AXML_<PATH>_H_ name. check_source.py's header-hygiene check must
+// flag the #ifndef line when this file is presented as a src/ header.
+
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace axml {}
+
+#endif  // WRONG_GUARD_NAME_H

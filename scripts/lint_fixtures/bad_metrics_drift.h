@@ -1,0 +1,32 @@
+// Negative fixture: a counters struct that skipped the registry
+// retrofit. check_source.py's metrics-drift check must flag DriftStats;
+// DriftlessStats (which exports) and the forward declaration must pass.
+
+#ifndef AXML_BAD_METRICS_DRIFT_H_
+#define AXML_BAD_METRICS_DRIFT_H_
+
+#include <cstdint>
+
+namespace axml {
+
+class MetricSink;
+
+struct ForwardStats;  // forward declaration: not a definition, not flagged
+
+/// Accumulates counters but never registers them: invisible to
+/// MetricRegistry::Snapshot(). MUST be flagged.
+struct DriftStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// The retrofitted shape: counters plus the export hook. Not flagged.
+struct DriftlessStats {
+  uint64_t hits = 0;
+
+  void ExportMetrics(MetricSink& sink) const;
+};
+
+}  // namespace axml
+
+#endif  // AXML_BAD_METRICS_DRIFT_H_

@@ -1,0 +1,7 @@
+// Negative fixture: #pragma once instead of an include guard.
+// check_source.py's header-hygiene check must flag the pragma (and the
+// missing AXML_<PATH>_H_ guard).
+
+#pragma once
+
+namespace axml {}

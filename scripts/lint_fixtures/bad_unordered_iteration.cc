@@ -1,0 +1,29 @@
+// Negative fixture: hash-order feeding observable output.
+// check_source.py's unordered-iteration check must flag the bare
+// range-for, accept the waived one, and ignore iteration over ordered
+// containers.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace axml {
+
+std::string FixtureUnorderedIteration() {
+  std::unordered_map<std::string, int> counts;
+  std::map<std::string, int> sorted;
+  std::string out;
+  for (const auto& [key, value] : counts) {  // MUST be flagged
+    out += key;
+  }
+  // lint: allow-unordered-iteration — sum is order-independent
+  for (const auto& [key, value] : counts) {  // waived: NOT flagged
+    out += static_cast<char>(value);
+  }
+  for (const auto& [key, value] : sorted) {  // ordered: NOT flagged
+    out += key;
+  }
+  return out;
+}
+
+}  // namespace axml

@@ -1,0 +1,32 @@
+// Negative fixture for the clang-tidy CI gate: this file violates
+// checks from .clang-tidy, and the static-analysis job runs clang-tidy
+// over it expecting a FAILURE — if the gate ever stops firing (config
+// typo, tool regression, WarningsAsErrors dropped), CI goes red here,
+// not silently green. Never compiled into any target.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace axml {
+
+int* FixtureNullPointerLiteral() {
+  int* pointer = 0;  // modernize-use-nullptr
+  return pointer;
+}
+
+std::string FixtureUseAfterMove() {
+  std::string s = "payload";
+  std::string t = std::move(s);
+  return s + t;  // bugprone-use-after-move
+}
+
+std::size_t FixtureRangeCopy(const std::vector<std::string>& items) {
+  std::size_t total = 0;
+  for (const std::string item : items) {  // performance-for-range-copy
+    total += item.size();
+  }
+  return total;
+}
+
+}  // namespace axml

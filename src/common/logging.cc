@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstring>
 #include <string>
@@ -10,9 +11,11 @@ namespace {
 
 /// Latched process-wide level. Function-local static: the AXML_LOG_LEVEL
 /// parse happens exactly once, on first use, and an explicit
-/// SetLogLevel afterwards simply overwrites the latched value.
-LogLevel& Level() {
-  static LogLevel level =
+/// SetLogLevel afterwards simply overwrites the latched value. Atomic
+/// (relaxed — the level is advisory, not a synchronization point) so a
+/// logging worker thread never races a SetLogLevel.
+std::atomic<LogLevel>& Level() {
+  static std::atomic<LogLevel> level =
       ParseLogLevel(std::getenv("AXML_LOG_LEVEL"), LogLevel::kWarning);
   return level;
 }
@@ -32,8 +35,17 @@ const char* LevelName(LogLevel l) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return Level(); }
-void SetLogLevel(LogLevel level) { Level() = level; }
+LogLevel GetLogLevel() {
+  return Level().load(std::memory_order_relaxed);
+}
+void SetLogLevel(LogLevel level) {
+  Level().store(level, std::memory_order_relaxed);
+}
+
+void ResetLogLevelForTesting() {
+  SetLogLevel(ParseLogLevel(std::getenv("AXML_LOG_LEVEL"),
+                            LogLevel::kWarning));
+}
 
 LogLevel ParseLogLevel(const char* s, LogLevel fallback) {
   if (s == nullptr) return fallback;

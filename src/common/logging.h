@@ -23,8 +23,17 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level actually emitted. Initialized from the
 /// AXML_LOG_LEVEL environment variable on first use (default kWarning).
+/// The level cell is atomic: worker threads may log while another
+/// thread adjusts the level.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Test-scoped reset hook for the process-wide level override: re-runs
+/// the AXML_LOG_LEVEL parse (or restores the default), discarding any
+/// SetLogLevel a test made. Tests that raise the level must restore it
+/// through this, so suites sharing one binary cannot leak verbosity
+/// into each other (docs/architecture.md, "process-wide state").
+void ResetLogLevelForTesting();
 
 /// Parses a level name ("debug" | "info" | "warning" | "warn" |
 /// "error", case-insensitive, or the digits 0-3). Returns `fallback`

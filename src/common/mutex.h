@@ -1,0 +1,51 @@
+// Annotated mutex wrappers: std::mutex + Clang capability attributes.
+//
+// The simulator itself is single-sequence (common/sequence_checker.h
+// enforces that); a Mutex is for the handful of *process-wide* surfaces
+// that several Systems — and, after the worker-thread split, several
+// threads — genuinely share. Today that is the LabelInterner dictionary.
+// Using these wrappers instead of raw std::mutex buys the
+// `-Wthread-safety` analysis: members declared AXML_GUARDED_BY(mu_) can
+// only be touched under a MutexLock, checked at compile time under
+// Clang (thread_annotations.h; no-op under GCC).
+
+#ifndef AXML_COMMON_MUTEX_H_
+#define AXML_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace axml {
+
+/// A non-recursive mutual-exclusion capability. Prefer MutexLock over
+/// manual lock/unlock pairs.
+class AXML_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AXML_ACQUIRE() { mu_.lock(); }
+  void unlock() AXML_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock: holds `mu` for the enclosing scope.
+class AXML_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AXML_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AXML_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace axml
+
+#endif  // AXML_COMMON_MUTEX_H_

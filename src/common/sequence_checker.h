@@ -1,0 +1,93 @@
+// Runtime-enforced single-sequence affinity.
+//
+// Nearly every class in this codebase used to document "not thread-safe
+// (single-threaded event-loop simulation)" in a comment. SequenceChecker
+// replaces that prose with an enforced contract: the owning class embeds
+// a checker and every member function that touches affine state opens
+// with AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_). The first
+// check binds the checker to the calling thread; any later check from a
+// different thread aborts with both thread ids (death-tested in
+// tests/concurrency_contract_test.cc). When the planned worker-thread
+// split moves an object to its home shard's thread, DetachFromSequence()
+// re-arms the binding for the new owner.
+//
+// The checker is also a Clang capability (thread_annotations.h): members
+// declared AXML_GUARDED_BY_CONTEXT(sequence_checker_) are flagged by
+// `-Wthread-safety` when touched in a function that never checked, so
+// the affinity contract is verified statically under Clang and
+// dynamically (AXML_DCHECK tier — on by default, compiled out with
+// AXML_DISABLE_DCHECKS) everywhere else.
+//
+// The cost per check is one relaxed atomic load and a thread-id
+// compare — cheap enough for hot paths like TransferCache::Get.
+
+#ifndef AXML_COMMON_SEQUENCE_CHECKER_H_
+#define AXML_COMMON_SEQUENCE_CHECKER_H_
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_annotations.h"
+
+namespace axml {
+
+/// Embeddable affinity probe; see file comment. Construction does not
+/// bind — the first Check() (or the first after DetachFromSequence)
+/// does, so an object built on a setup thread and handed to its owning
+/// sequence binds to the owner, the common pattern.
+class AXML_CAPABILITY("sequence") SequenceChecker {
+ public:
+  SequenceChecker() = default;
+  SequenceChecker(const SequenceChecker&) = delete;
+  SequenceChecker& operator=(const SequenceChecker&) = delete;
+
+  /// DCHECKs that the caller runs on the bound sequence, binding on
+  /// first use. Asserts the capability to the static analysis: after a
+  /// call, AXML_GUARDED_BY_CONTEXT members may be touched.
+  void Check(const char* file = __builtin_FILE(),
+             int line = __builtin_LINE()) const AXML_ASSERT_CAPABILITY(this) {
+#ifndef AXML_DISABLE_DCHECKS
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id bound = id_.load(std::memory_order_relaxed);
+    if (bound == std::thread::id()) {
+      // First check since construction/detach: try to bind. Losing the
+      // race means another thread bound first — fall through to the
+      // mismatch check against the winner.
+      if (id_.compare_exchange_strong(bound, self,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    if (bound != self) {
+      ::axml::internal::LogMessage(LogLevel::kError, file, line,
+                                   /*fatal=*/true)
+          << "sequence affinity violated: object bound to thread " << bound
+          << " touched from thread " << self
+          << " (DetachFromSequence() re-arms a deliberate hand-off)";
+    }
+#else
+    (void)file;
+    (void)line;
+#endif
+  }
+
+  /// Unbinds, so the next Check() re-binds to its calling thread. Call
+  /// only at a quiescent hand-off point (nothing else touching the
+  /// owner), e.g. when a shard migrates to another worker.
+  void DetachFromSequence() {
+    id_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+
+ private:
+  /// Bound thread; default-constructed id == detached. Mutable + atomic
+  /// so const accessors can run the (binding) check.
+  mutable std::atomic<std::thread::id> id_{std::thread::id()};
+};
+
+}  // namespace axml
+
+/// The statement form every affine member function opens with.
+#define AXML_DCHECK_CALLED_ON_SEQUENCE(checker) (checker).Check()
+
+#endif  // AXML_COMMON_SEQUENCE_CHECKER_H_

@@ -1,0 +1,84 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// These wrap Clang's `-Wthread-safety` attribute set so the contracts
+// the headers used to state in prose ("not thread-safe", "guarded by
+// the event-loop thread") become machine-checked: a caller that touches
+// an AXML_GUARDED_BY member without holding its capability, or calls an
+// AXML_REQUIRES function without the lock, is a *compile error* under
+// Clang. Under GCC (which has no capability analysis) every macro
+// expands to nothing, so the annotated code builds identically — the
+// clang-tidy CI job is where the analysis actually runs.
+//
+// Two kinds of capability are used in this codebase:
+//  - axml::Mutex (common/mutex.h) for genuinely cross-thread state
+//    (the process-wide LabelInterner dictionary);
+//  - axml::SequenceChecker (common/sequence_checker.h) for
+//    single-sequence affinity: AXML_GUARDED_BY_CONTEXT(sequence_checker_)
+//    members may only be touched after AXML_DCHECK_CALLED_ON_SEQUENCE,
+//    which both DCHECKs the affinity at runtime and asserts the
+//    capability to the static analysis.
+//
+// docs/architecture.md ("Threading & determinism contract") is the
+// canonical statement of which state falls in which class.
+
+#ifndef AXML_COMMON_THREAD_ANNOTATIONS_H_
+#define AXML_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AXML_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AXML_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (lockable). `name` appears in
+/// diagnostics ("mutex", "sequence").
+#define AXML_CAPABILITY(name) AXML_THREAD_ANNOTATION_(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock).
+#define AXML_SCOPED_CAPABILITY AXML_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define AXML_GUARDED_BY(x) AXML_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define AXML_PT_GUARDED_BY(x) AXML_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Data member touched only on the sequence checked by `checker` — the
+/// sequence-affinity analogue of AXML_GUARDED_BY. Spelled separately so
+/// a reader can tell a mutex-guarded member from a sequence-affine one
+/// at a glance.
+#define AXML_GUARDED_BY_CONTEXT(checker) \
+  AXML_THREAD_ANNOTATION_(guarded_by(checker))
+
+/// Function that must be called while holding the given capabilities.
+#define AXML_REQUIRES(...) \
+  AXML_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that must be called while *not* holding the given
+/// capabilities (guards against self-deadlock on a non-reentrant lock).
+#define AXML_EXCLUDES(...) \
+  AXML_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires / releases the capability itself
+/// (Mutex::lock / Mutex::unlock).
+#define AXML_ACQUIRE(...) \
+  AXML_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AXML_RELEASE(...) \
+  AXML_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that dynamically asserts the capability is held (aborting
+/// otherwise) — after a call, the analysis treats it as held for the
+/// rest of the scope. SequenceChecker::Check carries this.
+#define AXML_ASSERT_CAPABILITY(x) \
+  AXML_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Returns the capability guarding an object (rare; for wrappers).
+#define AXML_RETURN_CAPABILITY(x) AXML_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: function deliberately skipped by the analysis. Every
+/// use must carry a comment saying why.
+#define AXML_NO_THREAD_SAFETY_ANALYSIS \
+  AXML_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // AXML_COMMON_THREAD_ANNOTATIONS_H_

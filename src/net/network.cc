@@ -9,6 +9,7 @@ namespace axml {
 
 void Network::Send(PeerId from, PeerId to, uint64_t bytes,
                    DeliverFn on_deliver) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   AXML_CHECK(from.is_concrete());
   AXML_CHECK(to.is_concrete());
   stats_.Record(from, to, bytes);
@@ -17,6 +18,7 @@ void Network::Send(PeerId from, PeerId to, uint64_t bytes,
 
 void Network::SendNotify(PeerId from, PeerId to, uint64_t bytes,
                          DeliverFn on_deliver) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   AXML_CHECK(from.is_concrete());
   AXML_CHECK(to.is_concrete());
   stats_.RecordNotify(from, to, bytes);
@@ -49,6 +51,7 @@ void Network::ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
 
 void Network::ControlRoundtrip(uint64_t messages, uint64_t bytes,
                                SimTime delay, DeliverFn on_done) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   stats_.RecordControl(messages, bytes);
   loop_->ScheduleAfter(delay, std::move(on_done));
 }

@@ -13,6 +13,8 @@
 #include <unordered_map>
 
 #include "common/ids.h"
+#include "common/sequence_checker.h"
+#include "common/thread_annotations.h"
 #include "net/event_loop.h"
 #include "net/net_stats.h"
 #include "net/topology.h"
@@ -20,7 +22,10 @@
 
 namespace axml {
 
-/// Point-to-point message fabric over an EventLoop.
+/// Point-to-point message fabric over an EventLoop. Affine to the
+/// loop's driving sequence (SequenceChecker-enforced): the in-flight
+/// link bookkeeping and stats are touched from Send paths and from
+/// delivery callbacks, which the single-sequence loop serializes.
 class Network {
  public:
   /// Called on the destination peer when a message arrives.
@@ -51,8 +56,14 @@ class Network {
   const Topology& topology() const { return topology_; }
   Topology* mutable_topology() { return &topology_; }
   EventLoop* loop() { return loop_; }
-  const NetStats& stats() const { return stats_; }
-  NetStats* mutable_stats() { return &stats_; }
+  const NetStats& stats() const {
+    AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+    return stats_;
+  }
+  NetStats* mutable_stats() {
+    AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+    return &stats_;
+  }
 
   /// Hooks the causal tracer in (AxmlSystem wires its own): every
   /// message records a "net" span covering its time on the wire, and the
@@ -77,14 +88,17 @@ class Network {
   /// recorded by the caller; `kind` names the trace span: "msg" or
   /// "notify").
   void ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
-                        DeliverFn on_deliver, const char* kind);
+                        DeliverFn on_deliver, const char* kind)
+      AXML_REQUIRES(sequence_checker_);
 
+  SequenceChecker sequence_checker_;
   EventLoop* loop_;
   Topology topology_;
-  NetStats stats_;
+  NetStats stats_ AXML_GUARDED_BY_CONTEXT(sequence_checker_);
   Tracer* tracer_ = nullptr;
   /// Per directed link: when the link becomes free to start transmitting.
-  std::unordered_map<uint64_t, SimTime> link_busy_until_;
+  std::unordered_map<uint64_t, SimTime> link_busy_until_
+      AXML_GUARDED_BY_CONTEXT(sequence_checker_);
 };
 
 }  // namespace axml

@@ -88,12 +88,14 @@ std::string MetricsSnapshot::ToJson() const {
 
 MetricRegistry::SourceId MetricRegistry::RegisterSource(std::string prefix,
                                                         ExportFn fn) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   const SourceId id = next_source_id_++;
   sources_.push_back(Source{id, std::move(prefix), std::move(fn)});
   return id;
 }
 
 void MetricRegistry::UnregisterSource(SourceId id) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   for (auto it = sources_.begin(); it != sources_.end(); ++it) {
     if (it->id == id) {
       sources_.erase(it);
@@ -103,6 +105,7 @@ void MetricRegistry::UnregisterSource(SourceId id) {
 }
 
 uint64_t* MetricRegistry::FindOrCreateCounter(const std::string& name) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   counter_cells_.push_back(0);
@@ -110,6 +113,7 @@ uint64_t* MetricRegistry::FindOrCreateCounter(const std::string& name) {
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   MetricsSnapshot snap;
   for (const auto& [name, cell] : counters_) {
     snap.values[name] += *cell;

@@ -22,8 +22,10 @@
 //    for the bench_*.json perf-trajectory files (bench_common.h) and
 //    AxmlSystem::DumpMetrics().
 //
-// Everything here is single-threaded like the rest of the simulator;
-// export callbacks run synchronously inside Snapshot().
+// The registry is affine to its System's sequence, enforced by an
+// embedded SequenceChecker (docs/architecture.md has the contract);
+// export callbacks run synchronously inside Snapshot() on that same
+// sequence.
 
 #ifndef AXML_OBS_METRICS_H_
 #define AXML_OBS_METRICS_H_
@@ -34,6 +36,9 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/sequence_checker.h"
+#include "common/thread_annotations.h"
 
 namespace axml {
 
@@ -141,7 +146,10 @@ class MetricRegistry {
   /// Captures owned counters and every source's exports.
   MetricsSnapshot Snapshot() const;
 
-  size_t source_count() const { return sources_.size(); }
+  size_t source_count() const {
+    AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+    return sources_.size();
+  }
 
  private:
   struct Source {
@@ -149,11 +157,16 @@ class MetricRegistry {
     std::string prefix;
     ExportFn fn;
   };
-  std::vector<Source> sources_;
-  SourceId next_source_id_ = 1;
+  SequenceChecker sequence_checker_;
+  std::vector<Source> sources_
+      AXML_GUARDED_BY_CONTEXT(sequence_checker_);
+  SourceId next_source_id_
+      AXML_GUARDED_BY_CONTEXT(sequence_checker_) = 1;
   /// deque: FindOrCreateCounter hands out stable pointers.
-  std::deque<uint64_t> counter_cells_;
-  std::map<std::string, uint64_t*> counters_;
+  std::deque<uint64_t> counter_cells_
+      AXML_GUARDED_BY_CONTEXT(sequence_checker_);
+  std::map<std::string, uint64_t*> counters_
+      AXML_GUARDED_BY_CONTEXT(sequence_checker_);
 };
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —

@@ -19,12 +19,12 @@ Query Query::FromAst(aql::QueryAst ast) {
 }
 
 Query Query::Identity() {
-  static const Query* q = [] {
+  static const Query q = [] {
     Result<Query> r = Parse("for $x in input(0) return $x");
     AXML_CHECK(r.ok());
-    return new Query(std::move(r).value());
+    return std::move(r).value();
   }();
-  return *q;
+  return q;
 }
 
 Result<std::vector<TreePtr>> Query::Eval(

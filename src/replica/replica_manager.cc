@@ -58,6 +58,22 @@ uint64_t ReplicaManager::Version(PeerId owner, const DocName& name) const {
 }
 
 void ReplicaManager::NoteMutation(PeerId owner, const DocName& name) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+#ifndef AXML_DISABLE_DCHECKS
+  // Same-key cycle detection (the header's reentrancy contract):
+  // distinct keys legally nest — a drop's RemoveDocument fires the
+  // mutation listener, which re-enters here for the *holder's* name —
+  // but re-entering for the same (owner, name) means the fan-out looped
+  // back into its own mid-mutation version/subscription state.
+  AXML_CHECK(active_mutations_.insert(ReplicaKey{owner, name}).second)
+      << "NoteMutation re-entered for " << ReplicaKey{owner, name}.ToString()
+      << " while its own fan-out is running (same-key mutation cycle)";
+  struct ActiveEraser {
+    std::set<ReplicaKey>* active;
+    ReplicaKey key;
+    ~ActiveEraser() { active->erase(key); }
+  } active_eraser{&active_mutations_, ReplicaKey{owner, name}};
+#endif
   // One mutation = one causal chain: every notify, shipment and landing
   // the fan-out below triggers — synchronously or across simulated
   // network hops — inherits this id (unless the mutation is itself part
@@ -137,6 +153,7 @@ void ReplicaManager::NoteMutation(PeerId owner, const DocName& name) {
 }
 
 TransferCache* ReplicaManager::CacheFor(PeerId peer) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   auto it = caches_.find(peer);
   if (it != caches_.end()) return it->second.get();
   auto cache = std::make_unique<TransferCache>(default_budget_,
@@ -181,6 +198,7 @@ const TransferCache* ReplicaManager::FindCache(PeerId peer) const {
 bool ReplicaManager::InsertCopy(PeerId reader, PeerId origin,
                                 const DocName& name, const TreePtr& landed,
                                 uint64_t snapshot_version) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   if (sys_ == nullptr || reader == origin || !origin.is_concrete()) {
     return false;
   }
@@ -240,6 +258,7 @@ void ReplicaManager::InstallAndAdvertise(PeerId reader, PeerId origin,
 
 TreePtr ReplicaManager::LookupFresh(PeerId reader, PeerId origin,
                                     const DocName& name) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   if (reader == origin || !origin.is_concrete()) return nullptr;
   // A miss from a peer that never cached anything must not allocate a
   // TransferCache (plus evict listener) for it — readers that never
@@ -309,6 +328,7 @@ bool ReplicaManager::HasFreshInstalled(PeerId reader, PeerId origin,
 
 bool ReplicaManager::ValidateMember(const std::string& /*class_name*/,
                                     const ClassMember& member) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   auto it = installed_.find({member.peer, member.name});
   if (it == installed_.end()) return true;  // durable member
   const PeerId origin = it->second;
@@ -319,6 +339,7 @@ bool ReplicaManager::ValidateMember(const std::string& /*class_name*/,
 
 bool ReplicaManager::DropCopy(PeerId reader, PeerId origin,
                               const DocName& name) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   auto it = caches_.find(reader);
   if (it == caches_.end()) return false;
   // Whole-document entry and manifest both carry the copy's identity;
@@ -332,6 +353,7 @@ bool ReplicaManager::DropCopy(PeerId reader, PeerId origin,
 }
 
 void ReplicaManager::DropAllCopies() {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   for (auto& [peer, cache] : caches_) cache->Clear();
   // Cancel in-flight refresh shipments: their landing callbacks see the
   // erased flight token and discard the payload, so a reset cannot be
@@ -398,6 +420,7 @@ void ReplicaManager::ExportMetrics(MetricSink& sink) const {
 }
 
 void ReplicaManager::ResetStats() {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   for (auto& [peer, cache] : caches_) cache->ResetStats();
   subscription_stats_ = SubscriptionStats{};
   placement_stats_ = PlacementStats{};
@@ -633,6 +656,7 @@ bool ReplicaManager::ShardedDeltaBytes(PeerId reader, PeerId origin,
 
 TreePtr ReplicaManager::LookupShardedFresh(PeerId reader, PeerId origin,
                                            const DocName& name) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   if (sys_ == nullptr || reader == origin || !origin.is_concrete()) {
     return nullptr;
   }
@@ -677,6 +701,7 @@ bool ReplicaManager::FetchForRead(PeerId reader, PeerId origin,
                                   const DocName& name,
                                   std::function<void(TreePtr)> deliver,
                                   uint64_t* delta_bytes) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   if (sys_ == nullptr || reader == origin) return false;
   const ShardedDocument* sd = OriginShards(origin, name);
   Peer* dest = sys_->peer(reader);
@@ -767,6 +792,7 @@ bool ReplicaManager::InsertShardedCopy(PeerId reader, PeerId origin,
                                        const TreePtr& manifest,
                                        const std::vector<DocumentShard>& shipped,
                                        uint64_t snapshot_version) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   if (sys_ == nullptr || reader == origin || !origin.is_concrete()) {
     return false;
   }
@@ -837,6 +863,7 @@ bool ReplicaManager::InsertShardedCopy(PeerId reader, PeerId origin,
 }
 
 size_t ReplicaManager::RunPlacement() {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   if (sys_ == nullptr || !placement_.config().enabled) return 0;
   size_t started = 0;
   for (const PlacementDecision& decision :

@@ -43,13 +43,20 @@
 // so Σ-equivalence (the rule-equivalence property) is judged on durable
 // documents only.
 //
-// Threading / reentrancy contract: the manager (like the rest of the
-// system) runs on the single event-loop thread and is not thread-safe.
-// Mutation fan-out is synchronous — NoteMutation drops subscribed copies
-// before it returns — so callers must not invoke it while iterating
-// cache or subscription state. The caches' evict listeners call back
-// into the manager (advertisement retraction, unsubscription) but never
-// back into the cache that fired them.
+// Threading / reentrancy contract (machine-checked; docs/architecture.md
+// is the canonical statement): the manager runs on its System's one
+// sequence, enforced by an embedded SequenceChecker — cross-thread use
+// aborts. Mutation fan-out is synchronous — NoteMutation drops
+// subscribed copies before it returns — and *legally* nests across
+// distinct documents: a drop fires RemoveDocument, whose mutation
+// listener re-enters NoteMutation for the holder's own name. What must
+// never happen is re-entering NoteMutation for the *same* (owner, name)
+// while its fan-out is still running (the version table and subscription
+// state for that key are mid-mutation), so NoteMutation keeps a per-key
+// active set and aborts on a same-key cycle (death-tested). The caches'
+// evict listeners call back into the manager (advertisement retraction,
+// unsubscription) but never back into the cache that fired them — the
+// cache's own ReentrancyGuard enforces that side.
 
 #ifndef AXML_REPLICA_REPLICA_MANAGER_H_
 #define AXML_REPLICA_REPLICA_MANAGER_H_
@@ -57,10 +64,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 
 #include "common/ids.h"
+#include "common/sequence_checker.h"
 #include "net/sim_time.h"
 #include "peer/generic.h"
 #include "replica/eviction_policy.h"
@@ -473,6 +482,11 @@ class ReplicaManager {
                          uint64_t snap_version, uint64_t bytes)>
           on_land);
 
+  SequenceChecker sequence_checker_;
+  /// (owner, name) keys whose NoteMutation fan-out is running right now.
+  /// Distinct keys legally nest (drop → RemoveDocument → listener →
+  /// NoteMutation for the holder's name); a same-key cycle aborts.
+  std::set<ReplicaKey> active_mutations_;
   AxmlSystem* sys_ = nullptr;
   uint64_t default_budget_ = TransferCache::kDefaultByteBudget;
   EvictionPolicy default_eviction_policy_ = EvictionPolicy::kLru;

@@ -42,6 +42,7 @@ void SubscriptionStats::ExportMetrics(MetricSink& sink) const {
 }
 
 void SubscriptionTable::Subscribe(const ReplicaKey& key, PeerId holder) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   auto& v = holders_[key];
   if (std::find(v.begin(), v.end(), holder) == v.end()) {
     v.push_back(holder);
@@ -49,6 +50,7 @@ void SubscriptionTable::Subscribe(const ReplicaKey& key, PeerId holder) {
 }
 
 void SubscriptionTable::Unsubscribe(const ReplicaKey& key, PeerId holder) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   auto it = holders_.find(key);
   if (it == holders_.end()) return;
   auto& v = it->second;
@@ -58,12 +60,14 @@ void SubscriptionTable::Unsubscribe(const ReplicaKey& key, PeerId holder) {
 
 std::vector<PeerId> SubscriptionTable::HoldersOf(
     const ReplicaKey& key) const {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   auto it = holders_.find(key);
   return it == holders_.end() ? std::vector<PeerId>{} : it->second;
 }
 
 bool SubscriptionTable::IsSubscribed(const ReplicaKey& key,
                                      PeerId holder) const {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   auto it = holders_.find(key);
   if (it == holders_.end()) return false;
   const auto& v = it->second;
@@ -72,6 +76,7 @@ bool SubscriptionTable::IsSubscribed(const ReplicaKey& key,
 
 std::vector<ReplicaKey> SubscriptionTable::KeysForDoc(
     PeerId origin, const DocName& name) const {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   std::vector<ReplicaKey> keys;
   // Keys order by (origin, name, shard), so one document's keys — the
   // doc key (shard "") first — form a contiguous range.
@@ -85,6 +90,7 @@ std::vector<ReplicaKey> SubscriptionTable::KeysForDoc(
 }
 
 size_t SubscriptionTable::subscription_count() const {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   size_t n = 0;
   for (const auto& [key, v] : holders_) n += v.size();
   return n;

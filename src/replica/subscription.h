@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/sequence_checker.h"
+#include "common/thread_annotations.h"
 #include "replica/transfer_cache.h"
 
 namespace axml {
@@ -90,8 +92,11 @@ struct SubscriptionStats {
 /// exception: an eager-refresh shipment in flight keeps its holder
 /// subscribed under the document-level key until it lands.) Mutation
 /// fan-out unions the dirty keys' holders, so a partial holder caching
-/// only untouched shards is not notified at all. Not thread-safe
-/// (single-threaded event-loop simulation).
+/// only untouched shards is not notified at all.
+///
+/// Sequence-affine (machine-checked): every method runs on the owning
+/// System's one sequence, enforced by an embedded SequenceChecker —
+/// cross-thread use aborts (docs/architecture.md has the contract).
 class SubscriptionTable {
  public:
   /// Idempotent: a holder subscribes once per key.
@@ -113,7 +118,9 @@ class SubscriptionTable {
   size_t subscription_count() const;
 
  private:
-  std::map<ReplicaKey, std::vector<PeerId>> holders_;
+  SequenceChecker sequence_checker_;
+  std::map<ReplicaKey, std::vector<PeerId>> holders_
+      AXML_GUARDED_BY_CONTEXT(sequence_checker_);
 };
 
 /// Wire size of one invalidation notification (origin -> holder).

@@ -38,11 +38,15 @@ void TransferCacheStats::ExportMetrics(MetricSink& sink) const {
 }
 
 void TransferCache::set_eviction_policy(EvictionPolicy policy) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_REENTRANCY_GUARD(mutation_guard_, "TransferCache::set_eviction_policy");
   if (policy == strategy_->policy()) return;
   RebuildStrategy(policy);
 }
 
 void TransferCache::set_refetch_cost(RefetchCostFn fn) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_REENTRANCY_GUARD(mutation_guard_, "TransferCache::set_refetch_cost");
   refetch_cost_ = std::move(fn);
   RebuildStrategy(strategy_->policy());
 }
@@ -56,6 +60,8 @@ void TransferCache::RebuildStrategy(EvictionPolicy policy) {
 
 bool TransferCache::Put(const ReplicaKey& key, TreePtr tree,
                         ContentDigest digest, uint64_t origin_version) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_REENTRANCY_GUARD(mutation_guard_, "TransferCache::Put");
   AXML_CHECK(tree != nullptr);
   const uint64_t bytes = tree->SerializedSize();
   if (bytes > byte_budget_) return false;
@@ -89,6 +95,8 @@ bool TransferCache::Put(const ReplicaKey& key, TreePtr tree,
 
 TreePtr TransferCache::Get(const ReplicaKey& key,
                            uint64_t expected_version) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_REENTRANCY_GUARD(mutation_guard_, "TransferCache::Get");
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -112,6 +120,8 @@ const TransferCache::Entry* TransferCache::Peek(
 }
 
 bool TransferCache::Erase(const ReplicaKey& key, bool invalidation) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_REENTRANCY_GUARD(mutation_guard_, "TransferCache::Erase");
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   Drop(it, invalidation ? &stats_.invalidations : nullptr);
@@ -119,6 +129,8 @@ bool TransferCache::Erase(const ReplicaKey& key, bool invalidation) {
 }
 
 void TransferCache::Clear() {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_REENTRANCY_GUARD(mutation_guard_, "TransferCache::Clear");
   while (!entries_.empty()) {
     Drop(entries_.begin(), nullptr);
   }
@@ -153,6 +165,8 @@ std::vector<ReplicaKey> TransferCache::Keys() const {
 }
 
 void TransferCache::set_byte_budget(uint64_t budget) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_REENTRANCY_GUARD(mutation_guard_, "TransferCache::set_byte_budget");
   byte_budget_ = budget;
   EvictToBudget();
 }

@@ -24,6 +24,9 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/reentrancy_guard.h"
+#include "common/sequence_checker.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "xml/digest.h"
 #include "replica/eviction_policy.h"
@@ -63,12 +66,16 @@ struct TransferCacheStats {
 /// content-addressed blob sharing and pluggable eviction. One instance
 /// per caching peer (owned by ReplicaManager).
 ///
-/// Contract:
-///  - Not thread-safe. The whole system is a single-threaded event-loop
-///    simulation; every method assumes it runs on that one thread.
+/// Contract (machine-checked; docs/architecture.md is the canonical
+/// statement):
+///  - Sequence-affine: every method runs on the owning System's one
+///    sequence, enforced by an embedded SequenceChecker (cross-thread
+///    use aborts; death-tested).
 ///  - Reentrancy: the evict listener fires *during* Put / Get / Erase /
 ///    Clear / set_byte_budget, before the entry is unlinked. It must not
-///    call back into this cache (the entry map is mid-mutation); it may
+///    call back into a mutating method of this cache (the entry map is
+///    mid-mutation) — enforced by a ReentrancyGuard armed across every
+///    mutating entry point (violation aborts; death-tested). It may
 ///    freely touch other state (the ReplicaManager's listener retracts
 ///    advertisements and subscriptions, which never re-enter the cache).
 ///  - Returned TreePtrs alias the shared blob. Callers that hand content
@@ -100,7 +107,10 @@ class TransferCache {
   /// Called just before an entry leaves the cache (eviction, staleness
   /// drop, or overwrite), so the owner can retract advertisements.
   using EvictListener = std::function<void(const ReplicaKey&, const Entry&)>;
-  void set_evict_listener(EvictListener fn) { on_evict_ = std::move(fn); }
+  void set_evict_listener(EvictListener fn) {
+    AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+    on_evict_ = std::move(fn);
+  }
 
   // --- Eviction policy ---
 
@@ -165,12 +175,16 @@ class TransferCache {
   void set_byte_budget(uint64_t budget);
 
   const TransferCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TransferCacheStats{}; }
+  void ResetStats() {
+    AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+    stats_ = TransferCacheStats{};
+  }
 
   /// Counts a transfer avoided by joining an in-flight copy (the
   /// evaluator's read coalescing); the copy itself is recorded by the
   /// Put that follows the landing.
   void RecordCoalescedHit(uint64_t bytes) {
+    AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
     ++stats_.hits;
     stats_.bytes_saved += bytes;
   }
@@ -193,6 +207,10 @@ class TransferCache {
   /// Rebuilds the strategy for `policy`, re-seeding resident entries.
   void RebuildStrategy(EvictionPolicy policy);
 
+  SequenceChecker sequence_checker_;
+  /// Armed across every mutating entry point; the evict listener runs
+  /// inside the armed window, so a listener that calls back trips it.
+  ReentrancyGuard mutation_guard_;
   uint64_t byte_budget_;
   std::unique_ptr<EvictionStrategy> strategy_;
   RefetchCostFn refetch_cost_;

@@ -8,41 +8,68 @@
 #define AXML_XML_LABEL_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace axml {
 
 /// Identifier of an interned label. Value 0 is the empty label.
 using LabelId = uint32_t;
 
-/// Process-wide label dictionary. Not thread-safe (the whole library runs
-/// single-threaded inside the simulator).
+/// Process-wide label dictionary. This is one of the few pieces of
+/// state every System — and, after the worker-thread split, every
+/// thread — shares, so unlike the sequence-affine rest of the library
+/// it is mutex-guarded and safe to call from any thread (`mu_` is an
+/// annotated axml::Mutex; Clang's -Wthread-safety checks the guarded
+/// members). Text() returns a reference that stays valid for the
+/// interner's lifetime: ids are never reused and the text store never
+/// relocates an interned string.
 class LabelInterner {
  public:
   /// The singleton used by all trees in the process.
   static LabelInterner& Global();
 
   /// Returns the id for `label`, interning it on first use.
-  LabelId Intern(std::string_view label);
+  LabelId Intern(std::string_view label) AXML_EXCLUDES(mu_);
 
   /// Returns the label text for `id`. `id` must have been produced by
   /// Intern().
-  const std::string& Text(LabelId id) const;
+  const std::string& Text(LabelId id) const AXML_EXCLUDES(mu_);
 
   /// Returns the id if `label` was interned before, 0 otherwise. Note the
   /// empty label also maps to 0; callers that care should check emptiness.
-  LabelId Lookup(std::string_view label) const;
+  LabelId Lookup(std::string_view label) const AXML_EXCLUDES(mu_);
 
-  size_t size() const { return texts_.size(); }
+  size_t size() const AXML_EXCLUDES(mu_);
+
+  /// Test-scoped reset hook: drops every interned label and re-interns
+  /// the well-known dialect labels at their original ids, so one test
+  /// binary's suites cannot leak dictionary growth into each other.
+  /// Only valid while no tree, schema or cached LabelId from before the
+  /// reset is still alive (their ids would dangle) — call it from test
+  /// teardown, never from library code.
+  void ResetForTesting() AXML_EXCLUDES(mu_);
 
  private:
   LabelInterner();
 
-  std::unordered_map<std::string, LabelId> ids_;
-  std::vector<std::string> texts_;
+  /// Seeds id 0 (the empty label) and the WellKnownLabels ids; shared
+  /// by the constructor and ResetForTesting so reset reproduces the
+  /// exact startup id assignment.
+  void SeedWellKnown() AXML_REQUIRES(mu_);
+
+  LabelId InternLocked(std::string_view label) AXML_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, LabelId> ids_ AXML_GUARDED_BY(mu_);
+  /// deque, not vector: Text() hands out references that must survive
+  /// later Intern() growth.
+  std::deque<std::string> texts_ AXML_GUARDED_BY(mu_);
 };
 
 /// Shorthands over the global interner.
@@ -54,6 +81,8 @@ inline const std::string& LabelText(LabelId id) {
 }
 
 /// Well-known labels of the AXML dialect (§2.2–2.3 of the paper).
+/// Their ids are fixed at interner startup (and re-seeded identically
+/// by ResetForTesting), so cached copies never dangle.
 struct WellKnownLabels {
   LabelId sc;       ///< service-call element
   LabelId peer;     ///< provider peer child of sc

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "algebra/evaluator.h"
 #include "common/rng.h"
 #include "opt/optimizer.h"
@@ -18,14 +20,15 @@ namespace {
 // filtered set. Both must produce the same answers; the rewritten one
 // must move fewer bytes.
 TEST(Example1Test, PushingSelectionsShipsLessAndAgrees) {
-  auto build = [](AxmlSystem** out_sys, PeerId* p, PeerId* p2) {
-    auto* sys = new AxmlSystem(Topology(LinkParams{0.020, 5.0e5}));
+  auto build = [](PeerId* p, PeerId* p2) {
+    auto sys =
+        std::make_unique<AxmlSystem>(Topology(LinkParams{0.020, 5.0e5}));
     *p = sys->AddPeer("p");
     *p2 = sys->AddPeer("p2");
     Rng rng(2006);
     TreePtr t = testing::MakeCatalog(500, sys->peer(*p2)->gen(), &rng, 24);
     EXPECT_TRUE(sys->InstallDocument(*p2, "t", t).ok());
-    *out_sys = sys;
+    return sys;
   };
 
   Query q = Query::Parse(
@@ -35,22 +38,20 @@ TEST(Example1Test, PushingSelectionsShipsLessAndAgrees) {
                 .value();
 
   // Naive: definition (7) — ship the whole tree t to p, evaluate there.
-  AxmlSystem* sys1;
   PeerId p, p2;
-  build(&sys1, &p, &p2);
-  Evaluator ev1(sys1);
+  auto sys1 = build(&p, &p2);
+  Evaluator ev1(sys1.get());
   auto naive = ev1.Eval(p, Expr::Apply(q, p, {Expr::Doc("t", p2)}));
   ASSERT_TRUE(naive.ok()) << naive.status();
   uint64_t naive_bytes = sys1->network().stats().Pair(p2, p).bytes;
 
   // Optimized: the optimizer should discover the Example-1 strategy.
-  AxmlSystem* sys2;
   PeerId pb, p2b;
-  build(&sys2, &pb, &p2b);
-  Optimizer opt(sys2);
+  auto sys2 = build(&pb, &p2b);
+  Optimizer opt(sys2.get());
   OptimizedPlan plan =
       opt.Optimize(pb, Expr::Apply(q, pb, {Expr::Doc("t", p2b)}));
-  Evaluator ev2(sys2);
+  Evaluator ev2(sys2.get());
   auto optimized = ev2.Eval(pb, plan.expr);
   ASSERT_TRUE(optimized.ok()) << optimized.status();
   uint64_t opt_bytes = sys2->network().stats().Pair(p2b, pb).bytes;
@@ -61,8 +62,6 @@ TEST(Example1Test, PushingSelectionsShipsLessAndAgrees) {
   EXPECT_LT(opt_bytes, naive_bytes / 2) << plan.ToString();
   EXPECT_LT(optimized->Duration(), naive->Duration());
 
-  delete sys1;
-  delete sys2;
 }
 
 // A continuous-subscription scenario: a feed service on the publisher,

@@ -163,8 +163,8 @@ INSTANTIATE_TEST_SUITE_P(
         BadQueryCase{"negative_input", "for $x in input(-1) return $x"},
         BadQueryCase{"where_needs_atom",
                      "for $x in input(0) where return $x"}),
-    [](const ::testing::TestParamInfo<BadQueryCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BadQueryCase>& param_info) {
+      return param_info.param.name;
     });
 
 class AqlRoundTripTest : public ::testing::TestWithParam<const char*> {};

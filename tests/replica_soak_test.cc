@@ -482,9 +482,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(RefreshPolicy::kLazy,
                                          RefreshPolicy::kDrop,
                                          RefreshPolicy::kEagerRefresh)),
-    [](const ::testing::TestParamInfo<PolicyPair>& info) {
-      return StrCat(EvictionPolicyName(std::get<0>(info.param)), "_",
-                    RefreshPolicyName(std::get<1>(info.param)));
+    [](const ::testing::TestParamInfo<PolicyPair>& param_info) {
+      return StrCat(EvictionPolicyName(std::get<0>(param_info.param)), "_",
+                    RefreshPolicyName(std::get<1>(param_info.param)));
     });
 
 // The same soak with placement driven by the event-loop tick instead of

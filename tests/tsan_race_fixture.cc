@@ -1,0 +1,33 @@
+// Negative fixture for the ThreadSanitizer CI gate: two threads race on
+// an unsynchronized counter, so a TSan build of this binary MUST report
+// a data race and exit nonzero — the tsan job runs it and requires
+// failure, proving the sanitizer is actually armed (a silently
+// non-instrumented build would pass the race and go red in CI here).
+//
+// Standalone on purpose: no axml dependency, not named *_test.cc, so it
+// never joins the gtest glob — only the CI job (and a curious developer
+// with `g++ -fsanitize=thread`) builds it.
+
+#include <cstdio>
+#include <thread>
+
+namespace {
+
+int unguarded_counter = 0;  // racy by design
+
+void HammerCounter() {
+  for (int i = 0; i < 100000; ++i) {
+    ++unguarded_counter;  // unsynchronized read-modify-write
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::thread a(HammerCounter);
+  std::thread b(HammerCounter);
+  a.join();
+  b.join();
+  std::printf("counter=%d\n", unguarded_counter);
+  return 0;
+}

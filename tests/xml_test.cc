@@ -101,8 +101,8 @@ INSTANTIATE_TEST_SUITE_P(
         BadXmlCase{"eof_in_tag", "<a"},
         BadXmlCase{"eof_in_content", "<a>text"},
         BadXmlCase{"unterminated_cdata", "<a><![CDATA[x</a>"}),
-    [](const ::testing::TestParamInfo<BadXmlCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BadXmlCase>& param_info) {
+      return param_info.param.name;
     });
 
 // --- Round trips ---
