@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific source lints the compiler cannot enforce.
 
-Five checks over src/ (and tests/, bench/, examples/ where noted), each
+Six checks over src/ (and tests/, bench/, examples/ where noted), each
 pinning a repo-wide contract that used to live only in review comments:
 
   metrics-drift        Every stats struct (``struct FooStats`` /
@@ -35,6 +35,15 @@ pinning a repo-wide contract that used to live only in review comments:
                        same line (factories with private constructors);
                        ``delete`` expressions are banned. Intentionally
                        leaky process-wide singletons are allowlisted.
+
+  injected-rng         Fault-injection sources (src/**/fault_injector*)
+                       draw randomness ONLY through the injected
+                       ``Rng*`` — never by constructing a value-type
+                       Rng, re-seeding one, or reaching for a std::
+                       engine. A private randomness source would break
+                       the contract that one sim seed replays every
+                       fault verdict identically (and that an idle
+                       injector is byte-identical to no injector).
 
 Suppressions: append ``// lint: allow-<check>`` (e.g. ``// lint:
 allow-determinism``) to the flagged line or the line above. Use rarely;
@@ -314,6 +323,40 @@ def check_raw_new_delete(sf: SourceFile) -> Iterator[Finding]:
             )
 
 
+# --- injected-rng ---
+
+# A value-type `Rng name...` declaration (pointer `Rng*` and reference
+# `Rng&` shapes deliberately do not match: borrowing is the contract).
+_VALUE_RNG_RE = re.compile(r"\bRng\s+\w+\s*(?:[;({=]|$)")
+_INJECTED_RNG_RES = [
+    (_VALUE_RNG_RE, "value-type Rng construction"),
+    (re.compile(r"(?:\.|->)\s*Seed\s*\("), "re-seeding an Rng"),
+    (
+        re.compile(
+            r"\b(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+            r"|ranlux\w*|knuth_b)\b"
+        ),
+        "std:: random engine",
+    ),
+]
+
+
+def check_injected_rng(sf: SourceFile) -> Iterator[Finding]:
+    """Fault-injection code owns no randomness: it borrows one Rng*."""
+    for i, line in enumerate(sf.code, 1):
+        for pattern, what in _INJECTED_RNG_RES:
+            if pattern.search(line) and not suppressed(sf, i, "injected-rng"):
+                yield Finding(
+                    sf.path,
+                    i,
+                    "injected-rng",
+                    f"{what} inside fault-injection code — the injector "
+                    "must draw only from the Rng* handed to its "
+                    "constructor, or seed replay and the idle==off "
+                    "byte-identity guarantee break",
+                )
+
+
 def run_checks() -> list[Finding]:
     findings: list[Finding] = []
     for path in cxx_files(["src", "tests", "bench", "examples"]):
@@ -325,6 +368,8 @@ def run_checks() -> list[Finding]:
             findings.extend(check_header_hygiene(sf))
         elif top == "src":
             findings.extend(check_header_hygiene(sf))  # #pragma once ban
+        if top == "src" and "fault_injector" in path.name:
+            findings.extend(check_injected_rng(sf))
         findings.extend(check_determinism(sf))
         findings.extend(check_unordered_iteration(sf))
         findings.extend(check_raw_new_delete(sf))

@@ -113,6 +113,20 @@ class RawNewDeleteTest(unittest.TestCase):
         self.assertEqual(list(cs.check_raw_new_delete(posed)), [])
 
 
+class InjectedRngTest(unittest.TestCase):
+    def test_flags_private_entropy_and_accepts_borrowed_pointer(self) -> None:
+        sf = fixture(
+            "bad_fault_injector_rng.cc", pose_as="net/fault_injector.cc"
+        )
+        findings = list(cs.check_injected_rng(sf))
+        self.assertEqual(flagged_lines(findings, "injected-rng"), marked_lines(sf))
+
+    def test_real_injector_only_borrows(self) -> None:
+        for name in ("fault_injector.h", "fault_injector.cc"):
+            sf = cs.load(cs.REPO_ROOT / "src" / "net" / name)
+            self.assertEqual(list(cs.check_injected_rng(sf)), [], name)
+
+
 class CleanFixtureTest(unittest.TestCase):
     def test_no_check_fires_on_clean_code(self) -> None:
         sf = fixture("clean.cc")

@@ -1,0 +1,39 @@
+// Negative fixture: every way fault-injection code could grow a
+// private randomness source instead of borrowing the injected Rng*.
+// check_source.py's injected-rng check must flag each marked line and
+// accept the borrowed-pointer shapes a real injector is built from.
+
+#include <random>
+
+#include "common/rng.h"
+
+namespace axml {
+
+class FixtureInjector {
+ public:
+  // Borrowing the sim's Rng through a pointer is the contract: none of
+  // these lines may be flagged.
+  explicit FixtureInjector(Rng* rng) : rng_(rng) {}
+  bool Draw(double p) { return rng_->Bernoulli(p); }
+  void Rebind(Rng& other) { rng_ = &other; }
+
+  void GrowPrivateEntropy() {
+    Rng mine;                           // MUST be flagged
+    Rng seeded(42);                     // MUST be flagged
+    mine.Seed(7);                       // MUST be flagged
+    rng_->Seed(7);                      // MUST be flagged
+    std::mt19937 engine(1234);          // MUST be flagged
+    // Comment-only mentions of Rng local; or mt19937 are not flagged.
+    // lint: allow-injected-rng
+    Rng waived;  // suppressed by the line above: NOT flagged
+    (void)mine;
+    (void)seeded;
+    (void)engine;
+    (void)waived;
+  }
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace axml

@@ -132,9 +132,12 @@ void Evaluator::Ship(PeerId from, PeerId to, const TreePtr& tree,
   // understood to copy the data model instances they send"; the copy gets
   // fresh identifiers minted by the destination peer.
   TreePtr copy = (from == to) ? tree : tree->Clone(dest->gen());
-  sys_->network().Send(from, to, bytes,
-                       [copy = std::move(copy),
-                        deliver = std::move(deliver)] { deliver(copy); });
+  // Reliable: a query in flight must survive injected faults — Eval runs
+  // the loop to quiescence, and a silently lost shipment would hang it.
+  sys_->network().SendReliable(
+      from, to, bytes,
+      [copy = std::move(copy),
+       deliver = std::move(deliver)] { deliver(copy); });
 }
 
 void Evaluator::DeployExpr(PeerId ctx, const ExprPtr& e, EmitFn emit) {
@@ -531,7 +534,7 @@ void Evaluator::DeployApply(PeerId ctx, const ExprPtr& e, EmitFn emit) {
   PeerId qp = e->query_peer();
   if (qp.is_concrete() && qp != ctx) {
     // Definition (7): the defining peer ships the query text first.
-    sys_->network().Send(qp, ctx, q.SerializedSize(), start);
+    sys_->network().SendReliable(qp, ctx, q.SerializedSize(), start);
   } else {
     sys_->loop().Post(start);
   }
@@ -839,18 +842,16 @@ void Evaluator::DeployShipQuery(PeerId ctx, const ExprPtr& e, EmitFn) {
     // service as send_{p1→p2}(q@p1)" — we generate a stable name.
     name = StrCat("shipped_q", counter++);
   }
-  sys_->network().Send(ctx, to, q.SerializedSize(),
-                       [this, to, q, name] {
-                         Peer* target = sys_->peer(to);
-                         if (target == nullptr) return;
-                         target->PutService(Service::Declarative(name, q));
-                         if (sys_->catalog() != nullptr) {
-                           sys_->catalog()->Register(ResourceKind::kService,
-                                                     name, to);
-                         }
-                         Trace(StrCat("installed service ", name, "@",
-                                      target->name()));
-                       });
+  sys_->network().SendReliable(
+      ctx, to, q.SerializedSize(), [this, to, q, name] {
+        Peer* target = sys_->peer(to);
+        if (target == nullptr) return;
+        target->PutService(Service::Declarative(name, q));
+        if (sys_->catalog() != nullptr) {
+          sys_->catalog()->Register(ResourceKind::kService, name, to);
+        }
+        Trace(StrCat("installed service ", name, "@", target->name()));
+      });
 }
 
 void Evaluator::DeployEvalAt(PeerId ctx, const ExprPtr& e, EmitFn emit) {
@@ -873,7 +874,7 @@ void Evaluator::DeployEvalAt(PeerId ctx, const ExprPtr& e, EmitFn emit) {
   const uint64_t bytes = SerializeCompactExpr(*body, &tmp).size();
   Trace(StrCat("delegate expr ", ctx.ToString(), "->", where.ToString(),
                " ", bytes, "B"));
-  sys_->network().Send(
+  sys_->network().SendReliable(
       ctx, where, bytes, [this, where, ctx, body, emit] {
         DeployExpr(where, body, [this, where, ctx, emit](TreePtr t) {
           Ship(where, ctx, t, emit);

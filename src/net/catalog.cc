@@ -61,7 +61,9 @@ LookupResult CentralCatalog::LookupNow(ResourceKind kind,
 void CentralCatalog::Lookup(ResourceKind kind, const std::string& name,
                             PeerId from, Network* net, LookupCallback cb) {
   LookupResult r = LookupNow(kind, name, from, *net);
-  net->ControlRoundtrip(r.messages, r.bytes, r.delay_s,
+  // The exchange is anchored on the requester->server link, so it queues
+  // behind (and is judged with) that link's data traffic.
+  net->ControlRoundtrip(from, server_, r.messages, r.bytes, r.delay_s,
                         [cb = std::move(cb), r] { cb(r); });
 }
 
@@ -93,7 +95,9 @@ LookupResult DhtCatalog::LookupNow(ResourceKind kind,
 void DhtCatalog::Lookup(ResourceKind kind, const std::string& name,
                         PeerId from, Network* net, LookupCallback cb) {
   LookupResult r = LookupNow(kind, name, from, *net);
-  net->ControlRoundtrip(r.messages, r.bytes, r.delay_s,
+  // Overlay-diffuse: hops spread over many links, so the exchange is
+  // anchored on the requester's loopback (free link, injector-exempt).
+  net->ControlRoundtrip(from, from, r.messages, r.bytes, r.delay_s,
                         [cb = std::move(cb), r] { cb(r); });
 }
 
@@ -154,7 +158,9 @@ LookupResult FloodCatalog::LookupNow(ResourceKind kind,
 void FloodCatalog::Lookup(ResourceKind kind, const std::string& name,
                           PeerId from, Network* net, LookupCallback cb) {
   LookupResult r = LookupNow(kind, name, from, *net);
-  net->ControlRoundtrip(r.messages, r.bytes, r.delay_s,
+  // Flood traffic diffuses over every edge; like the DHT it is anchored
+  // on the requester's loopback rather than any single link.
+  net->ControlRoundtrip(from, from, r.messages, r.bytes, r.delay_s,
                         [cb = std::move(cb), r] { cb(r); });
 }
 

@@ -20,6 +20,16 @@ void NetStats::Record(PeerId from, PeerId to, uint64_t bytes) {
 void NetStats::RecordControl(uint64_t messages, uint64_t bytes) {
   control_messages_ += messages;
   control_bytes_ += bytes;
+  // Control roundtrips carry `messages` wire messages averaging
+  // bytes / messages each; feed the shared size histogram at that mean
+  // so catalog and lease traffic shows up next to data messages.
+  const uint64_t per_message = messages == 0 ? bytes : bytes / messages;
+  for (uint64_t i = 0; i < messages; ++i) msg_bytes_.Add(per_message);
+}
+
+void NetStats::RecordDrop(uint64_t bytes) {
+  ++dropped_messages_;
+  dropped_bytes_ += bytes;
 }
 
 void NetStats::RecordNotify(PeerId from, PeerId to, uint64_t bytes) {
@@ -43,6 +53,8 @@ void NetStats::ExportMetrics(MetricSink& sink) const {
   sink.Value("control_bytes", control_bytes_);
   sink.Value("notify_messages", notify_messages_);
   sink.Value("notify_bytes", notify_bytes_);
+  sink.Value("dropped_messages", dropped_messages_);
+  sink.Value("dropped_bytes", dropped_bytes_);
   sink.Histo("msg_bytes", msg_bytes_);
 }
 
@@ -58,7 +70,9 @@ std::string NetStats::ToString() const {
                 " control_messages=", control_messages_,
                 " control_bytes=", control_bytes_,
                 " notify_messages=", notify_messages_,
-                " notify_bytes=", notify_bytes_);
+                " notify_bytes=", notify_bytes_,
+                " dropped_messages=", dropped_messages_,
+                " dropped_bytes=", dropped_bytes_);
 }
 
 }  // namespace axml

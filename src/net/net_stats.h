@@ -26,9 +26,14 @@ struct PairStats {
 class NetStats {
  public:
   void Record(PeerId from, PeerId to, uint64_t bytes);
-  /// Charges abstract control traffic (catalog lookups etc.) that is not
-  /// tied to a single link.
+  /// Charges control traffic (catalog lookups, lease/anti-entropy
+  /// digests). The aggregate counters take the whole roundtrip; the
+  /// per-message sizes (bytes / messages) feed the shared msg-size
+  /// histogram so control traffic is no longer invisible in obs.
   void RecordControl(uint64_t messages, uint64_t bytes);
+  /// Records a message the fabric dropped — fault injection, a crashed
+  /// endpoint — after it was charged as sent.
+  void RecordDrop(uint64_t bytes);
   /// Records a replica-invalidation notification (origin -> copy
   /// holder): counted like any link message *and* tallied apart, so the
   /// push-refresh benches can report notify traffic next to data bytes.
@@ -45,12 +50,16 @@ class NetStats {
   /// excluded).
   uint64_t remote_bytes() const { return remote_bytes_; }
   uint64_t remote_messages() const { return remote_messages_; }
+  /// Messages (and their bytes) the fabric dropped — a subset of the
+  /// sent totals above; 0 on a perfect fabric.
+  uint64_t dropped_messages() const { return dropped_messages_; }
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
 
   PairStats Pair(PeerId from, PeerId to) const;
 
-  /// Distribution of per-message sizes (log2 buckets; Record and
-  /// RecordNotify feed it, control traffic does not — it has no single
-  /// message size).
+  /// Distribution of per-message sizes (log2 buckets; Record,
+  /// RecordNotify and RecordControl all feed it — control roundtrips at
+  /// their mean per-message size).
   const Histogram& message_bytes_histogram() const { return msg_bytes_; }
 
   /// Emits every counter (and the size histogram) into `sink` under its
@@ -79,6 +88,8 @@ class NetStats {
   uint64_t control_bytes_ = 0;
   uint64_t notify_messages_ = 0;
   uint64_t notify_bytes_ = 0;
+  uint64_t dropped_messages_ = 0;
+  uint64_t dropped_bytes_ = 0;
   Histogram msg_bytes_;
   std::unordered_map<uint64_t, PairStats> pairs_;
 };

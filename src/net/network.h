@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/ids.h"
 #include "common/sequence_checker.h"
@@ -21,6 +22,8 @@
 #include "obs/trace.h"
 
 namespace axml {
+
+class FaultInjector;
 
 /// Point-to-point message fabric over an EventLoop. Affine to the
 /// loop's driving sequence (SequenceChecker-enforced): the in-flight
@@ -48,10 +51,39 @@ class Network {
   void SendNotify(PeerId from, PeerId to, uint64_t bytes,
                   DeliverFn on_deliver);
 
-  /// Charges control-plane traffic (e.g. catalog lookups) and runs
-  /// `on_done` after `delay`.
-  void ControlRoundtrip(uint64_t messages, uint64_t bytes, SimTime delay,
-                        DeliverFn on_done);
+  /// Like Send, but retransmits deterministically (after a fixed
+  /// retransmission timeout of about one RTT) whenever the fabric drops
+  /// the message, so the payload eventually lands under lossy-link or
+  /// partition-window fault schedules. Each retransmission is charged
+  /// to NetStats like a fresh message. If either endpoint is down when
+  /// a retransmission would fire the send is abandoned silently — a
+  /// crashed peer must not keep the event loop alive forever. On a
+  /// perfect fabric this is byte-identical to Send.
+  void SendReliable(PeerId from, PeerId to, uint64_t bytes,
+                    DeliverFn on_deliver);
+
+  /// Charges control-plane traffic (e.g. catalog lookups, lease and
+  /// anti-entropy digests) as `messages` messages totalling `bytes`,
+  /// and runs `on_done` once the roundtrip completes — at least `delay`
+  /// after the from->to link is free. Routed through the same per-link
+  /// FIFO + fault-injector path as data messages, so control traffic is
+  /// no longer invisible to the size histogram, trace spans, or the
+  /// injector. A dropped roundtrip retries after `delay` (recharging
+  /// one control message per retry) unless the requester is down.
+  void ControlRoundtrip(PeerId from, PeerId to, uint64_t messages,
+                        uint64_t bytes, SimTime delay, DeliverFn on_done);
+
+  /// Attaches a fault injector that rules on every non-loopback message
+  /// (nullptr detaches — the default, a perfect fabric).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Marks a peer crashed (`up` false) or rejoined (`up` true).
+  /// Messages from a down peer are dropped at send time; messages *to*
+  /// a down peer are dropped on arrival — they were already committed
+  /// to the wire when the peer went down.
+  void SetPeerUp(PeerId peer, bool up);
+  bool IsPeerUp(PeerId peer) const;
 
   const Topology& topology() const { return topology_; }
   Topology* mutable_topology() { return &topology_; }
@@ -84,11 +116,31 @@ class Network {
     return (static_cast<uint64_t>(a.index()) << 32) | b.index();
   }
 
-  /// Shared FIFO-link scheduling behind Send/SendNotify (stats already
-  /// recorded by the caller; `kind` names the trace span: "msg" or
-  /// "notify").
-  void ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
-                        DeliverFn on_deliver, const char* kind)
+  /// Shared FIFO-link scheduling behind Send/SendNotify/SendReliable/
+  /// ControlRoundtrip (aggregate stats already recorded by the caller;
+  /// `kind` names the trace span: "msg", "notify" or "control").
+  /// Consults the fault injector and the peer up/down set; a dropped
+  /// message still occupies the link (it was transmitted, then lost),
+  /// is tallied via NetStats::RecordDrop + a "drop" trace span, and
+  /// fires `on_drop` (if any) at what would have been the arrival time.
+  /// `min_delay` floors the one-way delay (modelled control roundtrips
+  /// take their full latency even when transmit is negligible).
+  /// Returns false when the message was dropped at send time because
+  /// `from` is down.
+  bool ScheduleDelivery(PeerId from, PeerId to, uint64_t bytes,
+                        DeliverFn on_deliver, const char* kind,
+                        SimTime min_delay = 0, DeliverFn on_drop = nullptr)
+      AXML_REQUIRES(sequence_checker_);
+
+  /// One (re)transmission attempt of a reliable send; wires the next
+  /// attempt into the drop path.
+  void ReliableAttempt(PeerId from, PeerId to, uint64_t bytes,
+                       DeliverFn on_deliver)
+      AXML_REQUIRES(sequence_checker_);
+
+  /// One attempt of a control roundtrip; retries itself on drop.
+  void ControlAttempt(PeerId from, PeerId to, uint64_t bytes,
+                      SimTime delay, DeliverFn on_done)
       AXML_REQUIRES(sequence_checker_);
 
   SequenceChecker sequence_checker_;
@@ -96,6 +148,10 @@ class Network {
   Topology topology_;
   NetStats stats_ AXML_GUARDED_BY_CONTEXT(sequence_checker_);
   Tracer* tracer_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  /// Peers currently crashed (by index); empty on the happy path.
+  std::unordered_set<uint32_t> down_peers_
+      AXML_GUARDED_BY_CONTEXT(sequence_checker_);
   /// Per directed link: when the link becomes free to start transmitting.
   std::unordered_map<uint64_t, SimTime> link_busy_until_
       AXML_GUARDED_BY_CONTEXT(sequence_checker_);

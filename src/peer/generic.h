@@ -114,6 +114,17 @@ class GenericCatalog {
     doc_pick_demand_.erase({class_name, from});
   }
 
+  /// Credits demand back to a (class, caller) pair. The placement waste
+  /// path returns *half* the drained demand when a launched seed lands
+  /// stale or refused — the picks that earned the seed were real and
+  /// must not vanish with the wasted shipment, while halving guarantees
+  /// a permanently failing seed decays to nothing instead of replaying
+  /// every round.
+  void AddDocumentPickDemand(const std::string& class_name, PeerId from,
+                             uint64_t n) {
+    if (n > 0) doc_pick_demand_[{class_name, from}] += n;
+  }
+
   void set_default_policy(PickPolicy p) { default_policy_ = p; }
   PickPolicy default_policy() const { return default_policy_; }
 

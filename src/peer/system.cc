@@ -144,6 +144,21 @@ Status AxmlSystem::InstallReplicatedDocument(
   return Status::OK();
 }
 
+void AxmlSystem::CrashPeer(PeerId p, CrashMode mode) {
+  // Order matters: the network gate goes down first so nothing the
+  // replica-side crash handling does (retractions, cache clears) can
+  // still route traffic through the dying peer.
+  network_->SetPeerUp(p, false);
+  replicas_.OnPeerCrash(p, mode);
+}
+
+void AxmlSystem::RejoinPeer(PeerId p) {
+  // Reverse of CrashPeer: the network comes back first so rejoin-time
+  // reconciliation can reach the origins it compares against.
+  network_->SetPeerUp(p, true);
+  replicas_.OnPeerRejoin(p);
+}
+
 std::string AxmlSystem::StateFingerprint() const {
   std::string out;
   for (const auto& p : peers_) {

@@ -101,6 +101,21 @@ class AxmlSystem {
   /// Runs the event loop until no events remain. Returns events run.
   uint64_t RunToQuiescence() { return loop_.Run(); }
 
+  // --- Peer lifecycle (fault injection & churn) ---
+
+  /// Crashes `p`: the network stops delivering to or accepting from it,
+  /// its advertised copies are retracted, and with CrashMode::kLoseCache
+  /// its replica cache is wiped (kDurableCache keeps the bytes on disk
+  /// for rejoin-time reconciliation). The peer's *durable* documents
+  /// survive either way — a crash loses soft state only.
+  void CrashPeer(PeerId p, CrashMode mode);
+  /// Brings a crashed peer back: the network resumes delivery and the
+  /// replica layer reconciles whatever cache survived before the peer
+  /// serves anything.
+  void RejoinPeer(PeerId p);
+  /// False between CrashPeer and RejoinPeer; true otherwise.
+  bool IsPeerUp(PeerId p) const { return network_->IsPeerUp(p); }
+
   /// Canonical digest of Σ: every (peer, doc name, canonical tree) plus
   /// service inventories. Two runs ending in equal fingerprints ended in
   /// equivalent states. Cached replica copies are *soft* state and are

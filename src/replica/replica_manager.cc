@@ -1,6 +1,8 @@
 #include "replica/replica_manager.h"
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -17,6 +19,13 @@ namespace {
 /// they are stored and looked up at this sentinel version — Version()
 /// is always >= 1, so no document version can ever brand them stale.
 constexpr uint64_t kImmutableVersion = 0;
+
+/// Cap on the eager-refresh catch-up chain: a shipment landing on a
+/// moved origin version launches at most this many total attempts
+/// before the holder falls back to lazy pulls. Under sustained
+/// mutation (every mutation overtaking the shipment in flight) an
+/// unbounded chain would ship forever without ever landing fresh.
+constexpr int kMaxCatchupAttempts = 3;
 
 ReplicaKey ManifestKey(PeerId origin, const DocName& name) {
   return ReplicaKey{origin, name, kManifestShardId};
@@ -515,6 +524,14 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
   }
   subscription_stats_.clean_skips += subscribed.size() - dirty_set.size();
   for (PeerId holder : dirty) {
+    // A crashed holder's cache is unreachable — nothing to drop, nobody
+    // to notify. Its entries rot until rejoin-time reconciliation (and
+    // its subscriptions until the lease expires); it is not advertised
+    // meanwhile (OnPeerCrash retracted), so no read can route to it.
+    if (!sys_->network().IsPeerUp(holder)) {
+      ++subscription_stats_.down_skips;
+      continue;
+    }
     ++subscription_stats_.notifies;
     if (doc_wide.count(holder) > 0) {
       ++subscription_stats_.doc_notifies;
@@ -548,7 +565,7 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
       }
     }
     if (refresh_policy_ == RefreshPolicy::kEagerRefresh &&
-        StartRefresh(holder, key, /*retry=*/false)) {
+        StartRefresh(holder, key, /*attempt=*/0)) {
       // The holder stays subscribed (doc-level flight interest) while
       // its copy re-materializes, so a mutation overtaking the shipment
       // is pushed (and coalesced) too.
@@ -565,7 +582,12 @@ void ReplicaManager::QueueNotify(PeerId origin, PeerId holder) {
     return;
   }
   if (sys_ != nullptr) {
-    sys_->network().SendNotify(origin, holder, kNotifyMsgBytes, [] {});
+    // The arrival hook is the asynchronous half of invalidation: a
+    // no-op on the perfect fabric (the drop already happened above,
+    // synchronously), a repair when faults let stale state survive.
+    sys_->network().SendNotify(
+        origin, holder, kNotifyMsgBytes,
+        [this, origin, holder] { OnNotifyDelivered(origin, holder); });
   }
 }
 
@@ -576,9 +598,11 @@ void ReplicaManager::EndNotifyBatch() {
   if (--notify_batch_depth_ > 0) return;
   for (const auto& [pair, queued] : pending_notifies_) {
     if (sys_ != nullptr && queued > 0) {
+      const PeerId origin = pair.first;
+      const PeerId holder = pair.second;
       sys_->network().SendNotify(
-          pair.first, pair.second,
-          kNotifyMsgBytes + (queued - 1) * kNotifyKeyBytes, [] {});
+          origin, holder, kNotifyMsgBytes + (queued - 1) * kNotifyKeyBytes,
+          [this, origin, holder] { OnNotifyDelivered(origin, holder); });
     }
   }
   pending_notifies_.clear();
@@ -761,7 +785,9 @@ bool ReplicaManager::FetchForRead(PeerId reader, PeerId origin,
                ReplicaKey{origin, name}.ToString());
   }
 
-  sys_->network().Send(
+  // Reliable: the read path runs the loop to quiescence and a silently
+  // lost delta would hang the read; the fabric retransmits under loss.
+  sys_->network().SendReliable(
       origin, reader, wire,
       [this, reader, origin, name, manifest, missing = std::move(missing),
        parts = std::move(parts), snap_version,
@@ -891,11 +917,18 @@ bool ReplicaManager::LaunchShipment(
     const std::function<bool(uint64_t bytes)>& admit,
     std::function<void(const ShipmentPayload& payload, uint64_t snap_version,
                        uint64_t bytes)>
-        on_land) {
+        on_land,
+    int attempt) {
   AXML_CHECK(refresh_inflight_.count({holder, key}) == 0);
   const Peer* origin = sys_->peer(key.origin);
   Peer* dest = sys_->peer(holder);
   if (origin == nullptr || dest == nullptr) return false;
+  // A shipment toward (or from) a crashed peer would only evaporate on
+  // the wire; rejoin-time reconciliation re-materializes copies instead.
+  if (!sys_->network().IsPeerUp(holder) ||
+      !sys_->network().IsPeerUp(key.origin)) {
+    return false;
+  }
   TreePtr root = origin->GetDocument(key.name);
   // A removed document has nothing to ship; a tree still carrying
   // service calls is excluded, as on the evaluator's insert path — a
@@ -963,6 +996,9 @@ bool ReplicaManager::LaunchShipment(
   // Snapshot now: the shipped content is the version at send time; a
   // mid-flight mutation must not brand it fresh (the insert compares).
   const uint64_t snap_version = Version(key.origin, key.name);
+  // Copies for the retry timeout below, taken before on_land moves into
+  // the delivery callback.
+  auto on_land_retry = ship_max_attempts_ > 0 ? on_land : nullptr;
   sys_->network().Send(
       key.origin, holder, bytes,
       [this, holder, key, payload = std::move(payload), snap_version, bytes,
@@ -977,6 +1013,43 @@ bool ReplicaManager::LaunchShipment(
         refresh_inflight_.erase(it);
         on_land(payload, snap_version, bytes);
       });
+  if (ship_max_attempts_ > 0) {
+    // Bounded retry-with-backoff: if the landing has not cleared the
+    // flight token by the timeout, the shipment was dropped (injector or
+    // crash). Relaunch the same admit/on_land pair — re-admitted; the
+    // retransmission is real wire traffic — until the attempt cap, then
+    // drop the holder back to lazy pulls. A landing that merely arrived
+    // late (delay spike) erased the token already, so the timeout
+    // no-ops; a delayed payload arriving after a relaunch sees the new
+    // generation and is discarded.
+    const SimTime timeout =
+        3 * sys_->network().EstimateTransferTime(key.origin, holder, bytes) +
+        ship_backoff_base_s_ * (attempt + 1);
+    sys_->loop().ScheduleAfter(
+        timeout, [this, holder, key, generation, attempt, admit,
+                  on_land = std::move(on_land_retry)] {
+          auto it = refresh_inflight_.find({holder, key});
+          if (it == refresh_inflight_.end() || it->second != generation) {
+            return;  // landed, canceled, or superseded — nothing to do
+          }
+          refresh_inflight_.erase(it);
+          ++subscription_stats_.ship_timeouts;
+          if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+            tr->Record("replica", "ship_timeout", holder, 0, 0,
+                       key.ToString());
+          }
+          if (attempt + 1 < ship_max_attempts_ &&
+              sys_->network().IsPeerUp(holder) &&
+              sys_->network().IsPeerUp(key.origin)) {
+            ++subscription_stats_.ship_retries;
+            if (LaunchShipment(holder, key, admit, on_land, attempt + 1)) {
+              return;
+            }
+          }
+          ++subscription_stats_.dropped_to_lazy;
+          subscriptions_.Unsubscribe(key, holder);
+        });
+  }
   return true;
 }
 
@@ -1025,15 +1098,21 @@ bool ReplicaManager::StartPlacementShipment(
         return true;
       },
       /*on_land=*/
-      [this, holder, key](const ShipmentPayload& payload,
-                          uint64_t snap_version, uint64_t /*bytes*/) {
+      [this, holder, key, decision](const ShipmentPayload& payload,
+                                    uint64_t snap_version,
+                                    uint64_t /*bytes*/) {
         if (InsertLanded(holder, key, payload, snap_version)) {
           ++placement_stats_.landed;
         } else {
           // The origin moved on while this was on the wire, or the
-          // holder's cache refused the copy. Placement does not chase:
-          // fresh demand re-plans the seed on a later round.
+          // holder's cache refused the copy. Placement does not chase —
+          // but the picks that earned this seed were real demand, and
+          // the launch drained them. Credit half back so the next round
+          // can re-decide: halving makes a permanently failing seed
+          // decay to nothing instead of replaying forever.
           ++placement_stats_.wasted;
+          sys_->generics().AddDocumentPickDemand(decision.class_name, holder,
+                                                 decision.demand / 2);
         }
       });
   // Either way the decision consumed the demand that earned it: a seed
@@ -1047,7 +1126,7 @@ bool ReplicaManager::StartPlacementShipment(
 }
 
 bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
-                                  bool retry) {
+                                  int attempt) {
   if (refresh_inflight_.count({holder, key}) > 0) {
     // A shipment is already on the wire; its landing check catches the
     // newer version with one catch-up pull.
@@ -1057,7 +1136,7 @@ bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
   const bool launched = LaunchShipment(
       holder, key,
       /*admit=*/
-      [this, holder, retry](uint64_t bytes) {
+      [this, holder, attempt](uint64_t bytes) {
         uint64_t& spent = refresh_spent_[holder];
         if (spent > refresh_budget_bytes_ ||
             bytes > refresh_budget_bytes_ - spent) {
@@ -1065,12 +1144,12 @@ bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
           return false;
         }
         spent += bytes;
-        if (retry) ++subscription_stats_.retries;
+        if (attempt > 0) ++subscription_stats_.retries;
         return true;
       },
       /*on_land=*/
-      [this, holder, key](const ShipmentPayload& payload,
-                          uint64_t snap_version, uint64_t bytes) {
+      [this, holder, key, attempt](const ShipmentPayload& payload,
+                                   uint64_t snap_version, uint64_t bytes) {
         if (InsertLanded(holder, key, payload, snap_version)) {
           ++subscription_stats_.refreshes;
           subscription_stats_.refresh_bytes += bytes;
@@ -1084,10 +1163,16 @@ bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
             }
           }
         } else if (Version(key.origin, key.name) != snap_version) {
-          // The origin moved on while this was on the wire: one
-          // catch-up shipment brings the holder current. If it cannot
-          // launch (budget), the holder's flight-subscription ends.
-          if (!StartRefresh(holder, key, /*retry=*/true)) {
+          // The origin moved on while this was on the wire: a catch-up
+          // shipment brings the holder current — but the chain is
+          // capped. Under sustained mutation (every landing overtaken
+          // mid-flight) an unbounded chain ships forever without ever
+          // landing fresh; past the cap the holder falls back to lazy
+          // pulls, like a budget denial.
+          if (attempt + 1 >= kMaxCatchupAttempts) {
+            ++subscription_stats_.catchup_exhausted;
+            subscriptions_.Unsubscribe(key, holder);
+          } else if (!StartRefresh(holder, key, attempt + 1)) {
             subscriptions_.Unsubscribe(key, holder);
           }
         } else {
@@ -1097,6 +1182,353 @@ bool ReplicaManager::StartRefresh(PeerId holder, const ReplicaKey& key,
         }
       });
   return launched;
+}
+
+// --- Fault tolerance: leases, anti-entropy, churn ---
+
+void ReplicaManager::ConfigureLeases(SimTime renew_interval_s,
+                                     SimTime ttl_s) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_CHECK(sys_ != nullptr);
+  if (lease_tick_id_ != 0) {
+    sys_->loop().RemovePeriodic(lease_tick_id_);
+    lease_tick_id_ = 0;
+  }
+  lease_renew_interval_ = renew_interval_s;
+  lease_ttl_ = ttl_s;
+  lease_deadlines_.clear();
+  if (renew_interval_s > 0 && ttl_s > 0) {
+    lease_tick_id_ =
+        sys_->loop().AddPeriodic(renew_interval_s, [this] { LeaseTick(); });
+  }
+}
+
+void ReplicaManager::set_shipment_retry(int max_attempts,
+                                        SimTime backoff_base_s) {
+  ship_max_attempts_ = max_attempts;
+  ship_backoff_base_s_ = backoff_base_s;
+}
+
+void ReplicaManager::set_anti_entropy_interval(SimTime interval_s) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_CHECK(sys_ != nullptr);
+  if (anti_entropy_tick_id_ != 0) {
+    sys_->loop().RemovePeriodic(anti_entropy_tick_id_);
+    anti_entropy_tick_id_ = 0;
+  }
+  anti_entropy_interval_ = interval_s;
+  if (interval_s > 0) {
+    anti_entropy_tick_id_ = sys_->loop().AddPeriodic(
+        interval_s, [this] { RunAntiEntropySweep(); });
+  }
+}
+
+void ReplicaManager::LeaseTick() {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  const SimTime now = sys_->loop().now();
+  // Live (origin, holder) pairs, straight from the subscription table
+  // (std::map: deterministic order).
+  std::set<std::pair<PeerId, PeerId>> live;
+  for (const auto& [key, holders] : subscriptions_.entries()) {
+    for (PeerId h : holders) live.insert({key.origin, h});
+  }
+  // Deadlines for vanished pairs go; new pairs are granted a full TTL
+  // on first sight (before the expiry scan — a fresh grant never
+  // expires on the tick that created it).
+  for (auto it = lease_deadlines_.begin(); it != lease_deadlines_.end();) {
+    if (live.count(it->first) == 0) {
+      it = lease_deadlines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& pair : live) {
+    lease_deadlines_.try_emplace(pair, now + lease_ttl_);
+  }
+  // Expiry: the origin forgets a silent holder. An *up* holder also
+  // self-invalidates its lapsed entries — the lease contract says a
+  // holder that could not renew stops serving, and its own clock tells
+  // it so; we model that holder-side drop synchronously. A crashed
+  // holder's cache is unreachable and is left for rejoin-time
+  // reconciliation.
+  for (auto it = lease_deadlines_.begin(); it != lease_deadlines_.end();) {
+    if (now < it->second) {
+      ++it;
+      continue;
+    }
+    const PeerId origin = it->first.first;
+    const PeerId holder = it->first.second;
+    std::vector<ReplicaKey> keys;
+    for (const auto& [key, holders] : subscriptions_.entries()) {
+      if (key.origin != origin) continue;
+      if (std::find(holders.begin(), holders.end(), holder) !=
+          holders.end()) {
+        keys.push_back(key);
+      }
+    }
+    const bool up = sys_->network().IsPeerUp(holder);
+    auto cit = caches_.find(holder);
+    for (const ReplicaKey& k : keys) {
+      if (up && cit != caches_.end()) {
+        // Evict listener unsubscribes + retracts advertisements.
+        cit->second->Erase(k, /*invalidation=*/true);
+      }
+      // Flight-interest keys (and a crashed holder's entries) have no
+      // cache entry to fire the listener; unsubscribe is idempotent.
+      subscriptions_.Unsubscribe(k, holder);
+    }
+    ++subscription_stats_.lease_expiries;
+    if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+      tr->Record("replica", "lease_expire", holder, 0, 0,
+                 StrCat("origin ", origin.ToString()));
+    }
+    it = lease_deadlines_.erase(it);
+  }
+  // Renewals: every up holder re-registers at every origin it is
+  // subscribed to, one lossy message per (origin, holder) pair. The
+  // arrival re-arms the deadline and re-subscribes whatever fresh
+  // entries the holder still has resident — repairing an expiry that
+  // fired while renewals were being lost.
+  for (const auto& pair : live) {
+    const PeerId origin = pair.first;
+    const PeerId holder = pair.second;
+    if (lease_deadlines_.count(pair) == 0) continue;  // just expired
+    if (!sys_->network().IsPeerUp(holder) ||
+        !sys_->network().IsPeerUp(origin)) {
+      continue;
+    }
+    sys_->network().Send(
+        holder, origin, kLeaseMsgBytes, [this, origin, holder] {
+          ++subscription_stats_.lease_renewals;
+          lease_deadlines_[{origin, holder}] =
+              sys_->loop().now() + lease_ttl_;
+          subscription_stats_.sweep_resubscribes +=
+              ResubscribeResident(holder, origin);
+        });
+  }
+}
+
+size_t ReplicaManager::ResubscribeResident(PeerId holder, PeerId origin) {
+  auto cit = caches_.find(holder);
+  if (cit == caches_.end()) return 0;
+  TransferCache* cache = cit->second.get();
+  size_t added = 0;
+  for (const ReplicaKey& k : cache->Keys()) {
+    if (k.origin != origin) continue;
+    if (!k.is_shard_data()) {
+      // Whole-document and manifest entries re-subscribe only while
+      // fresh — a stale entry is about to be reconciled away, and
+      // subscribing it would re-invite pushes for content the holder
+      // no longer serves.
+      const TransferCache::Entry* e = cache->Peek(k);
+      if (e == nullptr || e->origin_version != Version(origin, k.name)) {
+        continue;
+      }
+    }
+    if (!subscriptions_.IsSubscribed(k, holder)) {
+      subscriptions_.Subscribe(k, holder);
+      ++added;
+    }
+  }
+  return added;
+}
+
+size_t ReplicaManager::RunAntiEntropySweep() {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  if (sys_ == nullptr) return 0;
+  size_t repairs = 0;
+  for (const auto& [holder, cache] : caches_) {
+    if (!sys_->network().IsPeerUp(holder)) continue;
+    repairs += ReconcileHolder(holder);
+  }
+  return repairs;
+}
+
+size_t ReplicaManager::ReconcileHolder(PeerId holder) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  if (sys_ == nullptr) return 0;
+  auto cit = caches_.find(holder);
+  if (cit == caches_.end()) return 0;
+  TransferCache* cache = cit->second.get();
+  Peer* dest = sys_->peer(holder);
+
+  // Group the holder's resident keys by document.
+  std::map<ReplicaKey, std::vector<ReplicaKey>> docs;
+  std::set<PeerId> origins;
+  for (const ReplicaKey& k : cache->Keys()) {
+    docs[ReplicaKey{k.origin, k.name}].push_back(k);
+    origins.insert(k.origin);
+  }
+
+  size_t repairs = 0;
+  for (const auto& [doc, keys] : docs) {
+    const uint64_t current = Version(doc.origin, doc.name);
+    // Shard ids the origin's *current* split references; resident data
+    // shards outside this set are orphans no future manifest will name.
+    std::set<std::string> live;
+    if (const ShardedDocument* sd = OriginShards(doc.origin, doc.name)) {
+      for (const DocumentShard& s : sd->shards) {
+        live.insert(s.id.ToString());
+      }
+    }
+    bool dropped_doc = false;
+    for (const ReplicaKey& k : keys) {
+      const TransferCache::Entry* e = cache->Peek(k);
+      if (e == nullptr) continue;  // evicted by an earlier repair
+      const bool stale = k.is_shard_data()
+                             ? live.count(k.shard) == 0
+                             : e->origin_version != current;
+      if (!stale) continue;
+      // Evict listener unsubscribes + retracts advertisements.
+      cache->Erase(k, /*invalidation=*/true);
+      ++repairs;
+      ++subscription_stats_.sweep_repairs;
+      if (!k.is_shard_data()) dropped_doc = true;
+      if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+        tr->Record("replica", "repair", holder, e->bytes, 0, k.ToString());
+      }
+    }
+    // Surviving fresh complete copies whose name slot is free are
+    // re-installed and re-advertised — a rejoining durable cache kept
+    // the content but lost its installation at crash time.
+    if (dest != nullptr) {
+      const TransferCache::Entry* whole = cache->Peek(doc);
+      if (whole != nullptr && whole->origin_version == current) {
+        InstallAndAdvertise(holder, doc.origin, doc.name,
+                            whole->tree->Clone(dest->gen()));
+      } else if (const TransferCache::Entry* m =
+                     cache->Peek(ManifestKey(doc.origin, doc.name));
+                 m != nullptr && m->origin_version == current) {
+        std::map<std::string, TreePtr> parts;
+        bool complete = true;
+        for (const std::string& id : ManifestShardIds(*m->tree)) {
+          const TransferCache::Entry* e =
+              cache->Peek(ReplicaKey{doc.origin, doc.name, id});
+          if (e == nullptr) {
+            complete = false;
+            break;
+          }
+          parts[id] = e->tree;
+        }
+        if (complete) {
+          TreePtr assembled = AssembleDocument(
+              *m->tree,
+              [&parts](const std::string& id) -> TreePtr {
+                auto p = parts.find(id);
+                return p == parts.end() ? nullptr : p->second;
+              },
+              dest->gen());
+          if (assembled != nullptr) {
+            InstallAndAdvertise(holder, doc.origin, doc.name,
+                                std::move(assembled));
+          }
+        }
+      }
+    }
+    // A dropped stale copy re-materializes eagerly under kEagerRefresh,
+    // exactly as a mutation-time drop would have.
+    if (dropped_doc && refresh_policy_ == RefreshPolicy::kEagerRefresh &&
+        StartRefresh(holder, doc, /*attempt=*/0)) {
+      subscriptions_.Subscribe(doc, holder);
+    }
+  }
+
+  // Repair origin-side subscription state and charge the digest
+  // exchange: one control roundtrip per (holder, origin) pair compared.
+  for (PeerId origin : origins) {
+    subscription_stats_.sweep_resubscribes +=
+        ResubscribeResident(holder, origin);
+    if (origin == holder || !sys_->network().IsPeerUp(origin)) continue;
+    const SimTime delay =
+        sys_->network().EstimateTransferTime(holder, origin,
+                                             kLeaseMsgBytes) +
+        sys_->network().EstimateTransferTime(origin, holder,
+                                             kLeaseMsgBytes);
+    sys_->network().ControlRoundtrip(holder, origin, 2, 2 * kLeaseMsgBytes,
+                                     delay, [] {});
+  }
+  return repairs;
+}
+
+void ReplicaManager::OnPeerCrash(PeerId peer, CrashMode mode) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_CHECK(sys_ != nullptr);
+  if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+    tr->Record("replica", "crash", peer, 0, 0,
+               mode == CrashMode::kLoseCache ? "lose_cache"
+                                             : "durable_cache");
+  }
+  // In-flight shipments toward the crashed holder will never land (the
+  // payload evaporates on arrival at a down peer); cancel their tokens
+  // so a post-rejoin relaunch starts clean, and end the flight
+  // interest.
+  for (auto it = refresh_inflight_.begin();
+       it != refresh_inflight_.end();) {
+    if (it->first.first == peer) {
+      subscriptions_.Unsubscribe(it->first.second, peer);
+      it = refresh_inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (mode == CrashMode::kLoseCache) {
+    // The cache dies with the process; evict listeners retract every
+    // entry's advertisements and subscriptions.
+    if (auto cit = caches_.find(peer); cit != caches_.end()) {
+      cit->second->Clear();
+    }
+  }
+  // Durable mode keeps the cache, but a down peer must never be
+  // routable: every installed copy's advertisements go now. Collect
+  // first — RetractAdvertisements mutates installed_. Origin-side
+  // subscriptions survive (the origin has not heard of the crash);
+  // PushInvalidate skips the down holder and leases or rejoin clean up.
+  std::vector<ReplicaKey> installed;
+  for (const auto& [slot, origin] : installed_) {
+    if (slot.first == peer) {
+      installed.push_back(ReplicaKey{origin, slot.second});
+    }
+  }
+  for (const ReplicaKey& k : installed) {
+    RetractAdvertisements(peer, k);
+  }
+}
+
+void ReplicaManager::OnPeerRejoin(PeerId peer) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  AXML_CHECK(sys_ != nullptr);
+  if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+    tr->Record("replica", "rejoin", peer, 0, 0, "");
+  }
+  // Reconcile the surviving cache against every origin *before* the
+  // peer serves anything: stale entries drop, fresh complete copies
+  // re-install and re-advertise, subscriptions repair. A rejoining
+  // peer can never serve the state it crashed with unverified.
+  ReconcileHolder(peer);
+}
+
+void ReplicaManager::OnNotifyDelivered(PeerId origin, PeerId holder) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  auto cit = caches_.find(holder);
+  if (cit == caches_.end()) return;  // late notify, holder has nothing
+  TransferCache* cache = cit->second.get();
+  // Collect first: Erase fires the evict listener, which mutates the
+  // cache's key set.
+  std::vector<ReplicaKey> stale;
+  for (const ReplicaKey& k : cache->Keys()) {
+    if (k.origin != origin || k.is_shard_data()) continue;
+    const TransferCache::Entry* e = cache->Peek(k);
+    if (e != nullptr && e->origin_version != Version(origin, k.name)) {
+      stale.push_back(k);
+    }
+  }
+  for (const ReplicaKey& k : stale) {
+    cache->Erase(k, /*invalidation=*/true);
+    ++subscription_stats_.notify_repairs;
+    if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
+      tr->Record("replica", "notify_repair", holder, 0, 0, k.ToString());
+    }
+  }
 }
 
 }  // namespace axml

@@ -84,6 +84,17 @@ namespace axml {
 class AxmlSystem;
 class Tracer;
 
+/// What a simulated peer crash does to the peer's replica cache.
+enum class CrashMode {
+  /// The cache dies with the process: every entry is wiped (evict
+  /// listeners retract advertisements and subscriptions as usual).
+  kLoseCache,
+  /// The cache survives on disk. Its entries may rot while the peer is
+  /// down — rejoin reconciles them against every origin before anything
+  /// is re-advertised.
+  kDurableCache,
+};
+
 /// Counters for the sharded-replication paths (bench_sharding reports
 /// these; cumulative since the last ResetStats).
 struct ShardStats {
@@ -155,6 +166,87 @@ class ReplicaManager {
     return subscription_stats_;
   }
   const SubscriptionTable& subscriptions() const { return subscriptions_; }
+
+  // --- Fault tolerance (leases, retry, anti-entropy, churn) ---
+  //
+  // Everything in this block is off by default and, when off, leaves a
+  // run byte-identical to a manager without it — the soak harness pins
+  // that. The perfect-fabric coherence story never needed it: copy
+  // drops are synchronous with the mutation, so no read can see stale
+  // content. Under injected faults and peer churn the *origin-side*
+  // state (subscriptions, in-flight shipments) and a crashed holder's
+  // durable cache can diverge; leases, bounded shipment retry and the
+  // anti-entropy sweep bound how long that divergence lives.
+
+  /// Leased subscriptions: every `renew_interval_s` of virtual time each
+  /// up holder re-registers its interest at every origin it holds copies
+  /// of (one kLeaseMsgBytes message per (holder, origin) pair, lossy);
+  /// an origin that heard nothing from a holder for `ttl_s` expires the
+  /// lease — the holder's subscriptions are forgotten, and an *up*
+  /// holder also drops its lapsed entries (the lease contract: a holder
+  /// that cannot renew stops serving; a crashed holder's cache is left
+  /// for rejoin-time reconciliation). Runs off EventLoop::AddPeriodic,
+  /// so an idle loop still quiesces. 0/0 (the default) disables leases
+  /// and clears all deadlines. Requires a bound system.
+  void ConfigureLeases(SimTime renew_interval_s, SimTime ttl_s);
+  SimTime lease_renew_interval() const { return lease_renew_interval_; }
+  SimTime lease_ttl() const { return lease_ttl_; }
+
+  /// Bounded retry-with-backoff for refresh/placement shipments: when
+  /// `max_attempts` > 0, every launched shipment arms a timeout of
+  /// 3 x the estimated transfer time + `backoff_base_s` x attempt
+  /// number; a shipment whose landing never fired (dropped by the fault
+  /// injector or a crashed endpoint) is relaunched up to `max_attempts`
+  /// total attempts, then the holder falls back to lazy pulls
+  /// (SubscriptionStats::dropped_to_lazy). Default: off — a dropped
+  /// shipment would just never land.
+  void set_shipment_retry(int max_attempts, SimTime backoff_base_s);
+  int shipment_retry_attempts() const { return ship_max_attempts_; }
+
+  /// Periodic anti-entropy: every `interval_s` of virtual time, every up
+  /// holder reconciles its cache against the origins (ReconcileHolder),
+  /// charging one control roundtrip per (holder, origin) pair. 0 (the
+  /// default) disables the tick; RunAntiEntropySweep stays callable
+  /// manually. Requires a bound system.
+  void set_anti_entropy_interval(SimTime interval_s);
+  SimTime anti_entropy_interval() const { return anti_entropy_interval_; }
+
+  /// One sweep over every up holder's cache. Returns entries repaired
+  /// (stale or orphaned entries dropped).
+  size_t RunAntiEntropySweep();
+
+  /// Reconciles one holder's cache against current origin state,
+  /// shard-granularly: stale whole-document and manifest entries (origin
+  /// version moved on) and orphaned data shards (no longer referenced by
+  /// the origin's current split) are dropped; surviving fresh entries
+  /// are re-subscribed at the origin (repairing subscriptions lost to
+  /// lease expiry or crash) and a complete fresh copy whose local name
+  /// slot is free is re-installed and re-advertised. Under
+  /// kEagerRefresh, dropped stale copies start a re-materializing
+  /// shipment. Charges one control roundtrip per (holder, origin) pair
+  /// compared. Returns entries dropped.
+  size_t ReconcileHolder(PeerId holder);
+
+  /// Peer-churn hooks (AxmlSystem::CrashPeer/RejoinPeer call these after
+  /// flipping the Network's liveness bit). Crash cancels in-flight
+  /// shipments toward the peer, retracts every advertisement of its
+  /// installed copies (a down peer must never be routable), and under
+  /// kLoseCache wipes its transfer cache. Origin-side subscriptions of a
+  /// durable-cache peer survive — leases or rejoin clean them up.
+  void OnPeerCrash(PeerId peer, CrashMode mode);
+  /// Rejoin reconciles the surviving cache (ReconcileHolder) before
+  /// anything is re-advertised — a rejoining peer can never serve the
+  /// stale state it crashed with.
+  void OnPeerRejoin(PeerId peer);
+
+  /// Arrival hook of an invalidation notification (wired as SendNotify's
+  /// delivery callback): drops whatever stale whole-document/manifest
+  /// entries of `origin` the holder still has. On a perfect fabric this
+  /// is always a no-op — PushInvalidate dropped them synchronously at
+  /// mutation time — and a notification arriving late (holder already
+  /// dropped the doc, or crashed and rejoined at a newer version) is
+  /// tolerated the same way: a no-op, never an abort.
+  void OnNotifyDelivered(PeerId origin, PeerId holder);
 
   // --- Notification batching ---
 
@@ -452,10 +544,12 @@ class ReplicaManager {
   /// Ships the origin's current version of `key` to `holder`; the copy
   /// re-enters the cache (and its advertisements) when it lands. Folds
   /// into an already in-flight shipment; respects the refresh budget.
-  /// `retry` marks a catch-up shipment after a mid-flight mutation.
-  /// Returns true when a shipment is (now) in flight for the pair —
-  /// false means nothing will land (budget denied, document removed).
-  bool StartRefresh(PeerId holder, const ReplicaKey& key, bool retry);
+  /// `attempt` > 0 marks a catch-up shipment after a mid-flight
+  /// mutation; the chain is capped at kMaxCatchupAttempts, after which
+  /// the holder falls back to lazy pulls (catchup_exhausted). Returns
+  /// true when a shipment is (now) in flight for the pair — false means
+  /// nothing will land (budget denied, document removed).
+  bool StartRefresh(PeerId holder, const ReplicaKey& key, int attempt);
 
   /// Executes one planned placement seeding through the same in-flight
   /// machinery StartRefresh uses (one shipment per (holder, key) pair on
@@ -475,12 +569,24 @@ class ReplicaManager {
   /// silently discarded before `on_land`. Returns false when nothing
   /// launched (missing peer or document, service calls frozen, admit
   /// veto). Precondition: no shipment in flight for (holder, key).
+  /// `attempt` counts retransmissions when shipment retry is on
+  /// (set_shipment_retry): a launch arms a timeout that relaunches the
+  /// same admit/on_land pair — re-admitted, the retry is real wire
+  /// traffic — until the attempt cap, then unsubscribes the holder
+  /// (dropped_to_lazy).
   bool LaunchShipment(
       PeerId holder, const ReplicaKey& key,
       const std::function<bool(uint64_t bytes)>& admit,
       std::function<void(const ShipmentPayload& payload,
                          uint64_t snap_version, uint64_t bytes)>
-          on_land);
+          on_land,
+      int attempt = 0);
+
+  /// The lease tick body (renewals + expiries), and a helper shared
+  /// with reconciliation that re-subscribes a holder's resident fresh
+  /// entries of `origin`, returning how many were newly subscribed.
+  void LeaseTick();
+  size_t ResubscribeResident(PeerId holder, PeerId origin);
 
   SequenceChecker sequence_checker_;
   /// (owner, name) keys whose NoteMutation fan-out is running right now.
@@ -512,6 +618,19 @@ class ReplicaManager {
   /// Misses by peers that never cached anything (LookupFresh must not
   /// allocate a cache just to count one); folded into TotalStats.
   uint64_t uncached_misses_ = 0;
+
+  // Fault-tolerance knobs (all off by default; see the public block).
+  SimTime lease_renew_interval_ = 0;
+  SimTime lease_ttl_ = 0;
+  uint64_t lease_tick_id_ = 0;  ///< EventLoop periodic id; 0 = none
+  /// (origin, holder) -> virtual time the lease lapses. Granted lazily
+  /// on first sight of a subscription pair, re-armed by each renewal
+  /// arrival.
+  std::map<std::pair<PeerId, PeerId>, SimTime> lease_deadlines_;
+  int ship_max_attempts_ = 0;
+  SimTime ship_backoff_base_s_ = 0;
+  SimTime anti_entropy_interval_ = 0;
+  uint64_t anti_entropy_tick_id_ = 0;
 
   PlacementPolicy placement_;
   PlacementStats placement_stats_;

@@ -24,7 +24,17 @@ std::string SubscriptionStats::ToString() const {
                 " batched=", batched, " drops=", drops,
                 " refreshes=", refreshes, " refresh_bytes=", refresh_bytes,
                 " coalesced=", coalesced, " retries=", retries,
-                " budget_denied=", budget_denied);
+                " budget_denied=", budget_denied,
+                " lease_renewals=", lease_renewals,
+                " lease_expiries=", lease_expiries,
+                " catchup_exhausted=", catchup_exhausted,
+                " ship_timeouts=", ship_timeouts,
+                " ship_retries=", ship_retries,
+                " dropped_to_lazy=", dropped_to_lazy,
+                " sweep_repairs=", sweep_repairs,
+                " sweep_resubscribes=", sweep_resubscribes,
+                " notify_repairs=", notify_repairs,
+                " down_skips=", down_skips);
 }
 
 void SubscriptionStats::ExportMetrics(MetricSink& sink) const {
@@ -39,6 +49,16 @@ void SubscriptionStats::ExportMetrics(MetricSink& sink) const {
   sink.Value("coalesced", coalesced);
   sink.Value("retries", retries);
   sink.Value("budget_denied", budget_denied);
+  sink.Value("lease_renewals", lease_renewals);
+  sink.Value("lease_expiries", lease_expiries);
+  sink.Value("catchup_exhausted", catchup_exhausted);
+  sink.Value("ship_timeouts", ship_timeouts);
+  sink.Value("ship_retries", ship_retries);
+  sink.Value("dropped_to_lazy", dropped_to_lazy);
+  sink.Value("sweep_repairs", sweep_repairs);
+  sink.Value("sweep_resubscribes", sweep_resubscribes);
+  sink.Value("notify_repairs", notify_repairs);
+  sink.Value("down_skips", down_skips);
 }
 
 void SubscriptionTable::Subscribe(const ReplicaKey& key, PeerId holder) {
@@ -94,6 +114,12 @@ size_t SubscriptionTable::subscription_count() const {
   size_t n = 0;
   for (const auto& [key, v] : holders_) n += v.size();
   return n;
+}
+
+const std::map<ReplicaKey, std::vector<PeerId>>& SubscriptionTable::entries()
+    const {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  return holders_;
 }
 
 }  // namespace axml

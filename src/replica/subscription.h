@@ -76,6 +76,35 @@ struct SubscriptionStats {
   /// Eager refreshes denied by the per-holder byte budget (the copy
   /// stays dropped; the next read re-pulls lazily).
   uint64_t budget_denied = 0;
+  /// Lease renewals that reached the origin (ReplicaManager::
+  /// ConfigureLeases; each arrival re-arms the holder's deadline).
+  uint64_t lease_renewals = 0;
+  /// (origin, holder) leases that expired: the origin forgot a silent
+  /// holder's subscriptions (an up holder also self-invalidates its
+  /// lapsed copies — the lease contract).
+  uint64_t lease_expiries = 0;
+  /// Catch-up chains cut off at the attempt cap: the origin kept moving
+  /// while shipments were in flight; the holder fell back to lazy.
+  uint64_t catchup_exhausted = 0;
+  /// Shipments whose landing never fired within the retry timeout
+  /// (dropped by the fault injector or a crashed endpoint).
+  uint64_t ship_timeouts = 0;
+  /// Timed-out shipments relaunched (bounded retry-with-backoff).
+  uint64_t ship_retries = 0;
+  /// Holders dropped back to lazy pulls after shipment retries ran out.
+  uint64_t dropped_to_lazy = 0;
+  /// Stale or orphaned cache entries removed by anti-entropy
+  /// reconciliation (periodic sweep or rejoin).
+  uint64_t sweep_repairs = 0;
+  /// Resident fresh entries re-subscribed by reconciliation or a lease
+  /// renewal (repairing origin-side state lost to expiry or crash).
+  uint64_t sweep_resubscribes = 0;
+  /// Stale entries a late-arriving notification cleaned up — on a
+  /// perfect fabric always 0 (invalidation drops are synchronous).
+  uint64_t notify_repairs = 0;
+  /// Mutation fan-outs that skipped a crashed holder (its cache is
+  /// unreachable; reconciliation repairs it at rejoin).
+  uint64_t down_skips = 0;
 
   std::string ToString() const;
 
@@ -117,6 +146,11 @@ class SubscriptionTable {
   /// Total (key, holder) pairs across all keys.
   size_t subscription_count() const;
 
+  /// Read-only view of the whole table, in key order (the lease tick
+  /// derives live (origin, holder) pairs from it; deterministic
+  /// iteration order matters there).
+  const std::map<ReplicaKey, std::vector<PeerId>>& entries() const;
+
  private:
   SequenceChecker sequence_checker_;
   std::map<ReplicaKey, std::vector<PeerId>> holders_
@@ -130,6 +164,10 @@ constexpr uint64_t kNotifyMsgBytes = 48;
 /// notification: a message invalidating n keys of one (origin, holder)
 /// pair costs kNotifyMsgBytes + (n-1) * kNotifyKeyBytes.
 constexpr uint64_t kNotifyKeyBytes = 16;
+
+/// Wire size of one lease-renewal message (holder -> origin) and of one
+/// anti-entropy digest message (per direction of the roundtrip).
+constexpr uint64_t kLeaseMsgBytes = 24;
 
 }  // namespace axml
 

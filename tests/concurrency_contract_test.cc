@@ -193,6 +193,50 @@ TEST_F(ReplicaManagerDeathTest, SameKeyMutationCycleAborts) {
       "same-key mutation cycle");
 }
 
+TEST(ReplicaManagerContractTest, CrashRejoinChurnNestsLegally) {
+  // Churn drives the same nesting the guards must keep legal: the
+  // crash-time retraction removes the holder's installed copy, firing
+  // the holder's mutation listener inside OnPeerCrash; rejoin-time
+  // reconciliation re-installs and re-advertises inside OnPeerRejoin;
+  // and a notification committed to the wire before the crash lands
+  // after the rejoin, at a holder whose state has moved on — a
+  // tolerated no-op, never an abort.
+  AxmlSystem sys;
+  PeerId owner = sys.AddPeer("owner");
+  PeerId reader = sys.AddPeer("reader");
+  NodeIdGen gen;
+  TreePtr t = MakeTextElement("r", "x", &gen);
+  ASSERT_TRUE(sys.InstallDocument(owner, "d", t->CloneSameIds()).ok());
+  ASSERT_TRUE(sys.replicas().InsertCopy(reader, owner, "d",
+                                        t->Clone(sys.peer(reader)->gen()),
+                                        sys.replicas().Version(owner, "d")));
+  // The notify is committed to the wire here; the synchronous push-drop
+  // already removed reader's copy.
+  sys.peer(owner)->PutDocument("d",
+                               MakeTextElement("r", "y", sys.peer(owner)->gen()));
+  sys.CrashPeer(reader, CrashMode::kDurableCache);
+  sys.RejoinPeer(reader);
+  sys.RunToQuiescence();  // the late notify lands post-rejoin: no-op
+
+  // Round two: the holder crashes with a copy resident, the origin
+  // moves on while it is down (the fan-out skips it), and the rejoin
+  // reconciliation must drop the stale survivor before it can serve.
+  ASSERT_TRUE(sys.replicas().InsertCopy(reader, owner, "d",
+                                        sys.peer(owner)
+                                            ->GetDocument("d")
+                                            ->Clone(sys.peer(reader)->gen()),
+                                        sys.replicas().Version(owner, "d")));
+  sys.CrashPeer(reader, CrashMode::kDurableCache);
+  sys.peer(owner)->PutDocument("d",
+                               MakeTextElement("r", "z", sys.peer(owner)->gen()));
+  sys.RunToQuiescence();
+  EXPECT_GT(sys.replicas().subscription_stats().down_skips, 0u);
+  sys.RejoinPeer(reader);
+  sys.RunToQuiescence();
+  EXPECT_FALSE(sys.replicas().HasFresh(reader, owner, "d"));
+  EXPECT_GT(sys.replicas().subscription_stats().sweep_repairs, 0u);
+}
+
 // --- LabelInterner: genuinely shared process-wide state ---
 
 TEST(LabelInternerConcurrencyTest, ConcurrentInterningIsConsistent) {

@@ -244,10 +244,13 @@ TEST(NetStatsTest, ResetClearsEveryCounterPairAndHistogram) {
   NetStats s;
   s.Record(PeerId(0), PeerId(1), 100);
   s.Record(PeerId(2), PeerId(2), 50);
-  s.RecordControl(3, 192);
+  s.RecordControl(3, 192);  // feeds the histogram too: 3 x 64 bytes
   s.RecordNotify(PeerId(1), PeerId(0), 48);
+  s.RecordDrop(100);
   ASSERT_EQ(s.total_messages(), 3u);
-  ASSERT_EQ(s.message_bytes_histogram().count(), 3u);
+  ASSERT_EQ(s.message_bytes_histogram().count(), 6u);
+  ASSERT_EQ(s.dropped_messages(), 1u);
+  ASSERT_EQ(s.dropped_bytes(), 100u);
 
   s.Reset();
 
@@ -259,6 +262,8 @@ TEST(NetStatsTest, ResetClearsEveryCounterPairAndHistogram) {
   EXPECT_EQ(s.control_bytes(), 0u);
   EXPECT_EQ(s.notify_messages(), 0u);
   EXPECT_EQ(s.notify_bytes(), 0u);
+  EXPECT_EQ(s.dropped_messages(), 0u);
+  EXPECT_EQ(s.dropped_bytes(), 0u);
   EXPECT_EQ(s.Pair(PeerId(0), PeerId(1)).messages, 0u);
   EXPECT_EQ(s.Pair(PeerId(0), PeerId(1)).bytes, 0u);
   EXPECT_EQ(s.Pair(PeerId(1), PeerId(0)).messages, 0u);
@@ -288,12 +293,37 @@ TEST(NetworkTest, ControlRoundtrip) {
   EventLoop loop;
   Network net(&loop, Topology(LinkParams{0.001, 1e6}));
   bool done = false;
-  net.ControlRoundtrip(3, 192, 0.25, [&] { done = true; });
+  net.ControlRoundtrip(PeerId(0), PeerId(1), 3, 192, 0.25,
+                       [&] { done = true; });
   loop.Run();
   EXPECT_TRUE(done);
+  // The exchange's own delay (0.25) dominates this link's transmit +
+  // latency, so completion lands exactly at the catalog's estimate.
   EXPECT_DOUBLE_EQ(loop.now(), 0.25);
   EXPECT_EQ(net.stats().control_messages(), 3u);
   EXPECT_EQ(net.stats().control_bytes(), 192u);
+  // Control traffic now feeds the shared message-size histogram
+  // (192 bytes over 3 messages = 64 each) and the anchor link's FIFO.
+  EXPECT_EQ(net.stats().message_bytes_histogram().count(), 3u);
+  EXPECT_EQ(net.stats().message_bytes_histogram().sum(), 192u);
+}
+
+TEST(NetworkTest, ControlRoundtripQueuesBehindAnchorLink) {
+  // Pre-PR the roundtrip was a bare ScheduleAt and ignored link
+  // occupancy; now it routes through the same per-link FIFO as data.
+  EventLoop loop;
+  Network net(&loop, Topology(LinkParams{0.001, 1e3}));  // 1 KB/s: slow
+  bool data = false;
+  bool control = false;
+  net.Send(PeerId(0), PeerId(1), 1000, [&] { data = true; });  // 1 s transmit
+  net.ControlRoundtrip(PeerId(0), PeerId(1), 2, 64, 0.01,
+                       [&] { control = true; });
+  loop.Run();
+  EXPECT_TRUE(data);
+  EXPECT_TRUE(control);
+  // The control exchange starts only after the 1 s data transmit frees
+  // the 0->1 link: 1.0 (queue) + max(64/1e3 + 0.001, 0.01) = 1.065.
+  EXPECT_DOUBLE_EQ(loop.now(), 1.0 + 0.065);
 }
 
 // --- Catalogs ---

@@ -35,6 +35,7 @@
 #include "algebra/evaluator.h"
 #include "common/rng.h"
 #include "net/catalog.h"
+#include "net/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "peer/system.h"
@@ -72,12 +73,27 @@ TreePtr MakeDoc(const SoakDoc& doc, NodeIdGen* gen) {
   return root;
 }
 
+/// What the soak's network fabric does underneath the workload.
+enum class FaultMode {
+  kNone,          ///< perfect fabric, no injector attached
+  kIdleInjector,  ///< injector attached with an all-zero config — must be
+                  ///< byte-identical to kNone
+  kFaults,        ///< lossy links, a partition window, peer churn, plus
+                  ///< the repair machinery (leases, retries, sweep)
+};
+
 class SoakHarness {
  public:
   SoakHarness(EvictionPolicy eviction, RefreshPolicy refresh,
-              uint64_t seed, bool tick_placement = false)
+              uint64_t seed, bool tick_placement = false,
+              FaultMode fault_mode = FaultMode::kNone)
       : tick_placement_(tick_placement),
+        fault_mode_(fault_mode),
         rng_(seed),
+        // The injector's stream is independent of the workload's so a
+        // fault schedule never perturbs which ops the workload issues.
+        fault_rng_(seed ^ 0xFA17),
+        injector_(&fault_rng_),
         // Readers share a fast backbone; origin links cross a slow WAN.
         sys_(Topology::TwoClusters(
             kOrigins + kReaders, kOrigins,
@@ -113,6 +129,35 @@ class SoakHarness {
       // and refreshes below generate the activity that advances time.
       sys_.replicas().set_placement_tick_interval(0.5);
     }
+    if (fault_mode_ == FaultMode::kIdleInjector) {
+      // Attached but all-zero: the byte-identical contract under test.
+      sys_.network().set_fault_injector(&injector_);
+    } else if (fault_mode_ == FaultMode::kFaults) {
+      FaultConfig cfg;
+      cfg.loss_prob = 0.2;
+      cfg.spike_prob = 0.1;
+      cfg.spike_delay_s = 0.05;
+      cfg.reorder_prob = 0.1;
+      cfg.reorder_delay_s = 0.02;
+      injector_.set_config(cfg);
+      // One partition window islanding two readers mid-soak.
+      PartitionWindow w;
+      w.start_s = 5.0;
+      w.end_s = 12.0;
+      w.island = {readers_[0], readers_[1]};
+      injector_.AddPartition(w);
+      sys_.network().set_fault_injector(&injector_);
+      sys_.metrics().RegisterSource("net/fault", [this](MetricSink& sink) {
+        injector_.stats().ExportMetrics(sink);
+      });
+      // The repair machinery the faults are aimed at: leased
+      // subscriptions, bounded shipment retries, periodic anti-entropy.
+      sys_.replicas().ConfigureLeases(/*renew_interval_s=*/0.5,
+                                      /*ttl_s=*/2.0);
+      sys_.replicas().set_shipment_retry(/*max_attempts=*/3,
+                                         /*backoff_base_s=*/0.25);
+      sys_.replicas().set_anti_entropy_interval(2.0);
+    }
 
     for (size_t o = 0; o < kOrigins; ++o) {
       for (size_t d = 0; d < kDocsPerOrigin; ++d) {
@@ -139,8 +184,24 @@ class SoakHarness {
     Evaluator ev(&sys_, opts);
     ZipfSampler zipf(docs_.size(), 1.0);
     for (size_t i = 0; i < kSoakOps; ++i) {
+      if (fault_mode_ == FaultMode::kFaults) {
+        // Churn: one durable-cache crash and one cache-losing crash,
+        // each rejoining later in the soak.
+        if (i == kSoakOps / 3) {
+          sys_.CrashPeer(readers_[2], CrashMode::kDurableCache);
+        }
+        if (i == kSoakOps / 2) {
+          sys_.CrashPeer(readers_[3], CrashMode::kLoseCache);
+        }
+        if (i == 2 * kSoakOps / 3) sys_.RejoinPeer(readers_[2]);
+        if (i == 3 * kSoakOps / 4) sys_.RejoinPeer(readers_[3]);
+      }
       SoakDoc& doc = docs_[zipf.Sample(&rng_)];
       PeerId reader = readers_[rng_.Index(readers_.size())];
+      // A crashed peer issues nothing; re-draw the issuer.
+      while (!sys_.IsPeerUp(reader)) {
+        reader = readers_[rng_.Index(readers_.size())];
+      }
       // 70% direct doc@origin reads, 30% d@any resolutions.
       ExprPtr read = rng_.Bernoulli(0.7)
                          ? Expr::Doc(doc.name, doc.origin)
@@ -171,14 +232,44 @@ class SoakHarness {
       }
     }
     sys_.RunToQuiescence();
+    if (fault_mode_ == FaultMode::kFaults) {
+      // The reconciliation window: faults stop, everyone rejoins, one
+      // final sweep repairs whatever the schedule left behind. After it
+      // the perfect-fabric invariants must hold again, exactly.
+      EXPECT_GT(injector_.stats().dropped +
+                    injector_.stats().partition_dropped,
+                0u)
+          << "the fault schedule never actually dropped anything";
+      EXPECT_GT(sys_.network().stats().dropped_messages(), 0u);
+      sys_.network().set_fault_injector(nullptr);
+      for (PeerId reader : readers_) {
+        if (!sys_.IsPeerUp(reader)) sys_.RejoinPeer(reader);
+      }
+      sys_.RunToQuiescence();
+      sys_.replicas().RunAntiEntropySweep();
+      sys_.RunToQuiescence();
+      sys_.replicas().ConfigureLeases(0, 0);
+      sys_.replicas().set_anti_entropy_interval(0);
+    }
     CheckQuiescentMirror();
     CheckRegistryMirror(ev);
-    CheckTraceCascades();
+    // Under a fault schedule the span ring is dominated by drop/repair
+    // spans and a sampled cascade's tail may be missing a hop; the
+    // causal-chain assertions belong to the perfect fabric.
+    if (fault_mode_ != FaultMode::kFaults) CheckTraceCascades();
     if (tick_placement_) {
       // The tick actually drove placement: rounds ran without any
       // manual RunPlacement call.
       EXPECT_GT(sys_.replicas().placement_stats().shipments, 0u);
     }
+  }
+
+  /// Everything observable about the finished run, for the
+  /// byte-identical comparison: final virtual time, the full metric
+  /// snapshot, and the Σ fingerprint.
+  std::string RunDigest() {
+    return StrCat("t=", sys_.loop().now(), "\n", sys_.DumpMetrics(), "\n",
+                  sys_.StateFingerprint());
   }
 
  private:
@@ -287,6 +378,8 @@ class SoakHarness {
     EXPECT_EQ(snap.ValueOr("net/control_bytes"), ns.control_bytes());
     EXPECT_EQ(snap.ValueOr("net/notify_messages"), ns.notify_messages());
     EXPECT_EQ(snap.ValueOr("net/notify_bytes"), ns.notify_bytes());
+    EXPECT_EQ(snap.ValueOr("net/dropped_messages"), ns.dropped_messages());
+    EXPECT_EQ(snap.ValueOr("net/dropped_bytes"), ns.dropped_bytes());
     EXPECT_EQ(snap.ValueOr("net/msg_bytes/count"),
               ns.message_bytes_histogram().count());
     EXPECT_EQ(snap.ValueOr("net/msg_bytes/sum"),
@@ -328,8 +421,40 @@ class SoakHarness {
     EXPECT_EQ(snap.ValueOr("replica/subscription/coalesced"),
               ss.coalesced);
     EXPECT_EQ(snap.ValueOr("replica/subscription/retries"), ss.retries);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/budget_denied"),
+              ss.budget_denied);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/lease_renewals"),
+              ss.lease_renewals);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/lease_expiries"),
+              ss.lease_expiries);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/catchup_exhausted"),
+              ss.catchup_exhausted);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/ship_timeouts"),
+              ss.ship_timeouts);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/ship_retries"),
+              ss.ship_retries);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/dropped_to_lazy"),
+              ss.dropped_to_lazy);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/sweep_repairs"),
+              ss.sweep_repairs);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/sweep_resubscribes"),
+              ss.sweep_resubscribes);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/notify_repairs"),
+              ss.notify_repairs);
+    EXPECT_EQ(snap.ValueOr("replica/subscription/down_skips"),
+              ss.down_skips);
     EXPECT_EQ(snap.ValueOr("replica/subscriptions/active"),
               sys_.replicas().subscriptions().subscription_count());
+    if (fault_mode_ == FaultMode::kFaults) {
+      // The injector's own counters mount at net/fault.
+      const FaultStats& fs = injector_.stats();
+      EXPECT_EQ(snap.ValueOr("net/fault/judged"), fs.judged);
+      EXPECT_EQ(snap.ValueOr("net/fault/delivered"), fs.delivered);
+      EXPECT_EQ(snap.ValueOr("net/fault/dropped"), fs.dropped);
+      EXPECT_EQ(snap.ValueOr("net/fault/partition_dropped"),
+                fs.partition_dropped);
+      EXPECT_EQ(snap.ValueOr("net/fault/delayed"), fs.delayed);
+    }
 
     const ShardStats& hs = sys_.replicas().shard_stats();
     EXPECT_EQ(snap.ValueOr("replica/shard/sharded_reads"),
@@ -457,7 +582,10 @@ class SoakHarness {
   }
 
   bool tick_placement_;
+  FaultMode fault_mode_;
   Rng rng_;
+  Rng fault_rng_;
+  FaultInjector injector_;
   AxmlSystem sys_;
   std::vector<PeerId> origins_;
   std::vector<PeerId> readers_;
@@ -486,6 +614,51 @@ INSTANTIATE_TEST_SUITE_P(
       return StrCat(EvictionPolicyName(std::get<0>(param_info.param)), "_",
                     RefreshPolicyName(std::get<1>(param_info.param)));
     });
+
+// The full soak under an adversarial fault schedule: 20% loss, delay
+// spikes, reordering, a partition window islanding two readers, two
+// crashes (one durable, one cache-losing) with later rejoins, leases,
+// bounded shipment retry, and a periodic anti-entropy sweep.  The
+// per-op stale assert stays ON throughout: the coherence contract must
+// survive churn, and after the reconciliation finale every mirror
+// invariant must hold exactly as on the perfect fabric.
+class ReplicaSoakFaultTest : public ::testing::TestWithParam<PolicyPair> {};
+
+TEST_P(ReplicaSoakFaultTest, NoStaleReadSurvivesTheFaultSchedule) {
+  const auto [eviction, refresh] = GetParam();
+  SoakHarness harness(eviction, refresh, TestSeed(0xFA17),
+                      /*tick_placement=*/false, FaultMode::kFaults);
+  harness.Run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultGrid, ReplicaSoakFaultTest,
+    ::testing::Combine(::testing::Values(EvictionPolicy::kLru,
+                                         EvictionPolicy::kLfu,
+                                         EvictionPolicy::kCostAware),
+                       ::testing::Values(RefreshPolicy::kLazy,
+                                         RefreshPolicy::kDrop,
+                                         RefreshPolicy::kEagerRefresh)),
+    [](const ::testing::TestParamInfo<PolicyPair>& param_info) {
+      return StrCat(EvictionPolicyName(std::get<0>(param_info.param)), "_",
+                    RefreshPolicyName(std::get<1>(param_info.param)));
+    });
+
+// An attached-but-idle injector must not perturb the simulation: same
+// seed, same ops, and the final virtual time, every exported metric,
+// and every peer's state fingerprint are byte-identical to a run with
+// no injector at all.
+TEST(ReplicaSoakFaultOffTest, IdleInjectorIsByteIdenticalToNoInjector) {
+  SoakHarness plain(EvictionPolicy::kLru, RefreshPolicy::kDrop,
+                    TestSeed(0x1DE0), /*tick_placement=*/false,
+                    FaultMode::kNone);
+  SoakHarness idle(EvictionPolicy::kLru, RefreshPolicy::kDrop,
+                   TestSeed(0x1DE0), /*tick_placement=*/false,
+                   FaultMode::kIdleInjector);
+  plain.Run();
+  idle.Run();
+  EXPECT_EQ(plain.RunDigest(), idle.RunDigest());
+}
 
 // The same soak with placement driven by the event-loop tick instead of
 // manual rounds: every invariant must hold, and the tick must actually
