@@ -3,42 +3,142 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace axml {
 
-void Catalog::Register(ResourceKind kind, const std::string& name,
-                       PeerId holder) {
+namespace {
+
+// Deterministic 64-bit mixer (splitmix64): ring points must not depend
+// on process state, so equal seeds give equal rings.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over the key string, finished through the mixer so nearby names
+// spread over the ring.
+uint64_t HashKey(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+// Clockwise ring distance from `a` to `b` (unsigned wraparound).
+uint64_t RingDist(uint64_t a, uint64_t b) { return b - a; }
+
+}  // namespace
+
+void CatalogStats::ExportMetrics(MetricSink& sink) const {
+  sink.Value("lookups", lookups);
+  sink.Value("lookup_messages", lookup_messages);
+  sink.Value("lookup_bytes", lookup_bytes);
+  sink.Value("advertise_messages", advertise_messages);
+  sink.Value("advertise_bytes", advertise_bytes);
+  sink.Value("advertise_deltas", advertise_deltas);
+  sink.Value("advertise_noops", advertise_noops);
+}
+
+void CatalogBackend::Register(ResourceKind kind, const std::string& name,
+                              PeerId holder) {
   auto& v = entries_[MapKey(kind, name)];
-  if (std::find(v.begin(), v.end(), holder) == v.end()) v.push_back(holder);
+  if (std::find(v.begin(), v.end(), holder) != v.end()) {
+    // Already advertised: the delta protocol makes this free.
+    ++stats_.advertise_noops;
+    return;
+  }
+  v.push_back(holder);
+  OnAdvertiseDelta(kind, name, holder, /*add=*/true);
 }
 
-void Catalog::Unregister(ResourceKind kind, const std::string& name,
-                         PeerId holder) {
+void CatalogBackend::Unregister(ResourceKind kind, const std::string& name,
+                                PeerId holder) {
   auto it = entries_.find(MapKey(kind, name));
-  if (it == entries_.end()) return;
+  if (it == entries_.end()) {
+    ++stats_.advertise_noops;
+    return;
+  }
   auto& v = it->second;
-  v.erase(std::remove(v.begin(), v.end(), holder), v.end());
+  auto pos = std::remove(v.begin(), v.end(), holder);
+  if (pos == v.end()) {
+    ++stats_.advertise_noops;
+    return;
+  }
+  v.erase(pos, v.end());
   if (v.empty()) entries_.erase(it);
+  OnAdvertiseDelta(kind, name, holder, /*add=*/false);
 }
 
-const std::vector<PeerId>* Catalog::Holders(ResourceKind kind,
-                                            const std::string& name) const {
+void CatalogBackend::OnAdvertiseDelta(ResourceKind kind,
+                                      const std::string& name, PeerId holder,
+                                      bool add) {
+  // Default: the delta happened but cost nothing on the wire (the seed's
+  // "registration is charged lazily on lookup" model).
+  (void)kind;
+  (void)name;
+  (void)holder;
+  (void)add;
+  RecordAdvertise(0, 0, 1);
+}
+
+void CatalogBackend::EndAdvertiseBatch() {
+  if (advertise_batch_depth_ == 0) return;
+  if (--advertise_batch_depth_ == 0) FlushAdvertiseBatch();
+}
+
+const std::vector<PeerId>* CatalogBackend::Holders(
+    ResourceKind kind, const std::string& name) const {
   auto it = entries_.find(MapKey(kind, name));
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-bool Catalog::IsAdvertised(ResourceKind kind, const std::string& name,
-                           PeerId holder) const {
+bool CatalogBackend::IsAdvertised(ResourceKind kind, const std::string& name,
+                                  PeerId holder) const {
   const std::vector<PeerId>* h = Holders(kind, name);
   return h != nullptr && std::find(h->begin(), h->end(), holder) != h->end();
 }
 
-size_t Catalog::HolderCount(ResourceKind kind,
-                            const std::string& name) const {
+size_t CatalogBackend::HolderCount(ResourceKind kind,
+                                   const std::string& name) const {
   const std::vector<PeerId>* h = Holders(kind, name);
   return h == nullptr ? 0 : h->size();
+}
+
+double CatalogBackend::MaxNodeLoadShare() const {
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (const auto& [node, n] : node_load_) {
+    (void)node;
+    total += n;
+    max = std::max(max, n);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(max) / static_cast<double>(total);
+}
+
+void CatalogBackend::ExportMetrics(MetricSink& sink) const {
+  stats_.ExportMetrics(sink);
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (const auto& [node, n] : node_load_) {
+    (void)node;
+    total += n;
+    max = std::max(max, n);
+  }
+  sink.Value("node_load_total", total);
+  sink.Value("node_load_max", max);
+}
+
+void CatalogBackend::ResetStats() {
+  stats_ = CatalogStats{};
+  node_load_.clear();
 }
 
 // --- CentralCatalog ---
@@ -61,10 +161,235 @@ LookupResult CentralCatalog::LookupNow(ResourceKind kind,
 void CentralCatalog::Lookup(ResourceKind kind, const std::string& name,
                             PeerId from, Network* net, LookupCallback cb) {
   LookupResult r = LookupNow(kind, name, from, *net);
+  RecordLookup(r.messages, r.bytes);
+  // The server handles the request; the requester receiving its own
+  // response is not load.
+  AddNodeLoad(server_);
   // The exchange is anchored on the requester->server link, so it queues
   // behind (and is judged with) that link's data traffic.
   net->ControlRoundtrip(from, server_, r.messages, r.bytes, r.delay_s,
                         [cb = std::move(cb), r] { cb(r); });
+}
+
+// --- ChordDhtCatalog ---
+
+uint64_t ChordDhtCatalog::PeerPoint(uint32_t index) {
+  return Mix64(static_cast<uint64_t>(index) + 1);
+}
+
+uint64_t ChordDhtCatalog::KeyPoint(const std::string& map_key) {
+  return HashKey(map_key);
+}
+
+void ChordDhtCatalog::EnsureRing() const {
+  if (!ring_dirty_) return;
+  ring_.clear();
+  ring_.reserve(peer_count_);
+  for (uint32_t i = 0; i < peer_count_; ++i) {
+    ring_.emplace_back(PeerPoint(i), i);
+  }
+  std::sort(ring_.begin(), ring_.end());
+  ring_dirty_ = false;
+}
+
+uint32_t ChordDhtCatalog::SuccessorOf(uint64_t point) const {
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const std::pair<uint64_t, uint32_t>& e, uint64_t p) {
+        return e.first < p;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+uint32_t ChordDhtCatalog::NextHop(uint32_t cur, uint32_t responsible,
+                                  uint64_t target) const {
+  (void)target;
+  const uint64_t cur_pt = PeerPoint(cur);
+  const uint64_t span = RingDist(cur_pt, PeerPoint(responsible));
+  // Greedy finger routing: the farthest known node that does not
+  // overshoot the responsible node. Finger j of `cur` is the successor
+  // of cur + 2^j; scanning j downward finds the longest admissible jump.
+  for (int j = 63; j >= 0; --j) {
+    const uint32_t f = SuccessorOf(cur_pt + (uint64_t{1} << j));
+    const uint64_t d = RingDist(cur_pt, PeerPoint(f));
+    if (d != 0 && d <= span) return f;
+  }
+  return responsible;
+}
+
+PeerId ChordDhtCatalog::ResponsibleNode(ResourceKind kind,
+                                        const std::string& name) const {
+  EnsureRing();
+  if (ring_.empty()) return PeerId::Invalid();
+  return PeerId(SuccessorOf(KeyPoint(MapKey(kind, name))));
+}
+
+std::vector<PeerId> ChordDhtCatalog::Route(ResourceKind kind,
+                                           const std::string& name,
+                                           PeerId from) const {
+  EnsureRing();
+  std::vector<PeerId> path;
+  if (ring_.empty()) return path;
+  const uint64_t target = KeyPoint(MapKey(kind, name));
+  const uint32_t responsible = SuccessorOf(target);
+  // Requesters outside the ring (tests with ad-hoc ids) enter through
+  // the responsible node directly.
+  if (!from.is_concrete() || from.index() >= peer_count_) {
+    path.push_back(PeerId(responsible));
+    return path;
+  }
+  uint32_t cur = from.index();
+  while (cur != responsible) {
+    cur = NextHop(cur, responsible, target);
+    path.push_back(PeerId(cur));
+  }
+  return path;
+}
+
+LookupResult ChordDhtCatalog::LookupNow(ResourceKind kind,
+                                        const std::string& name, PeerId from,
+                                        const Network& net) {
+  LookupResult r;
+  if (const auto* h = Holders(kind, name)) r.holders = *h;
+  const std::vector<PeerId> route = Route(kind, name, from);
+  PeerId cur = from;
+  for (PeerId next : route) {
+    r.delay_s += net.topology().Get(cur, next).TransferTime(kCatalogMsgBytes);
+    ++r.messages;
+    cur = next;
+  }
+  if (cur != from) {
+    // Response hop responsible -> requester.
+    r.delay_s += net.topology().Get(cur, from).TransferTime(kCatalogMsgBytes);
+    ++r.messages;
+  }
+  r.bytes = r.messages * kCatalogMsgBytes;
+  return r;
+}
+
+void ChordDhtCatalog::Lookup(ResourceKind kind, const std::string& name,
+                             PeerId from, Network* net, LookupCallback cb) {
+  EnsureRing();
+  ++stats_.lookups;
+  struct Chain {
+    ResourceKind kind;
+    std::string name;
+    PeerId from;
+    std::vector<PeerId> route;
+    size_t i = 0;
+    double delay_s = 0;
+    uint64_t messages = 0;
+    Network* net = nullptr;
+    LookupCallback cb;
+  };
+  auto st = std::make_shared<Chain>();
+  st->kind = kind;
+  st->name = name;
+  st->from = from;
+  st->route = Route(kind, name, from);
+  st->net = net;
+  st->cb = std::move(cb);
+
+  // Iterative hop-by-hop routing: each hop is a ControlRoundtrip on the
+  // actual cur->next link, so it is priced against that link's traffic,
+  // traced, and subject to fault injection; the receiving node's load
+  // counter moves when the hop is delivered.
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, st, step]() {
+    if (st->i >= st->route.size()) {
+      LookupResult r;
+      // Holders snapshot when the request reaches the responsible node.
+      if (const auto* h = Holders(st->kind, st->name)) r.holders = *h;
+      const PeerId responsible =
+          st->route.empty() ? st->from : st->route.back();
+      if (responsible == st->from) {
+        // The requester owns the entry's arc: a local index read.
+        r.delay_s = st->delay_s;
+        r.messages = st->messages;
+        r.bytes = r.messages * kCatalogMsgBytes;
+        st->net->ControlRoundtrip(st->from, st->from, 0, 0, 0.0,
+                                  [st, r] { st->cb(r); });
+        return;
+      }
+      const double back = st->net->topology()
+                              .Get(responsible, st->from)
+                              .TransferTime(kCatalogMsgBytes);
+      r.delay_s = st->delay_s + back;
+      r.messages = st->messages + 1;
+      r.bytes = r.messages * kCatalogMsgBytes;
+      stats_.lookup_messages += 1;
+      stats_.lookup_bytes += kCatalogMsgBytes;
+      st->net->ControlRoundtrip(responsible, st->from, 1, kCatalogMsgBytes,
+                                back, [st, r] { st->cb(r); });
+      return;
+    }
+    const PeerId cur = st->i == 0 ? st->from : st->route[st->i - 1];
+    const PeerId next = st->route[st->i];
+    ++st->i;
+    const double d =
+        st->net->topology().Get(cur, next).TransferTime(kCatalogMsgBytes);
+    st->delay_s += d;
+    ++st->messages;
+    stats_.lookup_messages += 1;
+    stats_.lookup_bytes += kCatalogMsgBytes;
+    st->net->ControlRoundtrip(cur, next, 1, kCatalogMsgBytes, d,
+                              [this, st, step, next] {
+                                AddNodeLoad(next);
+                                (*step)();
+                              });
+  };
+  (*step)();
+}
+
+void ChordDhtCatalog::OnAdvertiseDelta(ResourceKind kind,
+                                       const std::string& name, PeerId holder,
+                                       bool add) {
+  (void)add;
+  if (net_ == nullptr || !holder.is_concrete()) {
+    // Standalone (no network attached): free, like the seed.
+    RecordAdvertise(0, 0, 1);
+    return;
+  }
+  EnsureRing();
+  if (ring_.empty()) {
+    RecordAdvertise(0, 0, 1);
+    return;
+  }
+  const uint32_t responsible = SuccessorOf(KeyPoint(MapKey(kind, name)));
+  if (in_advertise_batch()) {
+    ++pending_digests_[{holder.index(), responsible}];
+    return;
+  }
+  SendDigest(holder.index(), responsible, 1);
+}
+
+void ChordDhtCatalog::FlushAdvertiseBatch() {
+  if (net_ == nullptr) {
+    pending_digests_.clear();
+    return;
+  }
+  for (const auto& [pair, deltas] : pending_digests_) {
+    SendDigest(pair.first, pair.second, deltas);
+  }
+  pending_digests_.clear();
+}
+
+void ChordDhtCatalog::SendDigest(uint32_t holder, uint32_t responsible,
+                                 uint64_t deltas) {
+  if (holder == responsible) {
+    // The holder owns the entry's arc: a local index write.
+    RecordAdvertise(0, 0, deltas);
+    return;
+  }
+  const uint64_t bytes =
+      kCatalogMsgBytes + (deltas - 1) * kCatalogDigestEntryBytes;
+  const PeerId h(holder);
+  const PeerId r(responsible);
+  const double d = net_->topology().Get(h, r).TransferTime(bytes);
+  RecordAdvertise(1, bytes, deltas);
+  AddNodeLoad(r);
+  net_->ControlRoundtrip(h, r, 1, bytes, d, [] {});
 }
 
 // --- DhtCatalog ---
@@ -95,6 +420,7 @@ LookupResult DhtCatalog::LookupNow(ResourceKind kind,
 void DhtCatalog::Lookup(ResourceKind kind, const std::string& name,
                         PeerId from, Network* net, LookupCallback cb) {
   LookupResult r = LookupNow(kind, name, from, *net);
+  RecordLookup(r.messages, r.bytes);
   // Overlay-diffuse: hops spread over many links, so the exchange is
   // anchored on the requester's loopback (free link, injector-exempt).
   net->ControlRoundtrip(from, from, r.messages, r.bytes, r.delay_s,
@@ -158,6 +484,9 @@ LookupResult FloodCatalog::LookupNow(ResourceKind kind,
 void FloodCatalog::Lookup(ResourceKind kind, const std::string& name,
                           PeerId from, Network* net, LookupCallback cb) {
   LookupResult r = LookupNow(kind, name, from, *net);
+  // Flood load diffuses over every visited peer; it is not attributed
+  // to node_load (the hot-node comparison is central vs DHT).
+  RecordLookup(r.messages, r.bytes);
   // Flood traffic diffuses over every edge; like the DHT it is anchored
   // on the requester's loopback rather than any single link.
   net->ControlRoundtrip(from, from, r.messages, r.bytes, r.delay_s,

@@ -1,23 +1,37 @@
-// Resource-discovery catalogs.
+// Resource-discovery catalog backends.
 //
 // §2 of the paper: "We make no assumption about the structure of the peer
 // network, e.g. whether a DHT-style index is present or not. We will
 // discuss the impact of various network structures further on." The
 // catalog is where that impact shows: resolving `d@any` (def. 9) needs to
-// discover which peers hold members of the equivalence class. We provide
-// three classic structures with faithful cost models; EXP-8 compares
-// them.
+// discover which peers hold members of the equivalence class. The
+// CatalogBackend interface makes the structure pluggable; four
+// implementations exist:
 //
-//  - CentralCatalog: one index server; lookup = RTT to the server plus a
-//    small request/response payload.
-//  - DhtCatalog:     Chord-style structured overlay; lookup visits
-//    ceil(log2 P) hops of average latency, then one hop to return.
-//  - FloodCatalog:   Gnutella-style flooding over the topology's neighbor
-//    graph with a TTL; cost = one message per edge visited, delay = the
-//    depth at which the resource was first found.
+//  - CentralCatalog:  one index server; lookup = RTT to the server plus a
+//                     small request/response payload.
+//  - ChordDhtCatalog: a real Chord-style ring over the peer ids. Lookups
+//                     route hop-by-hop through finger intervals, each hop
+//                     a Network::ControlRoundtrip on the actual link — so
+//                     DHT traffic is priced, traced and fault-injectable
+//                     like every other message. Advertisements route as
+//                     digest messages to the responsible node and batch
+//                     (Begin/EndAdvertiseBatch), so re-advertising an
+//                     unchanged entry is free and bulk installs pay per
+//                     delta, not per call.
+//  - DhtCatalog:      the analytic cost model of the above (ceil(log2 P)
+//                     average-latency hops, loopback-anchored); kept for
+//                     closed-form sweeps (EXP-8).
+//  - FloodCatalog:    Gnutella-style flooding over the topology's
+//                     neighbor graph with a TTL; cost = one message per
+//                     edge visited, delay = the depth at which the
+//                     resource was first found.
 //
 // Lookups charge control-plane traffic to the Network's stats and
-// complete asynchronously after the modeled delay.
+// complete asynchronously after the modeled delay. Every backend also
+// feeds CatalogStats — lookup/advertisement message counts plus a
+// per-serving-node load table, the data behind the hot-node share
+// comparison in bench_fleet.
 
 #ifndef AXML_NET_CATALOG_H_
 #define AXML_NET_CATALOG_H_
@@ -26,11 +40,13 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace axml {
 
@@ -47,16 +63,38 @@ struct LookupResult {
   uint64_t bytes = 0;
 };
 
-/// Interface shared by all catalog implementations.
-class Catalog {
+/// Aggregate traffic counters one catalog backend has generated.
+/// `advertise_noops` counts Register calls for already-advertised
+/// entries — the re-advertisements the delta protocol makes free.
+struct CatalogStats {
+  uint64_t lookups = 0;
+  uint64_t lookup_messages = 0;
+  uint64_t lookup_bytes = 0;
+  uint64_t advertise_messages = 0;
+  uint64_t advertise_bytes = 0;
+  uint64_t advertise_deltas = 0;
+  uint64_t advertise_noops = 0;
+
+  void ExportMetrics(MetricSink& sink) const;
+};
+
+/// Interface shared by all catalog backends. The base class owns the
+/// authoritative name -> holders index (synchronously consistent, as in
+/// the seed); backends differ in how lookups and advertisement deltas
+/// are *routed* and therefore what they cost.
+class CatalogBackend {
  public:
   using LookupCallback = std::function<void(const LookupResult&)>;
 
-  virtual ~Catalog() = default;
+  virtual ~CatalogBackend() = default;
 
-  /// Advertises that `holder` provides `name`. Registration cost is
-  /// charged lazily on lookup for simplicity (it is identical across the
-  /// compared structures).
+  /// Short stable identifier ("central", "chord-dht", ...) for benches
+  /// and reports.
+  virtual const char* backend_name() const = 0;
+
+  /// Advertises that `holder` provides `name`. Only an *effective* delta
+  /// (the entry was not already advertised) reaches the backend's
+  /// routing hook; a repeat Register is a counted no-op.
   virtual void Register(ResourceKind kind, const std::string& name,
                         PeerId holder);
   virtual void Unregister(ResourceKind kind, const std::string& name,
@@ -76,32 +114,101 @@ class Catalog {
                       PeerId from, Network* net, LookupCallback cb) = 0;
 
   /// Synchronous variant used by tests and the cost model: returns the
-  /// result without touching the network.
+  /// result without touching the network or the stats.
   virtual LookupResult LookupNow(ResourceKind kind, const std::string& name,
                                  PeerId from, const Network& net) = 0;
 
   /// Number of peers this catalog assumes in the system (for cost
-  /// formulas); set by AxmlSystem.
-  void set_peer_count(uint32_t n) { peer_count_ = n; }
+  /// formulas and the DHT ring); set by AxmlSystem.
+  void set_peer_count(uint32_t n) {
+    if (n == peer_count_) return;
+    peer_count_ = n;
+    OnPeerCountChanged();
+  }
+
+  /// Wires the system's Network in so backends can charge real
+  /// advertisement traffic. Left null (the default, and the standalone /
+  /// bench-model usage), registration stays free as in the seed.
+  void AttachNetwork(Network* net) { net_ = net; }
+
+  /// Opens / closes an advertisement batch window. While a window is
+  /// open, effective deltas coalesce per (holder, responsible node) and
+  /// flush as one digest message each on the final EndAdvertiseBatch —
+  /// how a bulk install (fleet bring-up, placement round) pays O(delta)
+  /// instead of O(calls). Windows nest; backends without routed
+  /// advertisements treat both as no-ops.
+  void BeginAdvertiseBatch() { ++advertise_batch_depth_; }
+  void EndAdvertiseBatch();
+
+  // --- observability ---
+
+  const CatalogStats& stats() const { return stats_; }
+  /// Catalog messages *handled* by each peer (routing hops received,
+  /// lookups served, digests applied). Requesters receiving their own
+  /// response are not load. Empty for backends that do not attribute
+  /// load to nodes (flooding).
+  const std::map<uint32_t, uint64_t>& node_load() const {
+    return node_load_;
+  }
+  /// Largest single-node share of all handled catalog messages, in
+  /// [0, 1]; 0 when no messages were handled. Central pins this near 1
+  /// at its server, a balanced DHT drives it toward 1/P.
+  double MaxNodeLoadShare() const;
+  /// Stats counters plus node_load_max / node_load_total.
+  void ExportMetrics(MetricSink& sink) const;
+  void ResetStats();
 
  protected:
+  /// Invoked once for every effective advertisement delta (add or
+  /// remove). Backends route / price it; the default is free.
+  virtual void OnAdvertiseDelta(ResourceKind kind, const std::string& name,
+                                PeerId holder, bool add);
+  /// Invoked when the last advertisement batch window closes.
+  virtual void FlushAdvertiseBatch() {}
+  /// Invoked when set_peer_count changes the value.
+  virtual void OnPeerCountChanged() {}
+
+  void RecordLookup(uint64_t messages, uint64_t bytes) {
+    ++stats_.lookups;
+    stats_.lookup_messages += messages;
+    stats_.lookup_bytes += bytes;
+  }
+  void RecordAdvertise(uint64_t messages, uint64_t bytes, uint64_t deltas) {
+    stats_.advertise_messages += messages;
+    stats_.advertise_bytes += bytes;
+    stats_.advertise_deltas += deltas;
+  }
+  void AddNodeLoad(PeerId node, uint64_t messages = 1) {
+    node_load_[node.index()] += messages;
+  }
+  bool in_advertise_batch() const { return advertise_batch_depth_ > 0; }
+
   const std::vector<PeerId>* Holders(ResourceKind kind,
                                      const std::string& name) const;
-
-  uint32_t peer_count_ = 0;
-
- private:
   static std::string MapKey(ResourceKind kind, const std::string& name) {
     return (kind == ResourceKind::kDocument ? "d:" : "s:") + name;
   }
+
+  uint32_t peer_count_ = 0;
+  Network* net_ = nullptr;
+  CatalogStats stats_;
+
+ private:
   std::map<std::string, std::vector<PeerId>> entries_;
+  std::map<uint32_t, uint64_t> node_load_;
+  uint32_t advertise_batch_depth_ = 0;
 };
 
-/// Single well-known index server.
-class CentralCatalog : public Catalog {
+/// The seed's name for the interface; all existing call sites use it.
+using Catalog = CatalogBackend;
+
+/// Single well-known index server. Advertisements stay free ("charged
+/// lazily on lookup", as in the seed); every lookup loads the server.
+class CentralCatalog : public CatalogBackend {
  public:
   explicit CentralCatalog(PeerId server) : server_(server) {}
 
+  const char* backend_name() const override { return "central"; }
   void Lookup(ResourceKind kind, const std::string& name, PeerId from,
               Network* net, LookupCallback cb) override;
   LookupResult LookupNow(ResourceKind kind, const std::string& name,
@@ -113,14 +220,78 @@ class CentralCatalog : public Catalog {
   PeerId server_;
 };
 
-/// Structured overlay with O(log P) routing (Chord-style cost model).
-class DhtCatalog : public Catalog {
+/// A real Chord-style DHT over the peer ids: each peer owns the arc of a
+/// 64-bit hash ring ending at its point; entry `name` lives at the
+/// successor of hash(name). Lookups route greedily through finger
+/// intervals (successor of cur + 2^j), giving O(log P) hops, each hop a
+/// ControlRoundtrip on the actual cur->next link. Advertisement deltas
+/// route as digest messages holder -> responsible node (holders cache
+/// their responsible-node addresses, the standard one-hop put) and
+/// coalesce under Begin/EndAdvertiseBatch.
+///
+/// The ring is rebuilt lazily when peer_count changes, so fleet bring-up
+/// (P AddPeer calls) does not pay P ring builds. Ring membership ignores
+/// liveness: routing through a crashed peer stalls on that peer's
+/// ControlRoundtrip retry loop until it rejoins — ring repair under
+/// churn is future work (docs/fleet-scale.md).
+class ChordDhtCatalog : public CatalogBackend {
+ public:
+  ChordDhtCatalog() = default;
+
+  const char* backend_name() const override { return "chord-dht"; }
+  void Lookup(ResourceKind kind, const std::string& name, PeerId from,
+              Network* net, LookupCallback cb) override;
+  LookupResult LookupNow(ResourceKind kind, const std::string& name,
+                         PeerId from, const Network& net) override;
+
+  /// The peer whose arc covers hash(name) — where the entry's digest
+  /// traffic lands. Invalid when the ring is empty.
+  PeerId ResponsibleNode(ResourceKind kind, const std::string& name) const;
+  /// Routing path from `from` to the responsible node, excluding `from`
+  /// itself and including the responsible node; empty when `from` is
+  /// responsible (or outside the ring).
+  std::vector<PeerId> Route(ResourceKind kind, const std::string& name,
+                            PeerId from) const;
+
+ protected:
+  void OnAdvertiseDelta(ResourceKind kind, const std::string& name,
+                        PeerId holder, bool add) override;
+  void FlushAdvertiseBatch() override;
+  void OnPeerCountChanged() override { ring_dirty_ = true; }
+
+ private:
+  void EnsureRing() const;
+  /// Ring position of peer `index` (a splitmix64 point, deterministic).
+  static uint64_t PeerPoint(uint32_t index);
+  /// Ring position of an entry key.
+  static uint64_t KeyPoint(const std::string& map_key);
+  /// Peer owning `point` (its successor on the ring).
+  uint32_t SuccessorOf(uint64_t point) const;
+  /// Next routing hop from `cur` toward `responsible` for `target`.
+  uint32_t NextHop(uint32_t cur, uint32_t responsible,
+                   uint64_t target) const;
+  /// One digest message holder -> responsible covering `deltas` entries.
+  void SendDigest(uint32_t holder, uint32_t responsible, uint64_t deltas);
+
+  /// (point, peer index), sorted by point; rebuilt lazily.
+  mutable std::vector<std::pair<uint64_t, uint32_t>> ring_;
+  mutable bool ring_dirty_ = true;
+  /// Deltas pending in the open batch window, coalesced per
+  /// (holder, responsible) pair.
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> pending_digests_;
+};
+
+/// Analytic structured-overlay model with O(log P) routing: the
+/// closed-form twin of ChordDhtCatalog, for sweeps that want the formula
+/// rather than routed traffic.
+class DhtCatalog : public CatalogBackend {
  public:
   /// `avg_hop_latency_s`: mean one-way latency of one overlay hop. When
   /// <= 0, the topology's default link latency is used.
   explicit DhtCatalog(double avg_hop_latency_s = -1.0)
       : avg_hop_latency_s_(avg_hop_latency_s) {}
 
+  const char* backend_name() const override { return "dht-model"; }
   void Lookup(ResourceKind kind, const std::string& name, PeerId from,
               Network* net, LookupCallback cb) override;
   LookupResult LookupNow(ResourceKind kind, const std::string& name,
@@ -132,10 +303,11 @@ class DhtCatalog : public Catalog {
 };
 
 /// Unstructured flooding over the topology's neighbor graph.
-class FloodCatalog : public Catalog {
+class FloodCatalog : public CatalogBackend {
  public:
   explicit FloodCatalog(uint32_t ttl = 7) : ttl_(ttl) {}
 
+  const char* backend_name() const override { return "flood"; }
   void Lookup(ResourceKind kind, const std::string& name, PeerId from,
               Network* net, LookupCallback cb) override;
   LookupResult LookupNow(ResourceKind kind, const std::string& name,
@@ -147,6 +319,8 @@ class FloodCatalog : public Catalog {
 
 /// Approximate wire size of a catalog request/response message.
 constexpr uint64_t kCatalogMsgBytes = 64;
+/// Incremental size of one extra entry in an advertisement digest.
+constexpr uint64_t kCatalogDigestEntryBytes = 16;
 
 }  // namespace axml
 

@@ -18,7 +18,35 @@ LinkParams Topology::Get(PeerId a, PeerId b) const {
     return LinkParams{0.0, 1.0e12};
   }
   auto it = overrides_.find(Key(a, b));
-  return it == overrides_.end() ? default_ : it->second;
+  if (it != overrides_.end()) return it->second;
+  if (a.index() < rack_of_.size() && b.index() < rack_of_.size()) {
+    if (rack_of_[a.index()] == rack_of_[b.index()]) return tier_rack_;
+    if (region_of_[a.index()] == region_of_[b.index()]) return tier_region_;
+    return tier_wan_;
+  }
+  return default_;
+}
+
+Topology Topology::Hierarchical(const HierarchySpec& spec) {
+  // The WAN tier doubles as the default so peers added past the declared
+  // hierarchy still get a sane (slow) link.
+  Topology t(spec.wan);
+  const uint32_t n = spec.peer_count();
+  t.rack_of_.resize(n);
+  t.region_of_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    t.rack_of_[i] = i / spec.peers_per_rack;
+    t.region_of_[i] = i / (spec.racks_per_region * spec.peers_per_rack);
+  }
+  t.tier_wan_ = spec.wan;
+  t.tier_region_ = spec.region;
+  t.tier_rack_ = spec.rack;
+  return t;
+}
+
+uint32_t Topology::RegionOf(PeerId p) const {
+  if (!p.is_concrete() || p.index() >= region_of_.size()) return UINT32_MAX;
+  return region_of_[p.index()];
 }
 
 void Topology::AddNeighborEdge(PeerId a, PeerId b) {

@@ -73,6 +73,30 @@ class Topology {
   static Topology RandomUniform(uint32_t n_peers, LinkParams lo,
                                 LinkParams hi, Rng* rng);
 
+  /// WAN/region/rack hierarchy for fleet-scale scenarios. Peers are laid
+  /// out in contiguous blocks: peer i sits in rack i / peers_per_rack,
+  /// racks group into regions of racks_per_region. Same rack -> `rack`,
+  /// same region -> `region`, otherwise `wan`. State is O(P) (two flat
+  /// zone vectors), not O(P^2) pairwise overrides — the representation
+  /// TwoClusters-style factories cannot afford at 10k peers.
+  struct HierarchySpec {
+    uint32_t regions = 2;
+    uint32_t racks_per_region = 4;
+    uint32_t peers_per_rack = 25;
+    LinkParams wan{0.080, 1.0e6};
+    LinkParams region{0.010, 2.0e7};
+    LinkParams rack{0.001, 1.0e8};
+
+    uint32_t peer_count() const {
+      return regions * racks_per_region * peers_per_rack;
+    }
+  };
+  static Topology Hierarchical(const HierarchySpec& spec);
+
+  /// Region index of `p` in a Hierarchical topology; UINT32_MAX for
+  /// peers outside the hierarchy (or a non-hierarchical topology).
+  uint32_t RegionOf(PeerId p) const;
+
  private:
   static uint64_t Key(PeerId a, PeerId b) {
     return (static_cast<uint64_t>(a.index()) << 32) | b.index();
@@ -81,6 +105,15 @@ class Topology {
   LinkParams default_;
   std::unordered_map<uint64_t, LinkParams> overrides_;
   std::unordered_map<PeerId, std::vector<PeerId>> neighbors_;
+
+  // Hierarchical zones: rack_of_/region_of_ are indexed by peer index;
+  // empty unless built by Hierarchical(). Explicit SetLink overrides
+  // still win over the zone relation.
+  std::vector<uint32_t> rack_of_;
+  std::vector<uint32_t> region_of_;
+  LinkParams tier_wan_;
+  LinkParams tier_region_;
+  LinkParams tier_rack_;
 };
 
 }  // namespace axml

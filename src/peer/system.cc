@@ -23,9 +23,16 @@ AxmlSystem::AxmlSystem(Topology topology)
   metrics_.RegisterSource("", [this](MetricSink& sink) {
     replicas_.ExportMetrics(sink);
   });
+  metrics_.RegisterSource("catalog", [this](MetricSink& sink) {
+    if (catalog_ != nullptr) catalog_->ExportMetrics(sink);
+  });
   generics_.set_document_validator(
       [this](const std::string& cls, const ClassMember& m) {
         return replicas_.ValidateMember(cls, m);
+      });
+  generics_.set_demand_listener(
+      [this](const std::string& cls, PeerId from, uint64_t demand) {
+        replicas_.OnPickDemand(cls, from, demand);
       });
   // Serialized sizes are memoized per (member, doc version) — computing
   // one walks the whole tree, and the pick consults every member.
@@ -53,10 +60,12 @@ PeerId AxmlSystem::AddPeer(std::string name) {
       << "duplicate peer name " << name;
   PeerId id(static_cast<uint32_t>(peers_.size()));
   peers_.push_back(std::make_unique<Peer>(id, std::move(name)));
+  peer_index_by_name_[peers_.back()->name()] = id.index();
   peers_.back()->add_mutation_listener(
       [this, id](const DocName& doc) { replicas_.NoteMutation(id, doc); });
   if (catalog_ == nullptr) {
     catalog_ = std::make_unique<CentralCatalog>(id);
+    catalog_->AttachNetwork(network_.get());
   }
   catalog_->set_peer_count(static_cast<uint32_t>(peers_.size()));
   return id;
@@ -73,23 +82,22 @@ const Peer* AxmlSystem::peer(PeerId id) const {
 }
 
 Peer* AxmlSystem::FindPeer(const std::string& name) {
-  for (auto& p : peers_) {
-    if (p->name() == name) return p.get();
-  }
-  return nullptr;
+  auto it = peer_index_by_name_.find(name);
+  return it == peer_index_by_name_.end() ? nullptr
+                                         : peers_[it->second].get();
 }
 
 PeerId AxmlSystem::FindPeerId(const std::string& name) const {
-  for (const auto& p : peers_) {
-    if (p->name() == name) return p->id();
-  }
-  return PeerId::Invalid();
+  auto it = peer_index_by_name_.find(name);
+  return it == peer_index_by_name_.end() ? PeerId::Invalid()
+                                         : PeerId(it->second);
 }
 
 void AxmlSystem::SetCatalog(std::unique_ptr<Catalog> catalog) {
   catalog_ = std::move(catalog);
   if (catalog_ != nullptr) {
     catalog_->set_peer_count(static_cast<uint32_t>(peers_.size()));
+    catalog_->AttachNetwork(network_.get());
   }
 }
 

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -129,6 +130,9 @@ class AxmlSystem {
   EventLoop loop_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<Peer>> peers_;
+  /// name -> peer index; keeps AddPeer/FindPeerId O(1) so fleet bring-up
+  /// (10k AddPeer calls) is linear, not quadratic.
+  std::unordered_map<std::string, uint32_t> peer_index_by_name_;
   std::unique_ptr<Catalog> catalog_;
   GenericCatalog generics_;
   ReplicaManager replicas_;

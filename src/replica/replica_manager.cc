@@ -912,6 +912,23 @@ void ReplicaManager::set_placement_tick_interval(SimTime interval_s) {
   }
 }
 
+void ReplicaManager::OnPickDemand(const std::string& /*class_name*/,
+                                  PeerId /*from*/, uint64_t demand) {
+  AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
+  if (placement_demand_watermark_ == 0 || sys_ == nullptr) return;
+  if (demand < placement_demand_watermark_) return;
+  if (placement_round_pending_) return;
+  // Post instead of running inline: the crossing pick is still inside
+  // PickDocument, and a placement round mutates the very class it was
+  // picking from. The round runs at the same virtual instant, between
+  // the current event and the next.
+  placement_round_pending_ = true;
+  sys_->loop().Post([this] {
+    placement_round_pending_ = false;
+    RunPlacement();
+  });
+}
+
 bool ReplicaManager::LaunchShipment(
     PeerId holder, const ReplicaKey& key,
     const std::function<bool(uint64_t bytes)>& admit,

@@ -400,6 +400,24 @@ class ReplicaManager {
     return placement_tick_interval_;
   }
 
+  /// Demand-watermark placement: when `picks` > 0, a (class, caller)
+  /// demand counter reaching `picks` posts one RunPlacement to the
+  /// event loop — between ticks, at the current virtual instant —
+  /// instead of waiting for the next periodic round. Crossings that
+  /// arrive while a round is already pending coalesce into it. 0
+  /// disables the trigger. Default: off.
+  void set_placement_demand_watermark(uint64_t picks) {
+    placement_demand_watermark_ = picks;
+  }
+  uint64_t placement_demand_watermark() const {
+    return placement_demand_watermark_;
+  }
+
+  /// The GenericCatalog demand-listener hook (AxmlSystem wires it up):
+  /// schedules the watermark-triggered round.
+  void OnPickDemand(const std::string& class_name, PeerId from,
+                    uint64_t demand);
+
   // --- Copies ---
 
   /// Records that `landed` — a copy of origin's `name` — materialized at
@@ -639,6 +657,10 @@ class ReplicaManager {
   std::map<PeerId, uint64_t> placement_spent_;
   SimTime placement_tick_interval_ = 0;
   uint64_t placement_tick_id_ = 0;  ///< EventLoop periodic id; 0 = none
+  uint64_t placement_demand_watermark_ = 0;  ///< 0 = trigger off
+  /// A watermark-triggered round is posted but has not run yet; further
+  /// crossings coalesce into it instead of stacking rounds.
+  bool placement_round_pending_ = false;
 
   bool sharding_enabled_ = false;
   ShardingConfig shard_config_;

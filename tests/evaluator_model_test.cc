@@ -1,0 +1,265 @@
+// Model-based oracle for the algebra evaluator.
+//
+// Seeded random expression trees — document reads, d@any generic
+// resolutions, local query applications, declarative service calls and
+// eval@p relocations — over small catalog documents, evaluated three
+// ways:
+//
+//   1. a naive reference evaluator: structural recursion that reads
+//      document trees straight out of Σ and runs queries locally
+//      through the one-shot query executor (query/executor.h), with no
+//      network, no caching, no relocation — the semantics of defs.
+//      (2)/(9) stripped of every distribution concern;
+//   2. the real evaluator with the replica cache OFF (the paper's
+//      always-transfer baseline);
+//   3. the real evaluator with the replica cache ON (copies are
+//      installed, advertised, and may serve later reads).
+//
+// All three must produce identical result multisets for every
+// expression: distribution and caching are performance levers, never
+// semantics. Expressions are side-effect-free (no sends / ships), so
+// one run's results cannot depend on a previous expression beyond the
+// soft copies the cache-on evaluator legitimately accumulates.
+//
+// The seed comes from AXML_TEST_SEED (CI runs a 5-seed matrix).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "peer/system.h"
+#include "query/executor.h"
+#include "test_util.h"
+#include "xml/tree_equal.h"
+
+namespace axml {
+namespace {
+
+using testing::ResultsEqual;
+using testing::TestSeed;
+
+constexpr size_t kPeers = 4;
+constexpr int kExpressions = 40;
+
+/// A small deterministic world: each peer i hosts "cat<i>" (a random
+/// catalog document), an "echo" and a "filter" service, and a "local"
+/// service whose query reads the provider's own document; peers 1 and 2
+/// replicate identical content as generic class "clsR".
+struct World {
+  std::unique_ptr<AxmlSystem> sys;
+  std::vector<PeerId> peers;
+
+  explicit World(uint64_t seed) {
+    sys = std::make_unique<AxmlSystem>(Topology(LinkParams{0.010, 1.0e6}));
+    for (size_t i = 0; i < kPeers; ++i) {
+      peers.push_back(sys->AddPeer(StrCat("p", i)));
+    }
+    Rng rng(seed);
+    for (size_t i = 0; i < kPeers; ++i) {
+      TreePtr cat = testing::MakeCatalog(4 + i, sys->peer(peers[i])->gen(),
+                                         &rng, 8);
+      EXPECT_TRUE(
+          sys->InstallDocument(peers[i], StrCat("cat", i), cat).ok());
+      Query echo = Query::Parse("for $x in input(0) return $x").value();
+      EXPECT_TRUE(sys->InstallService(
+                         peers[i], Service::Declarative("echo", echo))
+                      .ok());
+      Query filter =
+          Query::Parse(
+              "for $p in input(0)/catalog/product where $p/price < 300 "
+              "return <r>{ $p/name, $p/price }</r>")
+              .value();
+      EXPECT_TRUE(sys->InstallService(
+                         peers[i], Service::Declarative("filter", filter))
+                      .ok());
+      Query local =
+          Query::Parse(StrCat("for $p in doc(\"cat", i,
+                              "\")/catalog/product for $k in input(0) "
+                              "where $p/price < 250 "
+                              "return <loc>{ $p/name }</loc>"))
+              .value();
+      EXPECT_TRUE(sys->InstallService(
+                         peers[i], Service::Declarative("local", local))
+                      .ok());
+    }
+    TreePtr rep = testing::MakeCatalog(5, sys->peer(peers[1])->gen(), &rng,
+                                       8);
+    EXPECT_TRUE(sys->InstallReplicatedDocument("clsR", "rep", rep,
+                                               {peers[1], peers[2]})
+                    .ok());
+  }
+};
+
+/// Random side-effect-free expression of bounded depth. Both worlds
+/// share the ExprPtr (expressions reference peers by id only).
+class ExprGen {
+ public:
+  explicit ExprGen(Rng* rng) : rng_(rng) {}
+
+  ExprPtr Gen(size_t depth) {
+    if (depth == 0 || rng_->Bernoulli(0.2)) return Leaf();
+    switch (rng_->Uniform(4)) {
+      case 0:
+      case 1:
+        return RandomApply(depth);
+      case 2:
+        return Expr::Call(PeerId(RandomPeer()), RandomService(),
+                          {Gen(depth - 1)});
+      default:
+        return Expr::EvalAt(PeerId(RandomPeer()), Gen(depth - 1));
+    }
+  }
+
+ private:
+  ExprPtr Leaf() {
+    if (rng_->Bernoulli(0.4)) return Expr::GenericDoc("clsR");
+    const uint32_t i = RandomPeer();
+    return Expr::Doc(StrCat("cat", i), PeerId(i));
+  }
+
+  ExprPtr RandomApply(size_t depth) {
+    const uint64_t price = 50 + rng_->Uniform(450);
+    if (rng_->Bernoulli(0.3)) {
+      Query q = Query::Parse(
+                    StrCat("for $a in input(0)/catalog/product "
+                           "for $b in input(1)/catalog/product "
+                           "where $a/category = $b/category and "
+                           "$a/price < ",
+                           price, " return <pair>{ $a/name, $b/name }</pair>"))
+                    .value();
+      return Expr::Apply(q, PeerId(RandomPeer()),
+                         {Gen(depth - 1), Gen(depth - 1)});
+    }
+    Query q = Query::Parse(
+                  StrCat("for $p in input(0)/catalog/product "
+                         "where $p/price < ",
+                         price, " return <hit>{ $p/name, $p/price }</hit>"))
+                  .value();
+    return Expr::Apply(q, PeerId(RandomPeer()), {Gen(depth - 1)});
+  }
+
+  uint32_t RandomPeer() {
+    return static_cast<uint32_t>(rng_->Uniform(kPeers));
+  }
+  ServiceName RandomService() {
+    switch (rng_->Uniform(3)) {
+      case 0:
+        return "echo";
+      case 1:
+        return "filter";
+      default:
+        return "local";
+    }
+  }
+
+  Rng* rng_;
+};
+
+/// The naive reference: Σ-lookups plus local query execution. Documents
+/// are cloned at the leaves so executor output can never alias Σ.
+std::vector<TreePtr> RefEval(AxmlSystem* sys, const ExprPtr& e,
+                             NodeIdGen* gen) {
+  switch (e->kind()) {
+    case Expr::Kind::kDoc: {
+      if (e->is_generic_doc()) {
+        const std::vector<ClassMember>* members =
+            sys->generics().DocumentMembers(e->doc_name());
+        if (members == nullptr || members->empty()) return {};
+        // Class members are content-identical by the deployment
+        // invariant (§4): any member is the answer.
+        const ClassMember& m = members->front();
+        TreePtr t = sys->peer(m.peer)->GetDocument(m.name);
+        return t == nullptr ? std::vector<TreePtr>{}
+                            : std::vector<TreePtr>{t->Clone(gen)};
+      }
+      TreePtr t = sys->peer(e->doc_peer())->GetDocument(e->doc_name());
+      return t == nullptr ? std::vector<TreePtr>{}
+                          : std::vector<TreePtr>{t->Clone(gen)};
+    }
+    case Expr::Kind::kApply: {
+      std::vector<std::vector<TreePtr>> inputs;
+      for (const ExprPtr& arg : e->args()) {
+        inputs.push_back(RefEval(sys, arg, gen));
+      }
+      auto out = EvalQuery(e->query().ast(), inputs, nullptr, gen);
+      return out.ok() ? *out : std::vector<TreePtr>{};
+    }
+    case Expr::Kind::kCall: {
+      const Peer* provider = sys->peer(e->provider());
+      auto it = provider->services().find(e->service());
+      if (it == provider->services().end()) return {};
+      std::vector<std::vector<TreePtr>> inputs;
+      for (const ExprPtr& p : e->params()) {
+        inputs.push_back(RefEval(sys, p, gen));
+      }
+      // doc() inside a declarative service resolves at the provider.
+      const PeerId at = e->provider();
+      auto out = EvalQuery(
+          it->second.query().ast(), inputs,
+          [sys, at](const DocName& d) -> TreePtr {
+            const Peer* host = sys->peer(at);
+            return host == nullptr ? nullptr : host->GetDocument(d);
+          },
+          gen);
+      return out.ok() ? *out : std::vector<TreePtr>{};
+    }
+    case Expr::Kind::kEvalAt:
+      // Relocation changes where work happens, never what it returns.
+      return RefEval(sys, e->body(), gen);
+    default:
+      ADD_FAILURE() << "reference evaluator: unexpected kind in "
+                    << e->ToString();
+      return {};
+  }
+}
+
+TEST(EvaluatorModelTest, RandomExpressionsMatchReferenceCacheOnAndOff) {
+  const uint64_t seed = TestSeed(7);
+  World off_world(seed);
+  World on_world(seed);
+  if (::testing::Test::HasFailure()) return;
+
+  EvalOptions off_opts;
+  off_opts.use_replica_cache = false;
+  Evaluator ev_off(off_world.sys.get(), off_opts);
+
+  EvalOptions on_opts;
+  on_opts.use_replica_cache = true;
+  on_opts.pick_policy = PickPolicy::kCacheAware;
+  Evaluator ev_on(on_world.sys.get(), on_opts);
+
+  Rng rng(seed * 977 + 11);
+  ExprGen gen(&rng);
+  NodeIdGen* ref_gen = off_world.sys->peer(off_world.peers[0])->gen();
+
+  for (int k = 0; k < kExpressions; ++k) {
+    const ExprPtr e = gen.Gen(3);
+    const PeerId ctx = off_world.peers[rng.Index(kPeers)];
+
+    // Reference first: it reads Σ, which the cache-off evaluation
+    // leaves untouched (scratch copies are soft state only).
+    const std::vector<TreePtr> ref =
+        RefEval(off_world.sys.get(), e, ref_gen);
+
+    auto out_off = ev_off.Eval(ctx, e);
+    ASSERT_TRUE(out_off.ok())
+        << e->ToString() << ": " << out_off.status().ToString();
+    EXPECT_TRUE(ResultsEqual(ref, out_off->results))
+        << "cache-off diverged from reference on " << e->ToString()
+        << " (expr #" << k << ", ctx " << ctx.ToString() << ")";
+
+    auto out_on = ev_on.Eval(ctx, e);
+    ASSERT_TRUE(out_on.ok())
+        << e->ToString() << ": " << out_on.status().ToString();
+    EXPECT_TRUE(ResultsEqual(ref, out_on->results))
+        << "cache-on diverged from reference on " << e->ToString()
+        << " (expr #" << k << ", ctx " << ctx.ToString() << ")";
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace axml

@@ -1,0 +1,147 @@
+// Model-based oracle for the beam-search optimizer.
+//
+// The optimizer prunes its candidate frontier to OptimizerOptions::
+// beam_width per round; the oracle is the same search with the pruning
+// effectively turned off (beam width and candidate budget maxed, same
+// round count) — an exhaustive enumeration of the rewrite space. On
+// small expressions the beam must never return a costlier plan than
+// exhaustive enumeration: pruning is allowed to save work, never to
+// lose the optimum at this size. Both searches run over seeded random
+// query shapes (selectivity, argument placement, service composition),
+// and the beam winner must also evaluate to the same results as the
+// naive expression — a cheap plan computing the wrong answer is no
+// plan.
+//
+// The seed comes from AXML_TEST_SEED (CI runs a 5-seed matrix).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "opt/optimizer.h"
+#include "test_util.h"
+#include "xml/xml_parser.h"
+
+namespace axml {
+namespace {
+
+using testing::ResultsEqual;
+using testing::TestSeed;
+
+class OptimizerModelTest : public ::testing::Test {
+ protected:
+  OptimizerModelTest() : sys_(Topology(LinkParams{0.010, 1e6})) {
+    p0_ = sys_.AddPeer("p0");
+    p1_ = sys_.AddPeer("p1");
+    p2_ = sys_.AddPeer("p2");
+    Rng rng(TestSeed(13));
+    TreePtr cat = testing::MakeCatalog(60, sys_.peer(p1_)->gen(), &rng);
+    EXPECT_TRUE(sys_.InstallDocument(p1_, "cat", cat).ok());
+    TreePtr cat2 = testing::MakeCatalog(40, sys_.peer(p2_)->gen(), &rng);
+    EXPECT_TRUE(sys_.InstallDocument(p2_, "cat2", cat2).ok());
+    Query feed = Query::Parse(
+                     "for $p in doc(\"cat\")/catalog/product "
+                     "for $k in input(0) "
+                     "where $p/price < $k/max return $p")
+                     .value();
+    EXPECT_TRUE(
+        sys_.InstallService(p1_, Service::Declarative("feed", feed)).ok());
+  }
+
+  /// A random one- or two-stage query plan shape over the installed
+  /// documents and the feed service.
+  ExprPtr RandomExpr(Rng* rng) {
+    const uint64_t price = 20 + rng->Uniform(400);
+    ExprPtr source;
+    switch (rng->Uniform(3)) {
+      case 0:
+        source = Expr::Doc("cat", p1_);
+        break;
+      case 1:
+        source = Expr::Doc("cat2", p2_);
+        break;
+      default: {
+        NodeIdGen tmp(p0_);
+        TreePtr knob =
+            ParseXml(StrCat("<k><max>", 100 + rng->Uniform(500), "</max></k>"),
+                     &tmp)
+                .value();
+        source = Expr::Call(p1_, "feed", {Expr::Tree(knob, p0_)});
+        break;
+      }
+    }
+    Query q = Query::Parse(
+                  StrCat("for $p in input(0)",
+                         source->kind() == Expr::Kind::kCall
+                             ? ""
+                             : "/catalog/product",
+                         " where $p/price < ", price,
+                         " return <hit>{ $p/name, $p/price }</hit>"))
+                  .value();
+    ExprPtr plan = Expr::Apply(q, p0_, {std::move(source)});
+    if (rng->Bernoulli(0.3)) {
+      plan = Expr::EvalAt(p2_, std::move(plan));
+    }
+    return plan;
+  }
+
+  AxmlSystem sys_;
+  PeerId p0_, p1_, p2_;
+};
+
+TEST_F(OptimizerModelTest, BeamNeverCostlierThanExhaustive) {
+  if (::testing::Test::HasFailure()) return;
+  const OptimizerOptions beam_opts;  // the defaults users get
+
+  OptimizerOptions exhaustive_opts;
+  exhaustive_opts.beam_width = 1 << 20;
+  exhaustive_opts.max_candidates = 1 << 20;
+  ASSERT_EQ(exhaustive_opts.max_rounds, beam_opts.max_rounds)
+      << "oracle must differ from the beam only in pruning";
+
+  Rng rng(TestSeed(13) * 31 + 7);
+  for (int k = 0; k < 12; ++k) {
+    const ExprPtr naive = RandomExpr(&rng);
+
+    Optimizer beam(&sys_, beam_opts);
+    const OptimizedPlan beam_plan = beam.Optimize(p0_, naive);
+    Optimizer exhaustive(&sys_, exhaustive_opts);
+    const OptimizedPlan exhaustive_plan = exhaustive.Optimize(p0_, naive);
+
+    ASSERT_NE(beam_plan.expr, nullptr);
+    ASSERT_NE(exhaustive_plan.expr, nullptr);
+    EXPECT_LE(beam_plan.cost.Scalar(beam_opts.weights),
+              exhaustive_plan.cost.Scalar(beam_opts.weights) * (1 + 1e-9))
+        << "beam lost the optimum on " << naive->ToString() << "\nbeam: "
+        << beam_plan.ToString() << "\nexhaustive: "
+        << exhaustive_plan.ToString();
+    // The exhaustive frontier includes everything the beam kept.
+    EXPECT_GE(exhaustive.candidates_explored(),
+              beam.candidates_explored());
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST_F(OptimizerModelTest, BeamWinnerEvaluatesLikeTheNaivePlan) {
+  if (::testing::Test::HasFailure()) return;
+  Rng rng(TestSeed(13) * 53 + 29);
+  for (int k = 0; k < 6; ++k) {
+    const ExprPtr naive = RandomExpr(&rng);
+    Optimizer opt(&sys_);
+    const OptimizedPlan plan = opt.Optimize(p0_, naive);
+    ASSERT_NE(plan.expr, nullptr);
+    Evaluator ev(&sys_);
+    auto direct = ev.Eval(p0_, naive);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    auto optimized = ev.Eval(p0_, plan.expr);
+    ASSERT_TRUE(optimized.ok()) << optimized.status();
+    EXPECT_TRUE(ResultsEqual(direct->results, optimized->results))
+        << plan.ToString();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace axml
