@@ -24,6 +24,7 @@
 
 #include "bench_common.h"
 #include "common/rng.h"
+#include "xml/wire.h"
 
 namespace axml {
 namespace {
@@ -55,7 +56,7 @@ EvictionSetup BuildEviction() {
   }
   Rng rng(1234);
   TreePtr hot = bench::MakeCatalog(256, s.sys->peer(far)->gen(), &rng);
-  const uint64_t hot_bytes = hot->SerializedSize();
+  const uint64_t hot_bytes = wire::EncodedTreeSize(*hot);
   (void)s.sys->InstallDocument(far, "hot", hot);
   s.docs.emplace_back("hot", far);
   uint64_t cold_bytes = 0;
@@ -63,7 +64,7 @@ EvictionSetup BuildEviction() {
     PeerId origin = near[i % near.size()];
     TreePtr t =
         bench::MakeCatalog(16, s.sys->peer(origin)->gen(), &rng);
-    cold_bytes = t->SerializedSize();
+    cold_bytes = wire::EncodedTreeSize(*t);
     DocName name = StrCat("cold", i);
     (void)s.sys->InstallDocument(origin, name, t);
     s.docs.emplace_back(name, origin);

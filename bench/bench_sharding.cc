@@ -39,6 +39,7 @@
 #include "replica/replica_manager.h"
 #include "replica/transfer_cache.h"
 #include "xml/sharding.h"
+#include "xml/wire.h"
 
 namespace axml {
 namespace {
@@ -66,7 +67,7 @@ Setup Build(int64_t n_products, bool sharded) {
   TreePtr t = bench::MakeCatalog(static_cast<size_t>(n_products),
                                  s.sys->peer(s.origin)->gen(), &rng,
                                  /*desc_bytes=*/64);
-  s.doc_bytes = t->SerializedSize();
+  s.doc_bytes = wire::EncodedTreeSize(*t);
   (void)s.sys->InstallDocument(s.origin, "d", t);
   if (sharded) {
     ShardingConfig cfg;

@@ -57,11 +57,15 @@ def check_bench(path: pathlib.Path) -> list[str]:
         for name, value in counters.items():
             if not isinstance(value, (int, float)):
                 err(f"{where}: counter {name!r} is not numeric: {value!r}")
-        for std in ("sim_s", "remote_KB", "msgs", "results"):
-            # Standard counters are only required when the bench records
-            # them at all (micro-benches may report none).
-            if counters and std not in counters:
-                err(f"{where}: standard counter {std!r} missing")
+        # Standard counters travel as a set: a simulator bench that
+        # records any of them must record all four (dropping one is
+        # drift), while a pure micro-bench (bench_wire, bench_engine)
+        # may report only its own counters.
+        standard = ("sim_s", "remote_KB", "msgs", "results")
+        if any(std in counters for std in standard):
+            for std in standard:
+                if std not in counters:
+                    err(f"{where}: standard counter {std!r} missing")
         metrics = run.get("metrics")
         if not isinstance(metrics, dict):
             err(f"{where}: missing 'metrics' object")

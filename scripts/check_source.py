@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Project-specific source lints the compiler cannot enforce.
 
-Six checks over src/ (and tests/, bench/, examples/ where noted), each
-pinning a repo-wide contract that used to live only in review comments:
+Seven checks over src/ (and tests/, bench/, examples/ where noted),
+each pinning a repo-wide contract that used to live only in review
+comments:
 
   metrics-drift        Every stats struct (``struct FooStats`` /
                        ``struct FooCounters`` in src/**.h) must declare
@@ -35,6 +36,18 @@ pinning a repo-wide contract that used to live only in review comments:
                        same line (factories with private constructors);
                        ``delete`` expressions are banned. Intentionally
                        leaky process-wide singletons are allowlisted.
+
+  size-estimate        In the layers that price or ship data (src/net,
+                       src/replica, src/opt, src/algebra, src/peer,
+                       src/scenario) a tree's size is its encoded wire
+                       size and trees cross links as encoded payloads
+                       (xml/wire.h). XML-text ``SerializedSize()`` call
+                       sites and clones handed straight to a network
+                       send reintroduce the priced != actual drift the
+                       wire format exists to kill. (src/xml keeps
+                       SerializedSize for sharding's grouping
+                       heuristics, where shard-boundary stability is
+                       the point.)
 
   injected-rng         Fault-injection sources (src/**/fault_injector*)
                        draw randomness ONLY through the injected
@@ -323,6 +336,51 @@ def check_raw_new_delete(sf: SourceFile) -> Iterator[Finding]:
             )
 
 
+# --- size-estimate ---
+
+# The layers where every byte count is (or prices) a transfer. src/xml
+# is exempt: sharding's grouping heuristics measure XML text size on
+# purpose (stable shard boundaries), and wire.cc is the encoder itself.
+SIZE_ESTIMATE_DIRS = (
+    "src/net",
+    "src/replica",
+    "src/opt",
+    "src/algebra",
+    "src/peer",
+    "src/scenario",
+)
+
+_SIZE_ESTIMATE_RE = re.compile(r"(?:\.|->)\s*SerializedSize\s*\(")
+_CLONE_SHIP_RE = re.compile(r"\bSend(?:Reliable|Notify)?\s*\(.*\bClone\s*\(")
+
+
+def check_size_estimate(sf: SourceFile) -> Iterator[Finding]:
+    """Priced layers read encoded sizes and ship encoded payloads."""
+    for i, line in enumerate(sf.code, 1):
+        if suppressed(sf, i, "size-estimate"):
+            continue
+        if _SIZE_ESTIMATE_RE.search(line):
+            yield Finding(
+                sf.path,
+                i,
+                "size-estimate",
+                "XML-text SerializedSize() in a priced layer — the wire "
+                "size is wire::EncodedTreeSize / wire::EncodedTextSize "
+                "(xml/wire.h); a parallel size estimate drifts from the "
+                "bytes the network actually charges",
+            )
+        if _CLONE_SHIP_RE.search(line):
+            yield Finding(
+                sf.path,
+                i,
+                "size-estimate",
+                "tree clone handed to a network send — trees cross links "
+                "as encoded wire::Payload bytes, decoded at arrival "
+                "(xml/wire.h); shipping an in-process clone bypasses the "
+                "priced-size == encoded-size contract",
+            )
+
+
 # --- injected-rng ---
 
 # A value-type `Rng name...` declaration (pointer `Rng*` and reference
@@ -370,6 +428,9 @@ def run_checks() -> list[Finding]:
             findings.extend(check_header_hygiene(sf))  # #pragma once ban
         if top == "src" and "fault_injector" in path.name:
             findings.extend(check_injected_rng(sf))
+        rel_posix = "/".join(rel_parts)
+        if rel_posix.startswith(tuple(d + "/" for d in SIZE_ESTIMATE_DIRS)):
+            findings.extend(check_size_estimate(sf))
         findings.extend(check_determinism(sf))
         findings.extend(check_unordered_iteration(sf))
         findings.extend(check_raw_new_delete(sf))

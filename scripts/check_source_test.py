@@ -113,6 +113,19 @@ class RawNewDeleteTest(unittest.TestCase):
         self.assertEqual(list(cs.check_raw_new_delete(posed)), [])
 
 
+class SizeEstimateTest(unittest.TestCase):
+    def test_flags_estimates_and_clone_ships_not_sanctioned_forms(self) -> None:
+        sf = fixture(
+            "bad_size_estimate.cc", pose_as="replica/bad_size_estimate.cc"
+        )
+        findings = list(cs.check_size_estimate(sf))
+        self.assertEqual(flagged_lines(findings, "size-estimate"), marked_lines(sf))
+
+    def test_priced_layers_are_gated_in_run_checks(self) -> None:
+        for d in cs.SIZE_ESTIMATE_DIRS:
+            self.assertTrue((cs.REPO_ROOT / d).is_dir(), d)
+
+
 class InjectedRngTest(unittest.TestCase):
     def test_flags_private_entropy_and_accepts_borrowed_pointer(self) -> None:
         sf = fixture(

@@ -6,6 +6,7 @@
 #include "algebra/expr_xml.h"
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "xml/wire.h"
 
 namespace axml {
 
@@ -121,23 +122,40 @@ void Evaluator::Ship(PeerId from, PeerId to, const TreePtr& tree,
     Fail(Status::NotFound(StrCat("ship to unknown peer ", to.ToString())));
     return;
   }
-  const uint64_t bytes = tree->SerializedSize();
-  if (from != to) {
-    Trace(StrCat("ship ", from.ToString(), "->", to.ToString(), " ",
-                 bytes, "B <", tree->is_element() ? tree->label_text()
-                                                  : std::string("#text"),
-                 ">"));
+  if (from == to) {
+    // A same-peer send moves nothing and must deliver the very instance
+    // (local grafts rely on node identity), priced at what its encoding
+    // would have cost on a real wire.
+    sys_->network().SendReliable(
+        from, to, wire::EncodedTreeSize(*tree),
+        [tree, deliver = std::move(deliver)] { deliver(tree); });
+    return;
   }
   // §3.2: "all evaluations of send expression trees are implicitly
-  // understood to copy the data model instances they send"; the copy gets
-  // fresh identifiers minted by the destination peer.
-  TreePtr copy = (from == to) ? tree : tree->Clone(dest->gen());
+  // understood to copy the data model instances they send" — the encoded
+  // payload *is* that copy: the destination decodes it into fresh
+  // identifiers minted by its own generator, and the priced size is the
+  // payload's actual byte count.
+  wire::Payload payload(wire::EncodeTree(*tree, &sys_->wire_stats()));
+  Trace(StrCat("ship ", from.ToString(), "->", to.ToString(), " ",
+               payload.size(), "B <",
+               tree->is_element() ? tree->label_text()
+                                  : std::string("#text"),
+               ">"));
   // Reliable: a query in flight must survive injected faults — Eval runs
   // the loop to quiescence, and a silently lost shipment would hang it.
   sys_->network().SendReliable(
-      from, to, bytes,
-      [copy = std::move(copy),
-       deliver = std::move(deliver)] { deliver(copy); });
+      from, to, std::move(payload),
+      [this, to, deliver = std::move(deliver)](const wire::Payload& p) {
+        Peer* arrived_at = sys_->peer(to);
+        if (arrived_at == nullptr) return;
+        Result<TreePtr> landed =
+            wire::DecodeTree(p.bytes(), arrived_at->gen(),
+                             &sys_->wire_stats());
+        AXML_DCHECK(landed.ok());
+        if (!landed.ok()) return;
+        deliver(std::move(landed).value());
+      });
 }
 
 void Evaluator::DeployExpr(PeerId ctx, const ExprPtr& e, EmitFn emit) {
@@ -311,12 +329,26 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
       }
       Trace(StrCat("replica-hit ", doc_name, "@", owner.ToString(),
                    " read at ", ctx.ToString(), " (0B on the wire)"));
-      // Deliver a clone, as the ship this hit replaces would have
-      // (§3.2: sends copy their data-model instances). Consumers must
-      // never hold the cache blob itself — a same-peer send could graft
-      // and later mutate it behind its digest.
+      // Deliver a private instance, as the ship this hit replaces would
+      // have (§3.2: sends copy their data-model instances). Consumers
+      // must never hold the cache blob itself — a same-peer send could
+      // graft and later mutate it behind its digest. The cache keeps the
+      // received wire bytes, so the "copy" is a decode of those bytes —
+      // the same operation a fresh transfer would have performed.
       Peer* reader = sys_->peer(ctx);
-      TreePtr fresh = copy->Clone(reader->gen());
+      TreePtr fresh;
+      const TransferCache* cache = sys_->replicas().FindCache(ctx);
+      const std::string* enc =
+          cache == nullptr
+              ? nullptr
+              : cache->PeekEncoded(ReplicaKey{owner, doc_name});
+      if (enc != nullptr) {
+        Result<TreePtr> decoded =
+            wire::DecodeTree(*enc, reader->gen(), &sys_->wire_stats());
+        AXML_DCHECK(decoded.ok());
+        if (decoded.ok()) fresh = std::move(decoded).value();
+      }
+      if (fresh == nullptr) fresh = copy->Clone(reader->gen());
       sys_->loop().Post(
           [fresh = std::move(fresh), emit = std::move(emit)] {
             emit(fresh);
@@ -381,7 +413,7 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
             return;
           }
           NodeIdGen* gen = sys_->peer(ctx)->gen();
-          const uint64_t bytes = assembled->SerializedSize();
+          const uint64_t bytes = wire::EncodedTreeSize(*assembled);
           emit(assembled);
           for (EmitFn& w : waiters) {
             sys_->replicas().CacheFor(ctx)->RecordCoalescedHit(bytes);
@@ -419,8 +451,8 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
               Tracer& tr = sys_->tracer();
               Tracer::Scope trace_scope(&tr, tr.CurrentOrNew());
               if (tr.enabled()) {
-                tr.Record("eval", "fetch", ctx, t->SerializedSize(), 0,
-                          StrCat(doc_name, "@", owner.ToString()));
+                tr.Record("eval", "fetch", ctx, wire::EncodedTreeSize(*t),
+                          0, StrCat(doc_name, "@", owner.ToString()));
               }
               // Ship clones the content now; remember which origin
               // version that snapshot corresponds to (a mutation during
@@ -457,7 +489,7 @@ void Evaluator::DeployDoc(PeerId ctx, const ExprPtr& e, EmitFn emit) {
                   std::vector<EmitFn> waiters =
                       std::move(flight->second);
                   inflight_.erase(flight);
-                  const uint64_t bytes = landed->SerializedSize();
+                  const uint64_t bytes = wire::EncodedTreeSize(*landed);
                   for (EmitFn& w : waiters) {
                     sys_->replicas().CacheFor(ctx)->RecordCoalescedHit(
                         bytes);
@@ -533,8 +565,18 @@ void Evaluator::DeployApply(PeerId ctx, const ExprPtr& e, EmitFn emit) {
 
   PeerId qp = e->query_peer();
   if (qp.is_concrete() && qp != ctx) {
-    // Definition (7): the defining peer ships the query text first.
-    sys_->network().SendReliable(qp, ctx, q.SerializedSize(), start);
+    // Definition (7): the defining peer ships the query text first — an
+    // encoded kQuery payload priced at its actual byte count.
+    sys_->network().SendReliable(
+        qp, ctx,
+        wire::EncodeText(wire::MessageClass::kQuery, q.text(),
+                         &sys_->wire_stats()),
+        [this, start](const wire::Payload& p) {
+          Result<std::string> text =
+              wire::DecodeText(p, &sys_->wire_stats());
+          AXML_DCHECK(text.ok());
+          start();
+        });
   } else {
     sys_->loop().Post(start);
   }
@@ -843,10 +885,23 @@ void Evaluator::DeployShipQuery(PeerId ctx, const ExprPtr& e, EmitFn) {
     name = StrCat("shipped_q", counter++);
   }
   sys_->network().SendReliable(
-      ctx, to, q.SerializedSize(), [this, to, q, name] {
+      ctx, to,
+      wire::EncodeText(wire::MessageClass::kQuery, q.text(),
+                       &sys_->wire_stats()),
+      [this, to, name](const wire::Payload& p) {
         Peer* target = sys_->peer(to);
         if (target == nullptr) return;
-        target->PutService(Service::Declarative(name, q));
+        // The service re-materializes from the wire text: the canonical
+        // form Parse()s back to an equal query, so the shipped bytes are
+        // the installed definition — no in-process alias survives.
+        Result<std::string> text = wire::DecodeText(p, &sys_->wire_stats());
+        AXML_DCHECK(text.ok());
+        if (!text.ok()) return;
+        Result<Query> parsed = Query::Parse(*text);
+        AXML_DCHECK(parsed.ok());
+        if (!parsed.ok()) return;
+        target->PutService(
+            Service::Declarative(name, std::move(parsed).value()));
         if (sys_->catalog() != nullptr) {
           sys_->catalog()->Register(ResourceKind::kService, name, to);
         }
@@ -866,16 +921,22 @@ void Evaluator::DeployEvalAt(PeerId ctx, const ExprPtr& e, EmitFn emit) {
         StrCat("evalAt peer ", where.ToString(), " unknown")));
     return;
   }
-  // Rules (14)/(15): the expression itself travels as an XML tree; its
-  // serialized size is the shipping cost. Results come back to the
-  // consumer.
+  // Rules (14)/(15): the expression itself travels as an XML tree — its
+  // compact serialization rides a kQuery envelope, and the payload's
+  // byte count is the shipping cost. Results come back to the consumer.
   ExprPtr body = e->body();
   NodeIdGen tmp;
-  const uint64_t bytes = SerializeCompactExpr(*body, &tmp).size();
+  wire::Payload payload =
+      wire::EncodeText(wire::MessageClass::kQuery,
+                       SerializeCompactExpr(*body, &tmp),
+                       &sys_->wire_stats());
   Trace(StrCat("delegate expr ", ctx.ToString(), "->", where.ToString(),
-               " ", bytes, "B"));
+               " ", payload.size(), "B"));
   sys_->network().SendReliable(
-      ctx, where, bytes, [this, where, ctx, body, emit] {
+      ctx, where, std::move(payload),
+      [this, where, ctx, body, emit](const wire::Payload& p) {
+        Result<std::string> text = wire::DecodeText(p, &sys_->wire_stats());
+        AXML_DCHECK(text.ok());
         DeployExpr(where, body, [this, where, ctx, emit](TreePtr t) {
           Ship(where, ctx, t, emit);
         });

@@ -3,6 +3,7 @@
 #include "algebra/expr_xml.h"
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "xml/wire.h"
 
 namespace axml {
 
@@ -136,7 +137,7 @@ std::string Expr::ToString() const {
   };
   switch (kind_) {
     case Kind::kTree:
-      return StrCat("tree[", tree_->SerializedSize(), "B]@",
+      return StrCat("tree[", wire::EncodedTreeSize(*tree_), "B]@",
                     peer_.ToString());
     case Kind::kDoc:
       return StrCat("doc(", name_, ")@", peer_.ToString());

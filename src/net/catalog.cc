@@ -199,7 +199,30 @@ uint32_t ChordDhtCatalog::SuccessorOf(uint64_t point) const {
         return e.first < p;
       });
   if (it == ring_.end()) it = ring_.begin();
+  // Successor-list repair, lazily: a crashed successor is skipped and
+  // its arc falls to the next live peer, so digests and lookups keep
+  // landing on reachable nodes through churn. When every peer is down
+  // (quiesced test teardown) the nominal successor is returned — the
+  // network gate stops the traffic anyway.
+  auto probe = it;
+  for (size_t n = 0; n < ring_.size(); ++n) {
+    if (IsLive(probe->second)) return probe->second;
+    ++probe;
+    if (probe == ring_.end()) probe = ring_.begin();
+  }
   return it->second;
+}
+
+void ChordDhtCatalog::SetPeerLive(PeerId peer, bool live) {
+  if (!peer.is_concrete()) return;
+  // The ring itself is membership, not liveness: the peer keeps its
+  // point (and reclaims its arc on rejoin); routing filters through
+  // down_ at resolution time, so no finger state needs rebuilding.
+  if (live) {
+    down_.erase(peer.index());
+  } else {
+    down_.insert(peer.index());
+  }
 }
 
 uint32_t ChordDhtCatalog::NextHop(uint32_t cur, uint32_t responsible,

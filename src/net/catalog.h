@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -130,6 +131,15 @@ class CatalogBackend {
   /// advertisement traffic. Left null (the default, and the standalone /
   /// bench-model usage), registration stays free as in the seed.
   void AttachNetwork(Network* net) { net_ = net; }
+
+  /// Marks `peer` crashed (`live` false) or rejoined (`live` true).
+  /// AxmlSystem::CrashPeer / RejoinPeer call this right after flipping
+  /// the Network's liveness gate. Routed backends (Chord) steer lookups
+  /// and digests around down peers; analytic backends ignore it.
+  virtual void SetPeerLive(PeerId peer, bool live) {
+    (void)peer;
+    (void)live;
+  }
 
   /// Opens / closes an advertisement batch window. While a window is
   /// open, effective deltas coalesce per (holder, responsible node) and
@@ -230,10 +240,13 @@ class CentralCatalog : public CatalogBackend {
 /// coalesce under Begin/EndAdvertiseBatch.
 ///
 /// The ring is rebuilt lazily when peer_count changes, so fleet bring-up
-/// (P AddPeer calls) does not pay P ring builds. Ring membership ignores
-/// liveness: routing through a crashed peer stalls on that peer's
-/// ControlRoundtrip retry loop until it rejoins — ring repair under
-/// churn is future work (docs/fleet-scale.md).
+/// (P AddPeer calls) does not pay P ring builds. Liveness-aware routing
+/// (SetPeerLive): a crashed peer stays a ring member, but successor
+/// resolution walks past it — its arc is absorbed by the next live peer,
+/// the lazy form of Chord's successor-list repair — and finger targets
+/// resolve through the same filter, so every hop of every route lands on
+/// a live node. Rejoin restores the peer's arc on the next resolution;
+/// no explicit finger tables exist to fix up.
 class ChordDhtCatalog : public CatalogBackend {
  public:
   ChordDhtCatalog() = default;
@@ -243,6 +256,7 @@ class ChordDhtCatalog : public CatalogBackend {
               Network* net, LookupCallback cb) override;
   LookupResult LookupNow(ResourceKind kind, const std::string& name,
                          PeerId from, const Network& net) override;
+  void SetPeerLive(PeerId peer, bool live) override;
 
   /// The peer whose arc covers hash(name) — where the entry's digest
   /// traffic lands. Invalid when the ring is empty.
@@ -265,7 +279,10 @@ class ChordDhtCatalog : public CatalogBackend {
   static uint64_t PeerPoint(uint32_t index);
   /// Ring position of an entry key.
   static uint64_t KeyPoint(const std::string& map_key);
-  /// Peer owning `point` (its successor on the ring).
+  /// True unless the peer is marked down via SetPeerLive.
+  bool IsLive(uint32_t index) const { return down_.count(index) == 0; }
+  /// The first *live* peer at or clockwise of `point` (a crashed
+  /// successor is skipped — its arc falls to the next live peer).
   uint32_t SuccessorOf(uint64_t point) const;
   /// Next routing hop from `cur` toward `responsible` for `target`.
   uint32_t NextHop(uint32_t cur, uint32_t responsible,
@@ -276,6 +293,8 @@ class ChordDhtCatalog : public CatalogBackend {
   /// (point, peer index), sorted by point; rebuilt lazily.
   mutable std::vector<std::pair<uint64_t, uint32_t>> ring_;
   mutable bool ring_dirty_ = true;
+  /// Peers currently crashed (by index); routing skips them.
+  std::set<uint32_t> down_;
   /// Deltas pending in the open batch window, coalesced per
   /// (holder, responsible) pair.
   std::map<std::pair<uint32_t, uint32_t>, uint64_t> pending_digests_;

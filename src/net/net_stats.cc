@@ -27,6 +27,11 @@ void NetStats::RecordControl(uint64_t messages, uint64_t bytes) {
   for (uint64_t i = 0; i < messages; ++i) msg_bytes_.Add(per_message);
 }
 
+void NetStats::RecordPayload(wire::MessageClass cls, uint64_t bytes) {
+  ++class_messages_[static_cast<size_t>(cls)];
+  class_bytes_[static_cast<size_t>(cls)] += bytes;
+}
+
 void NetStats::RecordDrop(uint64_t bytes) {
   ++dropped_messages_;
   dropped_bytes_ += bytes;
@@ -55,6 +60,12 @@ void NetStats::ExportMetrics(MetricSink& sink) const {
   sink.Value("notify_bytes", notify_bytes_);
   sink.Value("dropped_messages", dropped_messages_);
   sink.Value("dropped_bytes", dropped_bytes_);
+  for (size_t i = 0; i < wire::kMessageClassCount; ++i) {
+    const char* name =
+        wire::MessageClassName(static_cast<wire::MessageClass>(i));
+    sink.Value(StrCat("class_msgs_", name), class_messages_[i]);
+    sink.Value(StrCat("class_bytes_", name), class_bytes_[i]);
+  }
   sink.Histo("msg_bytes", msg_bytes_);
 }
 

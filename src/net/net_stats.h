@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "net/sim_time.h"
 #include "obs/metrics.h"
+#include "xml/wire.h"
 
 namespace axml {
 
@@ -38,6 +39,10 @@ class NetStats {
   /// holder): counted like any link message *and* tallied apart, so the
   /// push-refresh benches can report notify traffic next to data bytes.
   void RecordNotify(PeerId from, PeerId to, uint64_t bytes);
+  /// Tallies one encoded payload against its message class — the
+  /// per-class half of the accounting; the link half is Record /
+  /// RecordNotify as before. Every payload-carrying send records both.
+  void RecordPayload(wire::MessageClass cls, uint64_t bytes);
   void Reset();
 
   uint64_t total_messages() const { return total_messages_; }
@@ -54,6 +59,15 @@ class NetStats {
   /// sent totals above; 0 on a perfect fabric.
   uint64_t dropped_messages() const { return dropped_messages_; }
   uint64_t dropped_bytes() const { return dropped_bytes_; }
+  /// Encoded messages/bytes by wire message class (kTree, kShipment,
+  /// kNotify, ...). Only payload-carrying sends are classed; modeled
+  /// byte-count traffic (analytic catalog backends) is not.
+  uint64_t class_messages(wire::MessageClass cls) const {
+    return class_messages_[static_cast<size_t>(cls)];
+  }
+  uint64_t class_bytes(wire::MessageClass cls) const {
+    return class_bytes_[static_cast<size_t>(cls)];
+  }
 
   PairStats Pair(PeerId from, PeerId to) const;
 
@@ -90,6 +104,8 @@ class NetStats {
   uint64_t notify_bytes_ = 0;
   uint64_t dropped_messages_ = 0;
   uint64_t dropped_bytes_ = 0;
+  uint64_t class_messages_[wire::kMessageClassCount] = {};
+  uint64_t class_bytes_[wire::kMessageClassCount] = {};
   Histogram msg_bytes_;
   std::unordered_map<uint64_t, PairStats> pairs_;
 };

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -13,6 +14,16 @@ namespace {
 // or a retry loop at a frozen timestamp would never leave a partition
 // window (and never terminate).
 constexpr SimTime kMinRetryDelay = 1e-6;
+
+/// Adapts a payload delivery to the DeliverFn plumbing: the encoded
+/// bytes ride in the closure (shared, immutable) and are handed to the
+/// receiver at arrival time — the sim's stand-in for the wire.
+Network::DeliverFn CarryPayload(std::shared_ptr<const wire::Payload> p,
+                                Network::PayloadDeliverFn on_deliver) {
+  return [p = std::move(p), cb = std::move(on_deliver)]() {
+    if (cb) cb(*p);
+  };
+}
 }  // namespace
 
 void Network::Send(PeerId from, PeerId to, uint64_t bytes,
@@ -40,6 +51,45 @@ void Network::SendReliable(PeerId from, PeerId to, uint64_t bytes,
   AXML_CHECK(to.is_concrete());
   stats_.Record(from, to, bytes);
   ReliableAttempt(from, to, bytes, std::move(on_deliver));
+}
+
+void Network::Send(PeerId from, PeerId to, wire::Payload payload,
+                   PayloadDeliverFn on_deliver) {
+  // The boundary contract: what is priced is what is carried. The byte
+  // count handed to the link accounting below IS payload.size(); no
+  // other size exists on this path.
+  auto p = std::make_shared<const wire::Payload>(std::move(payload));
+  const uint64_t bytes = p->size();
+  stats_.RecordPayload(p->message_class(), bytes);
+  Send(from, to, bytes, CarryPayload(std::move(p), std::move(on_deliver)));
+}
+
+void Network::SendNotify(PeerId from, PeerId to, wire::Payload payload,
+                         PayloadDeliverFn on_deliver) {
+  auto p = std::make_shared<const wire::Payload>(std::move(payload));
+  const uint64_t bytes = p->size();
+  AXML_DCHECK(p->message_class() == wire::MessageClass::kNotify);
+  stats_.RecordPayload(p->message_class(), bytes);
+  SendNotify(from, to, bytes,
+             CarryPayload(std::move(p), std::move(on_deliver)));
+}
+
+void Network::SendReliable(PeerId from, PeerId to, wire::Payload payload,
+                           PayloadDeliverFn on_deliver) {
+  auto p = std::make_shared<const wire::Payload>(std::move(payload));
+  const uint64_t bytes = p->size();
+  stats_.RecordPayload(p->message_class(), bytes);
+  SendReliable(from, to, bytes,
+               CarryPayload(std::move(p), std::move(on_deliver)));
+}
+
+void Network::ControlRoundtrip(PeerId from, PeerId to, uint64_t messages,
+                               wire::Payload payload,
+                               uint64_t response_bytes, SimTime delay,
+                               DeliverFn on_done) {
+  const uint64_t bytes = payload.size() + response_bytes;
+  stats_.RecordPayload(payload.message_class(), payload.size());
+  ControlRoundtrip(from, to, messages, bytes, delay, std::move(on_done));
 }
 
 void Network::ReliableAttempt(PeerId from, PeerId to, uint64_t bytes,

@@ -20,6 +20,7 @@
 #include "net/net_stats.h"
 #include "net/topology.h"
 #include "obs/trace.h"
+#include "xml/wire.h"
 
 namespace axml {
 
@@ -33,6 +34,9 @@ class Network {
  public:
   /// Called on the destination peer when a message arrives.
   using DeliverFn = std::function<void()>;
+  /// Payload-carrying variant: the destination receives the encoded
+  /// bytes that were priced — decode happens there, never en route.
+  using PayloadDeliverFn = std::function<void(const wire::Payload&)>;
 
   Network(EventLoop* loop, Topology topology)
       : loop_(loop), topology_(std::move(topology)) {}
@@ -45,6 +49,25 @@ class Network {
   /// message starts transmitting only after the previous one finished
   /// (propagation overlaps, as on a real pipe).
   void Send(PeerId from, PeerId to, uint64_t bytes, DeliverFn on_deliver);
+
+  /// The payload-carrying sends: the priced size IS `payload.size()` —
+  /// there is no separately estimated byte count to drift from the
+  /// content. Each also tallies the payload's message class
+  /// (NetStats::class_messages/class_bytes). The byte-count overloads
+  /// above remain for *modeled* traffic (analytic catalog backends,
+  /// closed-form benches) that never materializes bytes.
+  void Send(PeerId from, PeerId to, wire::Payload payload,
+            PayloadDeliverFn on_deliver);
+  void SendNotify(PeerId from, PeerId to, wire::Payload payload,
+                  PayloadDeliverFn on_deliver);
+  void SendReliable(PeerId from, PeerId to, wire::Payload payload,
+                    PayloadDeliverFn on_deliver);
+  /// Control roundtrip whose request is a real encoded payload (lease
+  /// renewals, anti-entropy digests): `messages` messages totalling
+  /// `payload.size() + response_bytes` (the modeled response leg).
+  void ControlRoundtrip(PeerId from, PeerId to, uint64_t messages,
+                        wire::Payload payload, uint64_t response_bytes,
+                        SimTime delay, DeliverFn on_done);
 
   /// Like Send, but tallied as replica-invalidation notify traffic
   /// (NetStats::notify_messages/bytes) on top of the link accounting.

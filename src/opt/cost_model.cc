@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "algebra/expr_xml.h"
 #include "common/str_util.h"
+#include "xml/wire.h"
 
 namespace axml {
 
@@ -17,6 +19,20 @@ constexpr double kSelEq = 0.10;
 constexpr double kSelRange = 0.33;
 constexpr double kSelContains = 0.25;
 constexpr double kSelExists = 0.90;
+
+/// Wire bytes of a shipped query: its canonical text in a kQuery
+/// envelope — exactly what the evaluator's SendReliable prices.
+double EncodedQueryBytes(const Query& q) {
+  return static_cast<double>(wire::EncodedTextSize(q.text()));
+}
+
+/// Wire bytes of a delegated expression (eval@p): the compact
+/// serialization in a kQuery envelope, matching DeployEvalAt.
+double EncodedExprBytes(const Expr& e) {
+  NodeIdGen gen;
+  return static_cast<double>(
+      wire::EncodedTextSize(SerializeCompactExpr(e, &gen)));
+}
 
 double CondSelectivity(const aql::Cond& c, const TreeStats* stats) {
   using K = aql::Cond::Kind;
@@ -174,10 +190,20 @@ Flow CostModel::EstimateFlow(PeerId at, const ExprPtr& e) const {
 }
 
 CostModel::Visit CostModel::Walk(PeerId at, const ExprPtr& e) const {
+  if (memo_depth_ == 0) return WalkUncached(at, e);
+  auto key = std::make_pair(at, e.get());
+  auto it = walk_memo_.find(key);
+  if (it != walk_memo_.end()) return it->second;
+  Visit v = WalkUncached(at, e);
+  walk_memo_.emplace(key, v);
+  return v;
+}
+
+CostModel::Visit CostModel::WalkUncached(PeerId at, const ExprPtr& e) const {
   Visit v;
   switch (e->kind()) {
     case Expr::Kind::kTree: {
-      v.flow.bytes = static_cast<double>(e->tree()->SerializedSize());
+      v.flow.bytes = static_cast<double>(wire::EncodedTreeSize(*e->tree()));
       v.flow.trees = 1;
       v.cost += TransferCost(e->tree_owner(), at, v.flow.bytes);
       return v;
@@ -236,8 +262,7 @@ CostModel::Visit CostModel::Walk(PeerId at, const ExprPtr& e) const {
       // Query shipping (def. (7)).
       if (e->query_peer().is_concrete() && e->query_peer() != at) {
         v.cost += TransferCost(e->query_peer(), at,
-                               static_cast<double>(
-                                   e->query().SerializedSize()));
+                               EncodedQueryBytes(e->query()));
       }
       // Volume also flows out of doc(...) clauses read at `at`.
       in_bytes += DocSourceBytes(e->query(), at);
@@ -314,8 +339,7 @@ CostModel::Visit CostModel::Walk(PeerId at, const ExprPtr& e) const {
     }
     case Expr::Kind::kShipQuery: {
       v.cost += TransferCost(at, e->ship_dest(),
-                             static_cast<double>(
-                                 e->query().SerializedSize()));
+                             EncodedQueryBytes(e->query()));
       v.flow.bytes = 0;
       v.flow.trees = 0;
       return v;
@@ -323,9 +347,7 @@ CostModel::Visit CostModel::Walk(PeerId at, const ExprPtr& e) const {
     case Expr::Kind::kEvalAt: {
       PeerId where = e->eval_where();
       // Shipping the expression itself.
-      v.cost += TransferCost(at, where,
-                             static_cast<double>(
-                                 e->body()->SerializedSize()));
+      v.cost += TransferCost(at, where, EncodedExprBytes(*e->body()));
       Visit bv = Walk(where, e->body());
       v.cost += bv.cost;
       // Results return to the consumer.

@@ -17,7 +17,9 @@
 #ifndef AXML_OPT_COST_MODEL_H_
 #define AXML_OPT_COST_MODEL_H_
 
+#include <map>
 #include <string>
+#include <utility>
 
 #include "algebra/expr.h"
 #include "peer/system.h"
@@ -116,16 +118,44 @@ class CostModel {
 
   bool assume_replica_cache() const { return assume_replica_cache_; }
 
+  /// Opens a memoization scope: while at least one scope is live, Walk
+  /// results are cached by (evaluation peer, expression node) and
+  /// reused. Valid only while system state (documents, replica caches,
+  /// topology) is unchanged — which holds for the duration of one
+  /// optimizer search, where beam candidates share subexpression nodes
+  /// and would otherwise re-walk each shared subtree once per
+  /// candidate. Scopes nest; the cache drops when the last one closes.
+  class MemoScope {
+   public:
+    explicit MemoScope(const CostModel* model) : model_(model) {
+      ++model_->memo_depth_;
+    }
+    ~MemoScope() {
+      if (--model_->memo_depth_ == 0) model_->walk_memo_.clear();
+    }
+    MemoScope(const MemoScope&) = delete;
+    MemoScope& operator=(const MemoScope&) = delete;
+
+   private:
+    const CostModel* model_;
+  };
+
  private:
   struct Visit {
     Flow flow;
     CostEstimate cost;
   };
   Visit Walk(PeerId at, const ExprPtr& e) const;
+  Visit WalkUncached(PeerId at, const ExprPtr& e) const;
 
   AxmlSystem* sys_;
   bool assume_replica_cache_;
   mutable std::map<std::string, TreeStats> stats_cache_;
+  /// Live only inside a MemoScope; keyed by the shared expression node —
+  /// candidates produced by WithChildren alias unchanged subtrees, so a
+  /// hit is exact, not structural.
+  mutable std::map<std::pair<PeerId, const Expr*>, Visit> walk_memo_;
+  mutable int memo_depth_ = 0;
 };
 
 }  // namespace axml

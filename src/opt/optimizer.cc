@@ -59,6 +59,12 @@ void Optimizer::EnumerateRewrites(
 
 OptimizedPlan Optimizer::Optimize(PeerId at, const ExprPtr& e) {
   explored_ = 0;
+  // One memo scope spans the whole search: WithChildren aliases the
+  // unchanged subtrees, so across a round's candidates each shared
+  // (peer, node) pair is costed once — without this, every Estimate
+  // re-walks the full expression and search time grows superlinearly
+  // with expression size (EXP-9, bench_optimizer).
+  CostModel::MemoScope memo(&cost_);
   Candidate seed{e, cost_.Estimate(at, e), {}};
   std::vector<Candidate> beam{seed};
   Candidate best = seed;

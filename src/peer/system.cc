@@ -26,6 +26,9 @@ AxmlSystem::AxmlSystem(Topology topology)
   metrics_.RegisterSource("catalog", [this](MetricSink& sink) {
     if (catalog_ != nullptr) catalog_->ExportMetrics(sink);
   });
+  metrics_.RegisterSource("wire", [this](MetricSink& sink) {
+    wire_stats_.ExportMetrics(sink);
+  });
   generics_.set_document_validator(
       [this](const std::string& cls, const ClassMember& m) {
         return replicas_.ValidateMember(cls, m);
@@ -34,8 +37,10 @@ AxmlSystem::AxmlSystem(Topology topology)
       [this](const std::string& cls, PeerId from, uint64_t demand) {
         replicas_.OnPickDemand(cls, from, demand);
       });
-  // Serialized sizes are memoized per (member, doc version) — computing
-  // one walks the whole tree, and the pick consults every member.
+  // Encoded sizes are memoized per (member, doc version) — computing
+  // one walks the whole tree, and the pick consults every member. The
+  // hint is the *wire* size (what fetching the member would move), not
+  // the XML serialization.
   auto size_memo = std::make_shared<
       std::map<std::pair<PeerId, DocName>, std::pair<uint64_t, uint64_t>>>();
   generics_.set_member_size_hint(
@@ -48,7 +53,8 @@ AxmlSystem::AxmlSystem(Topology topology)
         const Peer* holder = peer(m.peer);
         TreePtr root =
             holder == nullptr ? nullptr : holder->GetDocument(m.name);
-        const uint64_t bytes = root == nullptr ? 0 : root->SerializedSize();
+        const uint64_t bytes =
+            root == nullptr ? 0 : wire::EncodedTreeSize(*root);
         (*size_memo)[{m.peer, m.name}] = {version, bytes};
         return bytes;
       });
@@ -155,8 +161,11 @@ Status AxmlSystem::InstallReplicatedDocument(
 void AxmlSystem::CrashPeer(PeerId p, CrashMode mode) {
   // Order matters: the network gate goes down first so nothing the
   // replica-side crash handling does (retractions, cache clears) can
-  // still route traffic through the dying peer.
+  // still route traffic through the dying peer. The catalog learns
+  // next, so routed backends (Chord) stop steering lookups through the
+  // dead peer before any repair traffic flows.
   network_->SetPeerUp(p, false);
+  if (catalog_ != nullptr) catalog_->SetPeerLive(p, false);
   replicas_.OnPeerCrash(p, mode);
 }
 
@@ -164,6 +173,7 @@ void AxmlSystem::RejoinPeer(PeerId p) {
   // Reverse of CrashPeer: the network comes back first so rejoin-time
   // reconciliation can reach the origins it compares against.
   network_->SetPeerUp(p, true);
+  if (catalog_ != nullptr) catalog_->SetPeerLive(p, true);
   replicas_.OnPeerRejoin(p);
 }
 

@@ -83,6 +83,13 @@ class AxmlSystem {
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
 
+  /// Encode/decode accounting for every wire payload this system
+  /// produces or consumes, mounted at "wire/..." in the registry.
+  /// Instance state, not process-global: twin systems in one process
+  /// must stay byte-identical in DumpMetrics.
+  wire::WireStats& wire_stats() { return wire_stats_; }
+  const wire::WireStats& wire_stats() const { return wire_stats_; }
+
   // --- State manipulation helpers (register resources in the catalog) ---
 
   /// Installs a document on `p` and advertises it.
@@ -138,6 +145,7 @@ class AxmlSystem {
   ReplicaManager replicas_;
   MetricRegistry metrics_;
   Tracer tracer_;
+  wire::WireStats wire_stats_;
 };
 
 }  // namespace axml

@@ -10,6 +10,7 @@
 #include "opt/cost_model.h"
 #include "peer/peer.h"
 #include "peer/system.h"
+#include "xml/wire.h"
 
 namespace axml {
 
@@ -34,6 +35,12 @@ ReplicaKey ManifestKey(PeerId origin, const DocName& name) {
 ReplicaKey ShardDataKey(PeerId origin, const DocName& name,
                         const ContentDigest& id) {
   return ReplicaKey{origin, name, id.ToString()};
+}
+
+/// The system's wire encode/decode accounting, nullptr for unbound
+/// managers (headless unit tests).
+wire::WireStats* WireStatsOf(AxmlSystem* sys) {
+  return sys == nullptr ? nullptr : &sys->wire_stats();
 }
 
 }  // namespace
@@ -206,7 +213,8 @@ const TransferCache* ReplicaManager::FindCache(PeerId peer) const {
 
 bool ReplicaManager::InsertCopy(PeerId reader, PeerId origin,
                                 const DocName& name, const TreePtr& landed,
-                                uint64_t snapshot_version) {
+                                uint64_t snapshot_version,
+                                std::string encoded) {
   AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   if (sys_ == nullptr || reader == origin || !origin.is_concrete()) {
     return false;
@@ -221,7 +229,8 @@ bool ReplicaManager::InsertCopy(PeerId reader, PeerId origin,
   TransferCache* cache = CacheFor(reader);
   // Put retracts an older copy of the same key first (evict listener), so
   // the install guard below sees a clean slot.
-  if (!cache->Put(key, landed, DigestOf(*landed), snapshot_version)) {
+  if (!cache->Put(key, landed, DigestOf(*landed), snapshot_version,
+                  std::move(encoded))) {
     return false;  // over budget: not worth caching
   }
   const TransferCache::Entry* entry = cache->Peek(key);
@@ -539,14 +548,14 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
       ++subscription_stats_.shard_notifies;
     }
     if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
-      tr->Record("replica", "notify", holder, kNotifyMsgBytes, 0,
-                 key.ToString());
+      // Size 0: under batching the wire size exists only at send time.
+      tr->Record("replica", "notify", holder, 0, 0, key.ToString());
     }
     // The notification is wire traffic on the origin->holder link;
     // NetStats tallies it apart from data transfers. Inside a
     // NotifyBatch window, events to the same (origin, holder) pair share
     // one message.
-    QueueNotify(key.origin, holder);
+    QueueNotify(key, holder);
     // Coherence is synchronous: copy and advertisements are gone before
     // the mutating call returns — no lookup can ever see them stale.
     if (DropCopy(holder, key.origin, key.name)) {
@@ -574,21 +583,42 @@ void ReplicaManager::PushInvalidate(const ReplicaKey& key) {
   }
 }
 
-void ReplicaManager::QueueNotify(PeerId origin, PeerId holder) {
+void ReplicaManager::QueueNotify(const ReplicaKey& key, PeerId holder) {
   if (notify_batch_depth_ > 0) {
-    uint64_t& queued = pending_notifies_[{origin, holder}];
-    if (queued > 0) ++subscription_stats_.batched;
-    ++queued;
+    std::vector<ReplicaKey>& queued =
+        pending_notifies_[{key.origin, holder}];
+    if (!queued.empty()) ++subscription_stats_.batched;
+    queued.push_back(key);
     return;
   }
   if (sys_ != nullptr) {
-    // The arrival hook is the asynchronous half of invalidation: a
-    // no-op on the perfect fabric (the drop already happened above,
-    // synchronously), a repair when faults let stale state survive.
-    sys_->network().SendNotify(
-        origin, holder, kNotifyMsgBytes,
-        [this, origin, holder] { OnNotifyDelivered(origin, holder); });
+    SendNotifyMessage(key.origin, holder, {key});
   }
+}
+
+void ReplicaManager::SendNotifyMessage(
+    PeerId origin, PeerId holder, const std::vector<ReplicaKey>& keys) {
+  wire::NotifyBatch batch;
+  batch.origin = origin.index();
+  batch.keys.reserve(keys.size());
+  for (const ReplicaKey& k : keys) {
+    batch.keys.push_back({k.name, k.shard});
+  }
+  // The arrival hook is the asynchronous half of invalidation: a no-op
+  // on the perfect fabric (the drop already happened, synchronously), a
+  // repair when faults let stale state survive. The priced size is the
+  // encoded batch's — one key or fifty, the bytes are what they are.
+  sys_->network().SendNotify(
+      origin, holder, wire::EncodeNotifyBatch(batch, WireStatsOf(sys_)),
+      [this, origin, holder](const wire::Payload& p) {
+        // The carried keys are advisory — the repair rescans the whole
+        // cache — but a payload that does not parse is a bug, not a
+        // tolerable fault.
+        Result<wire::NotifyBatch> got =
+            wire::DecodeNotifyBatch(p, WireStatsOf(sys_));
+        AXML_DCHECK(got.ok());
+        OnNotifyDelivered(origin, holder);
+      });
 }
 
 void ReplicaManager::BeginNotifyBatch() { ++notify_batch_depth_; }
@@ -597,12 +627,8 @@ void ReplicaManager::EndNotifyBatch() {
   AXML_CHECK(notify_batch_depth_ > 0);
   if (--notify_batch_depth_ > 0) return;
   for (const auto& [pair, queued] : pending_notifies_) {
-    if (sys_ != nullptr && queued > 0) {
-      const PeerId origin = pair.first;
-      const PeerId holder = pair.second;
-      sys_->network().SendNotify(
-          origin, holder, kNotifyMsgBytes + (queued - 1) * kNotifyKeyBytes,
-          [this, origin, holder] { OnNotifyDelivered(origin, holder); });
+    if (sys_ != nullptr && !queued.empty()) {
+      SendNotifyMessage(pair.first, pair.second, queued);
     }
   }
   pending_notifies_.clear();
@@ -734,28 +760,37 @@ bool ReplicaManager::FetchForRead(PeerId reader, PeerId origin,
   const uint64_t snap_version = Version(origin, name);
 
   // Partition the manifest's shards: residents serve locally (each a
-  // cache hit — the partial-copy payoff), the rest cross the wire.
+  // cache hit — the partial-copy payoff), the rest are *encoded* into
+  // the delta — no clone crosses the process; the receiving peer
+  // decodes what the wire delivered.
+  wire::Shipment ship;
+  ship.origin = origin.index();
+  ship.name = name;
+  ship.snapshot_version = snap_version;
+  ship.sharded = true;
   std::map<std::string, TreePtr> parts;
-  std::vector<DocumentShard> missing;
-  uint64_t wire = 0;
+  std::set<std::string> shipped_ids;
+  uint64_t shard_wire = 0;
   uint64_t reused_bytes = 0;
   for (const DocumentShard& s : sd->shards) {
     const ReplicaKey key = ShardDataKey(origin, name, s.id);
     // A duplicated id (two byte-identical groups) crosses the wire
     // once; the manifest references it twice and assembly reuses it.
-    if (parts.count(s.id.ToString()) > 0) continue;
+    if (parts.count(s.id.ToString()) > 0 ||
+        shipped_ids.count(s.id.ToString()) > 0) {
+      continue;
+    }
     if (TreePtr resident = cache->Get(key, kImmutableVersion)) {
       parts[s.id.ToString()] = std::move(resident);
       reused_bytes += s.bytes;
       ++shard_stats_.shards_reused;
     } else {
-      DocumentShard shipped;
-      shipped.id = s.id;
-      shipped.bytes = s.bytes;
-      shipped.content = s.content->Clone(dest->gen());
-      parts[s.id.ToString()] = shipped.content;
-      wire += s.bytes;
-      missing.push_back(std::move(shipped));
+      wire::Shipment::Shard shipped;
+      shipped.id = s.id.ToString();
+      shipped.tree = wire::EncodeTree(*s.content, WireStatsOf(sys_));
+      shard_wire += shipped.tree.size();
+      shipped_ids.insert(shipped.id);
+      ship.shards.push_back(std::move(shipped));
     }
   }
   const TransferCache::Entry* m = cache->Peek(ManifestKey(origin, name));
@@ -763,51 +798,92 @@ bool ReplicaManager::FetchForRead(PeerId reader, PeerId origin,
       m == nullptr || m->origin_version != snap_version;
   // Holding the resident manifest's TreePtr keeps its blob alive even if
   // the entry is evicted while the delta is on the wire.
-  TreePtr manifest =
-      need_manifest ? sd->manifest->Clone(dest->gen()) : m->tree;
+  TreePtr resident_manifest = need_manifest ? nullptr : m->tree;
   if (need_manifest) {
-    wire += sd->manifest_bytes;
+    ship.manifest = wire::EncodeTree(*sd->manifest, WireStatsOf(sys_));
     ++shard_stats_.manifests_shipped;
   }
+  wire::Payload payload = wire::EncodeShipment(ship, WireStatsOf(sys_));
+  const uint64_t wire_bytes = payload.size();
   ++shard_stats_.sharded_reads;
-  shard_stats_.shards_shipped += missing.size();
-  shard_stats_.shard_bytes_shipped += wire - (need_manifest ? sd->manifest_bytes : 0);
+  shard_stats_.shards_shipped += ship.shards.size();
+  shard_stats_.shard_bytes_shipped += shard_wire;
   shard_stats_.shard_bytes_saved += reused_bytes;
   if (reused_bytes > 0) ++shard_stats_.partial_hits;
-  if (delta_bytes != nullptr) *delta_bytes = wire;
+  if (delta_bytes != nullptr) *delta_bytes = wire_bytes;
 
   // A read-path delta fetch roots its own chain (unless the read is
   // already inside one); the Send below carries the id to the landing.
   Tracer* tr = trace();
   Tracer::Scope trace_scope(tr, tr != nullptr ? tr->CurrentOrNew() : 0);
   if (tr != nullptr && tr->enabled()) {
-    tr->Record("replica", "delta_fetch", reader, wire, 0,
+    tr->Record("replica", "delta_fetch", reader, wire_bytes, 0,
                ReplicaKey{origin, name}.ToString());
   }
 
   // Reliable: the read path runs the loop to quiescence and a silently
   // lost delta would hang the read; the fabric retransmits under loss.
   sys_->network().SendReliable(
-      origin, reader, wire,
-      [this, reader, origin, name, manifest, missing = std::move(missing),
+      origin, reader, std::move(payload),
+      [this, reader, origin, name, resident_manifest,
        parts = std::move(parts), snap_version,
-       deliver = std::move(deliver)] {
+       deliver = std::move(deliver)](const wire::Payload& p) mutable {
+        Peer* dest = sys_->peer(reader);
+        if (dest == nullptr) {
+          deliver(nullptr);  // reader vanished mid-flight
+          return;
+        }
+        Result<wire::Shipment> got =
+            wire::DecodeShipment(p, WireStatsOf(sys_));
+        AXML_DCHECK(got.ok());
+        if (!got.ok()) {
+          deliver(nullptr);
+          return;
+        }
+        const wire::Shipment& arrived = got.value();
+        TreePtr manifest = resident_manifest;
+        if (!arrived.manifest.empty()) {
+          Result<TreePtr> md = wire::DecodeTree(
+              arrived.manifest, dest->gen(), WireStatsOf(sys_));
+          AXML_DCHECK(md.ok());
+          if (!md.ok()) {
+            deliver(nullptr);
+            return;
+          }
+          manifest = std::move(md).value();
+        }
+        std::vector<DocumentShard> shipped;
+        for (const wire::Shipment::Shard& s : arrived.shards) {
+          Result<TreePtr> t =
+              wire::DecodeTree(s.tree, dest->gen(), WireStatsOf(sys_));
+          AXML_DCHECK(t.ok());
+          if (!t.ok()) {
+            deliver(nullptr);
+            return;
+          }
+          DocumentShard shard;
+          shard.content = std::move(t).value();
+          shard.id = DigestOf(*shard.content);
+          shard.bytes = s.tree.size();
+          parts[shard.id.ToString()] = shard.content;
+          shipped.push_back(std::move(shard));
+        }
+        if (manifest == nullptr) {
+          deliver(nullptr);
+          return;
+        }
         // Cache what landed (a stale snapshot is refused there but the
         // read below still delivers it — a read observes the version it
         // was issued against, exactly like the whole-document path).
-        InsertShardedCopy(reader, origin, name, manifest, missing,
+        InsertShardedCopy(reader, origin, name, manifest, shipped,
                           snap_version);
-        Peer* dest = sys_->peer(reader);
-        TreePtr assembled =
-            dest == nullptr
-                ? nullptr
-                : AssembleDocument(
-                      *manifest,
-                      [&parts](const std::string& id) -> TreePtr {
-                        auto p = parts.find(id);
-                        return p == parts.end() ? nullptr : p->second;
-                      },
-                      dest->gen());
+        TreePtr assembled = AssembleDocument(
+            *manifest,
+            [&parts](const std::string& id) -> TreePtr {
+              auto p = parts.find(id);
+              return p == parts.end() ? nullptr : p->second;
+            },
+            dest->gen());
         deliver(std::move(assembled));
       });
   return true;
@@ -952,27 +1028,42 @@ bool ReplicaManager::LaunchShipment(
   // copy would freeze its activation state.
   if (root == nullptr || root->ContainsServiceCall()) return false;
 
-  ShipmentPayload payload;
-  uint64_t bytes = 0;
+  // Snapshot now: the shipped content is the version at send time; a
+  // mid-flight mutation must not brand it fresh (the insert compares).
+  const uint64_t snap_version = Version(key.origin, key.name);
+
+  // Encode the shipment straight from the origin's trees — no clone
+  // crosses the process; the bytes ARE the shipment, and the priced
+  // size is their count, envelope included.
+  wire::Shipment ship;
+  ship.origin = key.origin.index();
+  ship.name = key.name;
+  ship.snapshot_version = snap_version;
   uint64_t shard_bytes = 0;
   uint64_t reused = 0;
   uint64_t reused_bytes = 0;
   bool need_manifest = false;
+  // A resident fresh manifest is not re-shipped; holding its TreePtr
+  // keeps the blob alive for the landing even if the entry is evicted
+  // while the shipment is on the wire.
+  TreePtr resident_manifest;
   if (const ShardedDocument* sd = OriginShards(key.origin, key.name)) {
     // Sharded delta: the manifest (unless the holder's is already
     // fresh — e.g. a placement round completing a partial copy) plus
     // only the data shards the holder lacks right now —
     // content-addressed ids make "lacks" independent of the version the
     // holder's stale copy was cut from.
+    ship.sharded = true;
     const TransferCache* cache = FindCache(holder);
     const TransferCache::Entry* m =
         cache == nullptr ? nullptr : cache->Peek(ManifestKey(key.origin,
                                                              key.name));
-    need_manifest =
-        m == nullptr || m->origin_version != Version(key.origin, key.name);
-    payload.manifest =
-        need_manifest ? sd->manifest->Clone(dest->gen()) : m->tree;
-    if (need_manifest) bytes += sd->manifest_bytes;
+    need_manifest = m == nullptr || m->origin_version != snap_version;
+    if (need_manifest) {
+      ship.manifest = wire::EncodeTree(*sd->manifest, WireStatsOf(sys_));
+    } else {
+      resident_manifest = m->tree;
+    }
     std::set<std::string> seen;
     for (const DocumentShard& s : sd->shards) {
       // A duplicated id (two byte-identical groups) ships — and is
@@ -984,42 +1075,38 @@ bool ReplicaManager::LaunchShipment(
         reused_bytes += s.bytes;
         continue;
       }
-      DocumentShard shipped;
-      shipped.id = s.id;
-      shipped.bytes = s.bytes;
-      shipped.content = s.content->Clone(dest->gen());
-      bytes += s.bytes;
-      shard_bytes += s.bytes;
-      payload.shards.push_back(std::move(shipped));
+      wire::Shipment::Shard shipped;
+      shipped.id = s.id.ToString();
+      shipped.tree = wire::EncodeTree(*s.content, WireStatsOf(sys_));
+      shard_bytes += shipped.tree.size();
+      ship.shards.push_back(std::move(shipped));
     }
   } else {
-    payload.whole = root->Clone(dest->gen());
-    bytes = root->SerializedSize();
+    ship.whole = wire::EncodeTree(*root, WireStatsOf(sys_));
   }
+  wire::Payload payload = wire::EncodeShipment(ship, WireStatsOf(sys_));
+  const uint64_t bytes = payload.size();
   if (!admit(bytes)) return false;
   if (Tracer* tr = trace(); tr != nullptr && tr->enabled()) {
     tr->Record("replica", "shipment", holder, bytes, 0, key.ToString());
   }
-  if (payload.manifest != nullptr) {
+  if (ship.sharded) {
     ++shard_stats_.sharded_shipments;
     if (need_manifest) ++shard_stats_.manifests_shipped;
-    shard_stats_.shards_shipped += payload.shards.size();
+    shard_stats_.shards_shipped += ship.shards.size();
     shard_stats_.shard_bytes_shipped += shard_bytes;
     shard_stats_.shards_reused += reused;
     shard_stats_.shard_bytes_saved += reused_bytes;
   }
   const uint64_t generation = ++refresh_generation_;
   refresh_inflight_[{holder, key}] = generation;
-  // Snapshot now: the shipped content is the version at send time; a
-  // mid-flight mutation must not brand it fresh (the insert compares).
-  const uint64_t snap_version = Version(key.origin, key.name);
   // Copies for the retry timeout below, taken before on_land moves into
   // the delivery callback.
   auto on_land_retry = ship_max_attempts_ > 0 ? on_land : nullptr;
   sys_->network().Send(
-      key.origin, holder, bytes,
-      [this, holder, key, payload = std::move(payload), snap_version, bytes,
-       generation, on_land = std::move(on_land)] {
+      key.origin, holder, std::move(payload),
+      [this, holder, key, resident_manifest, generation,
+       on_land = std::move(on_land)](const wire::Payload& p) {
         auto it = refresh_inflight_.find({holder, key});
         if (it == refresh_inflight_.end() || it->second != generation) {
           // Canceled (DropAllCopies) while on the wire — and possibly
@@ -1028,7 +1115,49 @@ bool ReplicaManager::LaunchShipment(
           return;
         }
         refresh_inflight_.erase(it);
-        on_land(payload, snap_version, bytes);
+        Peer* dest = sys_->peer(holder);
+        if (dest == nullptr) return;
+        // Decode at the landing site: the receiving peer mints its own
+        // node ids from the received bytes — the simulated form of
+        // deserialization at the destination.
+        Result<wire::Shipment> got =
+            wire::DecodeShipment(p, WireStatsOf(sys_));
+        AXML_DCHECK(got.ok());
+        if (!got.ok()) return;
+        const wire::Shipment& arrived = got.value();
+        ShipmentPayload landed;
+        if (!arrived.sharded) {
+          Result<TreePtr> tree = wire::DecodeTree(
+              arrived.whole, dest->gen(), WireStatsOf(sys_));
+          AXML_DCHECK(tree.ok());
+          if (!tree.ok()) return;
+          landed.whole = std::move(tree).value();
+          landed.whole_encoded = arrived.whole;
+        } else {
+          if (!arrived.manifest.empty()) {
+            Result<TreePtr> m = wire::DecodeTree(
+                arrived.manifest, dest->gen(), WireStatsOf(sys_));
+            AXML_DCHECK(m.ok());
+            if (!m.ok()) return;
+            landed.manifest = std::move(m).value();
+          } else {
+            landed.manifest = resident_manifest;
+          }
+          for (const wire::Shipment::Shard& s : arrived.shards) {
+            Result<TreePtr> t =
+                wire::DecodeTree(s.tree, dest->gen(), WireStatsOf(sys_));
+            AXML_DCHECK(t.ok());
+            if (!t.ok()) return;
+            DocumentShard shard;
+            shard.content = std::move(t).value();
+            // Encode/decode preserves canonical form, so the recomputed
+            // digest equals the id the sender addressed the shard by.
+            shard.id = DigestOf(*shard.content);
+            shard.bytes = s.tree.size();
+            landed.shards.push_back(std::move(shard));
+          }
+        }
+        on_land(landed, arrived.snapshot_version, p.size());
       });
   if (ship_max_attempts_ > 0) {
     // Bounded retry-with-backoff: if the landing has not cleared the
@@ -1074,8 +1203,10 @@ bool ReplicaManager::InsertLanded(PeerId holder, const ReplicaKey& key,
                                   const ShipmentPayload& payload,
                                   uint64_t snap_version) {
   if (payload.whole != nullptr) {
+    // The cache stores the very bytes the shipment carried — the
+    // budgeted size is the priced wire size by construction.
     return InsertCopy(holder, key.origin, key.name, payload.whole,
-                      snap_version);
+                      snap_version, payload.whole_encoded);
   }
   return InsertShardedCopy(holder, key.origin, key.name, payload.manifest,
                            payload.shards, snap_version);
@@ -1243,11 +1374,12 @@ void ReplicaManager::set_anti_entropy_interval(SimTime interval_s) {
 void ReplicaManager::LeaseTick() {
   AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   const SimTime now = sys_->loop().now();
-  // Live (origin, holder) pairs, straight from the subscription table
-  // (std::map: deterministic order).
-  std::set<std::pair<PeerId, PeerId>> live;
+  // Live (origin, holder) pairs and their subscribed-key counts,
+  // straight from the subscription table (std::map: deterministic
+  // order). The count rides in the renewal body.
+  std::map<std::pair<PeerId, PeerId>, uint64_t> live;
   for (const auto& [key, holders] : subscriptions_.entries()) {
-    for (PeerId h : holders) live.insert({key.origin, h});
+    for (PeerId h : holders) ++live[{key.origin, h}];
   }
   // Deadlines for vanished pairs go; new pairs are granted a full TTL
   // on first sight (before the expiry scan — a fresh grant never
@@ -1259,7 +1391,7 @@ void ReplicaManager::LeaseTick() {
       ++it;
     }
   }
-  for (const auto& pair : live) {
+  for (const auto& [pair, keys] : live) {
     lease_deadlines_.try_emplace(pair, now + lease_ttl_);
   }
   // Expiry: the origin forgets a silent holder. An *up* holder also
@@ -1306,7 +1438,7 @@ void ReplicaManager::LeaseTick() {
   // arrival re-arms the deadline and re-subscribes whatever fresh
   // entries the holder still has resident — repairing an expiry that
   // fired while renewals were being lost.
-  for (const auto& pair : live) {
+  for (const auto& [pair, keys] : live) {
     const PeerId origin = pair.first;
     const PeerId holder = pair.second;
     if (lease_deadlines_.count(pair) == 0) continue;  // just expired
@@ -1314,8 +1446,16 @@ void ReplicaManager::LeaseTick() {
         !sys_->network().IsPeerUp(origin)) {
       continue;
     }
+    wire::LeaseRenewal lease;
+    lease.holder = holder.index();
+    lease.origin = origin.index();
+    lease.subscribed_keys = keys;
     sys_->network().Send(
-        holder, origin, kLeaseMsgBytes, [this, origin, holder] {
+        holder, origin, wire::EncodeLeaseRenewal(lease, WireStatsOf(sys_)),
+        [this, origin, holder](const wire::Payload& p) {
+          Result<wire::LeaseRenewal> got =
+              wire::DecodeLeaseRenewal(p, WireStatsOf(sys_));
+          AXML_DCHECK(got.ok());
           ++subscription_stats_.lease_renewals;
           lease_deadlines_[{origin, holder}] =
               sys_->loop().now() + lease_ttl_;
@@ -1451,18 +1591,46 @@ size_t ReplicaManager::ReconcileHolder(PeerId holder) {
   }
 
   // Repair origin-side subscription state and charge the digest
-  // exchange: one control roundtrip per (holder, origin) pair compared.
+  // exchange: one control roundtrip per (holder, origin) pair, carrying
+  // a real encoded DigestExchange — per surviving document the
+  // manifest/whole version + digest and each resident shard digest,
+  // priced at the actual encoded bytes (the response leg is modeled at
+  // the same size: the origin answers digest-for-digest).
   for (PeerId origin : origins) {
     subscription_stats_.sweep_resubscribes +=
         ResubscribeResident(holder, origin);
     if (origin == holder || !sys_->network().IsPeerUp(origin)) continue;
+    wire::DigestExchange ex;
+    ex.holder = holder.index();
+    ex.origin = origin.index();
+    for (const auto& [doc, keys] : docs) {
+      if (doc.origin != origin) continue;
+      wire::DigestExchange::Doc d;
+      d.name = doc.name;
+      bool any = false;
+      for (const ReplicaKey& k : keys) {
+        const TransferCache::Entry* e = cache->Peek(k);
+        if (e == nullptr) continue;  // reconciled away above
+        any = true;
+        if (k.is_shard_data()) {
+          d.shards.push_back(e->digest);
+        } else {
+          d.version = e->origin_version;
+          d.manifest = e->digest;
+        }
+      }
+      if (any) ex.docs.push_back(std::move(d));
+    }
+    wire::Payload payload =
+        wire::EncodeDigestExchange(ex, WireStatsOf(sys_));
+    const uint64_t response_bytes = payload.size();
     const SimTime delay =
         sys_->network().EstimateTransferTime(holder, origin,
-                                             kLeaseMsgBytes) +
+                                             payload.size()) +
         sys_->network().EstimateTransferTime(origin, holder,
-                                             kLeaseMsgBytes);
-    sys_->network().ControlRoundtrip(holder, origin, 2, 2 * kLeaseMsgBytes,
-                                     delay, [] {});
+                                             response_bytes);
+    sys_->network().ControlRoundtrip(holder, origin, 2, std::move(payload),
+                                     response_bytes, delay, [] {});
   }
   return repairs;
 }

@@ -180,7 +180,8 @@ class ReplicaManager {
 
   /// Leased subscriptions: every `renew_interval_s` of virtual time each
   /// up holder re-registers its interest at every origin it holds copies
-  /// of (one kLeaseMsgBytes message per (holder, origin) pair, lossy);
+  /// of (one encoded LeaseRenewal message per (holder, origin) pair,
+  /// priced at its wire size, lossy);
   /// an origin that heard nothing from a holder for `ttl_s` expires the
   /// lease — the holder's subscriptions are forgotten, and an *up*
   /// holder also drops its lapsed entries (the lease contract: a holder
@@ -252,11 +253,11 @@ class ReplicaManager {
 
   /// Opens / closes a batching window (nestable) for push notifications:
   /// while a window is open, invalidation events to the same (origin,
-  /// holder) pair coalesce into one wire message carrying many keys
-  /// (kNotifyMsgBytes + (n-1) * kNotifyKeyBytes), sent when the
-  /// outermost window closes. Copy drops stay synchronous — only the
-  /// wire accounting is deferred. Wrap these around an event-loop turn
-  /// that mutates many documents; see the NotifyBatch RAII helper.
+  /// holder) pair coalesce into one encoded NotifyBatch payload carrying
+  /// all their keys, sent when the outermost window closes. Copy drops
+  /// stay synchronous — only the wire message is deferred. Wrap these
+  /// around an event-loop turn that mutates many documents; see the
+  /// NotifyBatch RAII helper.
   void BeginNotifyBatch();
   void EndNotifyBatch();
 
@@ -427,10 +428,14 @@ class ReplicaManager {
   /// origin). `snapshot_version` is the origin's version *when the
   /// content was copied for shipping* — passing the landing-time version
   /// would brand content cloned before a mid-flight mutation as fresh.
-  /// Returns false without caching when the snapshot is already stale,
-  /// the tree exceeds the cache budget, or the copy is not cacheable.
+  /// `encoded`, when non-empty, is the landed tree's wire encoding (the
+  /// bytes the shipment actually carried) — the cache stores it verbatim
+  /// instead of re-encoding. Returns false without caching when the
+  /// snapshot is already stale, the tree exceeds the cache budget, or
+  /// the copy is not cacheable.
   bool InsertCopy(PeerId reader, PeerId origin, const DocName& name,
-                  const TreePtr& landed, uint64_t snapshot_version);
+                  const TreePtr& landed, uint64_t snapshot_version,
+                  std::string encoded = {});
 
   /// The fresh cached copy of origin's `name` held by `reader`, or
   /// nullptr. A stale copy is dropped (cache, local document, catalog,
@@ -498,10 +503,13 @@ class ReplicaManager {
   void ExportMetrics(MetricSink& sink) const;
 
  private:
-  /// What one shipment carried: a whole-document clone, or a sharded
-  /// delta (manifest + the data shards the holder lacked at launch).
+  /// What one shipment carried, decoded at the landing site: a whole
+  /// document, or a sharded delta (manifest + the data shards the holder
+  /// lacked at launch). `whole_encoded` keeps the received wire blob so
+  /// the cache can store exactly the bytes that crossed the link.
   struct ShipmentPayload {
     TreePtr whole;
+    std::string whole_encoded;
     TreePtr manifest;
     std::vector<DocumentShard> shards;
   };
@@ -539,8 +547,15 @@ class ReplicaManager {
                                 const DocName& name,
                                 bool require_complete) const;
 
-  /// Sends one notification (or folds it into the open batch).
-  void QueueNotify(PeerId origin, PeerId holder);
+  /// Sends one invalidation notification for `key` (or folds it into the
+  /// open batch).
+  void QueueNotify(const ReplicaKey& key, PeerId holder);
+
+  /// Encodes `keys` into one wire::NotifyBatch payload and sends it
+  /// origin -> holder; the priced size is the encoded size. Requires a
+  /// bound system.
+  void SendNotifyMessage(PeerId origin, PeerId holder,
+                         const std::vector<ReplicaKey>& keys);
 
   /// The system's causal tracer, nullptr before Bind (headless unit
   /// tests construct managers without a system).
@@ -672,8 +687,10 @@ class ReplicaManager {
   /// Open notify-batch windows; > 0 defers notification sends into
   /// pending_notifies_.
   int notify_batch_depth_ = 0;
-  /// (origin, holder) -> invalidation events queued in the open batch.
-  std::map<std::pair<PeerId, PeerId>, uint64_t> pending_notifies_;
+  /// (origin, holder) -> keys invalidated in the open batch; flushed as
+  /// one encoded NotifyBatch per pair.
+  std::map<std::pair<PeerId, PeerId>, std::vector<ReplicaKey>>
+      pending_notifies_;
 };
 
 /// RAII notify-batch window: all push notifications issued while alive

@@ -157,17 +157,10 @@ class SubscriptionTable {
       AXML_GUARDED_BY_CONTEXT(sequence_checker_);
 };
 
-/// Wire size of one invalidation notification (origin -> holder).
-constexpr uint64_t kNotifyMsgBytes = 48;
-
-/// Marginal wire bytes per *additional* key carried by a batched
-/// notification: a message invalidating n keys of one (origin, holder)
-/// pair costs kNotifyMsgBytes + (n-1) * kNotifyKeyBytes.
-constexpr uint64_t kNotifyKeyBytes = 16;
-
-/// Wire size of one lease-renewal message (holder -> origin) and of one
-/// anti-entropy digest message (per direction of the roundtrip).
-constexpr uint64_t kLeaseMsgBytes = 24;
+// Notification, lease-renewal and anti-entropy message sizes are no
+// longer modeled constants: each message is encoded (xml/wire.h —
+// NotifyBatch, LeaseRenewal, DigestExchange) and priced at its actual
+// encoded byte count.
 
 }  // namespace axml
 

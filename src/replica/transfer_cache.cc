@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "xml/wire.h"
 
 namespace axml {
 
@@ -59,11 +60,16 @@ void TransferCache::RebuildStrategy(EvictionPolicy policy) {
 }
 
 bool TransferCache::Put(const ReplicaKey& key, TreePtr tree,
-                        ContentDigest digest, uint64_t origin_version) {
+                        ContentDigest digest, uint64_t origin_version,
+                        std::string encoded) {
   AXML_DCHECK_CALLED_ON_SEQUENCE(sequence_checker_);
   AXML_REENTRANCY_GUARD(mutation_guard_, "TransferCache::Put");
   AXML_CHECK(tree != nullptr);
-  const uint64_t bytes = tree->SerializedSize();
+  // The budgeted size is the wire encoding's — the bytes a (re)shipment
+  // of this entry costs. Canonical encoding makes the bytes a pure
+  // function of content, so dedup aliases agree on the size.
+  if (encoded.empty()) encoded = wire::EncodeTree(*tree);
+  const uint64_t bytes = encoded.size();
   if (bytes > byte_budget_) return false;
 
   auto existing = entries_.find(key);
@@ -75,6 +81,7 @@ bool TransferCache::Put(const ReplicaKey& key, TreePtr tree,
   Blob& blob = blob_it->second;
   if (fresh_blob) {
     blob.tree = std::move(tree);
+    blob.encoded = std::move(encoded);
     blob.bytes = bytes;
     resident_bytes_ += bytes;
   } else {
@@ -117,6 +124,14 @@ const TransferCache::Entry* TransferCache::Peek(
     const ReplicaKey& key) const {
   auto it = entries_.find(key);
   return it == entries_.end() ? nullptr : &it->second;
+}
+
+const std::string* TransferCache::PeekEncoded(const ReplicaKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  auto blob_it = blobs_.find(it->second.digest);
+  AXML_CHECK(blob_it != blobs_.end());
+  return &blob_it->second.encoded;
 }
 
 bool TransferCache::Erase(const ReplicaKey& key, bool invalidation) {
@@ -224,6 +239,11 @@ std::string TransferCache::IntegrityError() const {
     if (entry.bytes != blob_it->second.bytes) {
       return StrCat("entry ", key.ToString(), " bytes ", entry.bytes,
                     " != blob bytes ", blob_it->second.bytes);
+    }
+    if (entry.bytes != blob_it->second.encoded.size()) {
+      return StrCat("entry ", key.ToString(), " bytes ", entry.bytes,
+                    " != encoded blob size ",
+                    blob_it->second.encoded.size());
     }
   }
   if (refs.size() != blobs_.size()) {

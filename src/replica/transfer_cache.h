@@ -50,7 +50,7 @@ struct TransferCacheStats {
   /// (indexed by EvictionPolicy); sums to `evictions` unless the policy
   /// was switched mid-run.
   uint64_t victims_by_policy[kEvictionPolicyCount] = {};
-  /// Serialized bytes of hit entries: wire transfers the cache avoided.
+  /// Encoded wire bytes of hit entries: transfers the cache avoided.
   uint64_t bytes_saved = 0;
   /// Bytes not stored again because an equal blob was already resident.
   uint64_t bytes_deduped = 0;
@@ -101,7 +101,7 @@ class TransferCache {
     TreePtr tree;  ///< shared blob (content-equal entries alias one tree)
     ContentDigest digest;
     uint64_t origin_version = 0;
-    uint64_t bytes = 0;  ///< serialized size of the blob
+    uint64_t bytes = 0;  ///< encoded wire size of the blob
   };
 
   /// Called just before an entry leaves the cache (eviction, staleness
@@ -130,8 +130,13 @@ class TransferCache {
   /// the eviction policy until the budget holds. Returns false — and
   /// caches nothing — when the tree alone exceeds the budget. A blob
   /// equal to an already resident one is shared, not stored twice.
+  /// `encoded` is the tree's wire encoding; when the caller already has
+  /// it (a shipment landing stores the bytes it received) it is moved in
+  /// verbatim, otherwise the cache encodes. Either way Entry::bytes —
+  /// the budgeted size — is exactly the encoded byte count, so what the
+  /// budget charges is what a re-ship would put on the wire.
   bool Put(const ReplicaKey& key, TreePtr tree, ContentDigest digest,
-           uint64_t origin_version);
+           uint64_t origin_version, std::string encoded = {});
 
   /// The cached copy for `key` iff present *and* its origin_version
   /// equals `expected_version`; touches the eviction strategy and counts
@@ -142,6 +147,11 @@ class TransferCache {
   /// Read-only view with no recency or stats side effects; nullptr if
   /// absent.
   const Entry* Peek(const ReplicaKey& key) const;
+
+  /// The resident blob's wire encoding (the exact bytes a shipment of
+  /// this entry puts on the wire); nullptr if absent. No side effects —
+  /// shipping a cached copy reuses these bytes instead of re-encoding.
+  const std::string* PeekEncoded(const ReplicaKey& key) const;
 
   /// Drops `key`; `invalidation` selects which counter the drop charges.
   /// Returns true when the entry existed.
@@ -217,6 +227,7 @@ class TransferCache {
 
   struct Blob {
     TreePtr tree;
+    std::string encoded;  ///< wire encoding; bytes == encoded.size()
     uint64_t bytes = 0;
     uint32_t refs = 0;
   };

@@ -1,5 +1,6 @@
 #include "scenario/fleet.h"
 
+#include <set>
 #include <utility>
 
 #include "algebra/evaluator.h"
@@ -33,7 +34,8 @@ std::string FleetReport::ToString() const {
                 " msgs_per_lookup=", msgs_per_lookup,
                 " max_node_share=", max_node_share,
                 " advertise_messages=", advertise_messages,
-                " wire_bytes=", wire_bytes, " sim_s=", sim_s);
+                " wire_bytes=", wire_bytes, " sim_s=", sim_s,
+                " crashes=", crashes, " rejoins=", rejoins);
 }
 
 FleetHarness::FleetHarness(FleetConfig config)
@@ -47,6 +49,16 @@ FleetHarness::FleetHarness(FleetConfig config)
   sys_.SetCatalog(MakeBackend(config_.backend));
   sys_.replicas().set_refresh_policy(config_.refresh);
   sys_.replicas().set_default_byte_budget(config_.cache_budget);
+  if (config_.churn) {
+    // The repair machinery the churn schedule is aimed at: leased
+    // subscriptions (a crashed holder's origin-side state expires),
+    // bounded shipment retries, periodic anti-entropy sweeps.
+    sys_.replicas().ConfigureLeases(/*renew_interval_s=*/0.5,
+                                    /*ttl_s=*/2.0);
+    sys_.replicas().set_shipment_retry(/*max_attempts=*/3,
+                                       /*backoff_base_s=*/0.25);
+    sys_.replicas().set_anti_entropy_interval(2.0);
+  }
 
   // Origins spread evenly over the fleet, so generic traffic crosses
   // regions rather than clustering around peer 0.
@@ -99,9 +111,37 @@ FleetReport FleetHarness::Run() {
   report.backend = sys_.catalog()->backend_name();
   report.peers = n;
 
+  // Churn victims: the first `churn_peers` non-origin peers (origins
+  // must stay up — they are the freshness ground truth; peer 0 stays
+  // up for the central backend's server).
+  std::vector<PeerId> victims;
+  if (config_.churn) {
+    std::set<uint32_t> origin_indices;
+    for (const FleetDoc& d : docs_) origin_indices.insert(d.origin.index());
+    for (uint32_t p = 1; p < n && victims.size() < config_.churn_peers;
+         ++p) {
+      if (origin_indices.count(p) == 0) victims.push_back(PeerId(p));
+    }
+  }
+
   for (uint64_t i = 0; i < config_.ops; ++i) {
+    if (config_.churn && i == config_.ops / 3) {
+      for (size_t v = 0; v < victims.size(); ++v) {
+        sys_.CrashPeer(victims[v], v % 2 == 0 ? CrashMode::kLoseCache
+                                              : CrashMode::kDurableCache);
+        ++report.crashes;
+      }
+    }
+    if (config_.churn && i == 2 * config_.ops / 3) {
+      for (const PeerId v : victims) {
+        sys_.RejoinPeer(v);
+        ++report.rejoins;
+      }
+      sys_.RunToQuiescence();
+    }
     FleetDoc& doc = docs_[zipf.Sample(&rng_)];
-    const PeerId reader(rng_.Index(n));
+    PeerId reader(rng_.Index(n));
+    while (!sys_.IsPeerUp(reader)) reader = PeerId(rng_.Index(n));
     const bool generic = rng_.Bernoulli(config_.generic_read_fraction);
     ExprPtr read = generic ? Expr::GenericDoc(doc.class_name)
                            : Expr::Doc(doc.name, doc.origin);

@@ -67,6 +67,17 @@ struct FleetConfig {
   /// Compare every read against the origin's document at read time and
   /// count mismatches in FleetReport::stale_reads.
   bool check_fresh_reads = true;
+
+  /// Churn schedule (the faulted soak): when true, `churn_peers`
+  /// non-origin peers crash one third into the run (alternating
+  /// cache-losing and durable-cache crashes) and rejoin at two thirds;
+  /// readers are drawn from live peers only, the freshness check stays
+  /// on throughout, and the repair machinery (leases, shipment retries,
+  /// periodic anti-entropy) is armed. On the chord-dht backend this
+  /// also exercises ring liveness repair: lookups route around the
+  /// crashed arc until rejoin.
+  bool churn = false;
+  uint32_t churn_peers = 4;
 };
 
 /// What one fleet run produced. `msgs_per_lookup` and
@@ -92,6 +103,10 @@ struct FleetReport {
   uint64_t wire_bytes = 0;
   uint64_t remote_bytes = 0;
   double sim_s = 0;
+
+  /// Churn schedule actually executed (0 when FleetConfig::churn off).
+  uint64_t crashes = 0;
+  uint64_t rejoins = 0;
 
   std::string ToString() const;
 };

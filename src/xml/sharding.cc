@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "xml/wire.h"
 
 namespace axml {
 
@@ -46,7 +47,7 @@ struct Splitter {
     }
     DocumentShard shard;
     shard.id = DigestOf(*content);
-    shard.bytes = content->SerializedSize();
+    shard.bytes = wire::EncodedTreeSize(*content);
     shard.content = std::move(content);
     manifest_node->AddChild(
         MakeTextElement(kShardRefLabel, shard.id.ToString(), gen));
@@ -155,7 +156,7 @@ ShardedDocument SplitDocument(const TreeNode& root,
   doc_holder->AddChild(TreeNode::Element(root.label_text(), gen));
   manifest->AddChild(std::move(doc_holder));
   splitter.SplitChildren(root, manifest);
-  out.manifest_bytes = manifest->SerializedSize();
+  out.manifest_bytes = wire::EncodedTreeSize(*manifest);
   out.manifest = std::move(manifest);
   return out;
 }

@@ -94,7 +94,8 @@ struct DocumentShard {
   /// A synthetic `#shard-data` element whose children are the group's
   /// subtrees (clones; the original tree is never aliased).
   TreePtr content;
-  /// SerializedSize of `content` (what shipping this shard costs).
+  /// Encoded wire size of `content` (xml/wire.h) — what shipping this
+  /// shard actually costs; identical to EncodeTree(*content).size().
   uint64_t bytes = 0;
 };
 

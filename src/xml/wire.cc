@@ -1,0 +1,619 @@
+#include "xml/wire.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace axml {
+namespace wire {
+
+namespace {
+
+/// Decode recursion cap: a hostile buffer can claim nesting deeper than
+/// any real document; bail with a Status long before the stack does.
+constexpr size_t kMaxDecodeDepth = 4096;
+
+Status Malformed(const char* what) {
+  return Status::ParseError(StrCat("wire: malformed buffer (", what, ")"));
+}
+
+}  // namespace
+
+const char* MessageClassName(MessageClass c) {
+  switch (c) {
+    case MessageClass::kTree:
+      return "tree";
+    case MessageClass::kShipment:
+      return "shipment";
+    case MessageClass::kNotify:
+      return "notify";
+    case MessageClass::kLease:
+      return "lease";
+    case MessageClass::kDigest:
+      return "digest";
+    case MessageClass::kControl:
+      return "control";
+    case MessageClass::kQuery:
+      return "query";
+  }
+  return "unknown";
+}
+
+uint64_t TimingNowNs(const WireStats* stats) {
+  if (stats == nullptr || !stats->timing_enabled) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // lint: allow-determinism — opt-in latency histograms only.
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void WireStats::RecordEncode(MessageClass c, size_t bytes, uint64_t ns) {
+  ++encode_calls;
+  encode_bytes += bytes;
+  ++class_messages[static_cast<size_t>(c)];
+  class_bytes[static_cast<size_t>(c)] += bytes;
+  if (timing_enabled) encode_ns.Add(ns);
+}
+
+void WireStats::RecordDecode(size_t bytes, uint64_t ns, bool ok) {
+  ++decode_calls;
+  decode_bytes += bytes;
+  if (!ok) ++decode_errors;
+  if (timing_enabled) decode_ns.Add(ns);
+}
+
+void WireStats::ExportMetrics(MetricSink& sink) const {
+  sink.Value("encode_calls", encode_calls);
+  sink.Value("encode_bytes", encode_bytes);
+  sink.Value("decode_calls", decode_calls);
+  sink.Value("decode_bytes", decode_bytes);
+  sink.Value("decode_errors", decode_errors);
+  for (size_t i = 0; i < kMessageClassCount; ++i) {
+    const char* name = MessageClassName(static_cast<MessageClass>(i));
+    sink.Value(StrCat("msgs_", name), class_messages[i]);
+    sink.Value(StrCat("bytes_", name), class_bytes[i]);
+  }
+  sink.Histo("encode_ns", encode_ns);
+  sink.Histo("decode_ns", decode_ns);
+}
+
+MessageClass Payload::message_class() const {
+  if (bytes_.size() < 2) return MessageClass::kControl;
+  const uint8_t c = static_cast<uint8_t>(bytes_[1]);
+  return c < kMessageClassCount ? static_cast<MessageClass>(c)
+                                : MessageClass::kControl;
+}
+
+// --- primitives ---
+
+void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendFixed64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendLengthPrefixed(std::string_view s, std::string* out) {
+  AppendVarint(s.size(), out);
+  out->append(s);
+}
+
+bool Reader::ReadVarint(uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= buf_.size()) return false;
+    const uint8_t byte = static_cast<uint8_t>(buf_[pos_++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // > 10 continuation bytes: not a valid varint64
+}
+
+bool Reader::ReadFixed64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+              << (8 * i);
+  }
+  pos_ += 8;
+  *v = result;
+  return true;
+}
+
+bool Reader::ReadByte(uint8_t* b) {
+  if (pos_ >= buf_.size()) return false;
+  *b = static_cast<uint8_t>(buf_[pos_++]);
+  return true;
+}
+
+bool Reader::ReadLengthPrefixed(std::string_view* s) {
+  uint64_t len = 0;
+  if (!ReadVarint(&len) || len > remaining()) return false;
+  *s = buf_.substr(pos_, len);
+  pos_ += len;
+  return true;
+}
+
+namespace {
+
+void AppendHeader(MessageClass c, std::string* out) {
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(c));
+}
+
+/// Checks the two header bytes and positions `r` at the body. When
+/// `expect` is kControl any class is accepted (generic inspection).
+Status ReadHeader(Reader* r, MessageClass expect) {
+  uint8_t version = 0;
+  uint8_t cls = 0;
+  if (!r->ReadByte(&version) || !r->ReadByte(&cls)) {
+    return Malformed("truncated header");
+  }
+  if (version != kWireVersion) {
+    return Status::ParseError(StrCat("wire: version ",
+                                     static_cast<int>(version),
+                                     ", expected ",
+                                     static_cast<int>(kWireVersion)));
+  }
+  if (cls >= kMessageClassCount) return Malformed("unknown message class");
+  if (expect != MessageClass::kControl &&
+      static_cast<MessageClass>(cls) != expect) {
+    return Status::ParseError(
+        StrCat("wire: message class ",
+               MessageClassName(static_cast<MessageClass>(cls)),
+               ", expected ", MessageClassName(expect)));
+  }
+  return Status::OK();
+}
+
+// --- tree encoding ---
+
+/// Canonically ordered view of one subtree: children sorted by their
+/// canonical form (tree_equal.h), each form computed exactly once, so
+/// unordered-equal trees walk — and therefore encode — identically.
+struct CanonNode {
+  const TreeNode* node = nullptr;
+  std::vector<CanonNode> kids;
+  std::string form;
+};
+
+CanonNode Canonicalize(const TreeNode& n) {
+  CanonNode c;
+  c.node = &n;
+  if (n.is_text()) {
+    c.form = StrCat("t:", n.text());
+    return c;
+  }
+  c.kids.reserve(n.child_count());
+  for (const auto& child : n.children()) {
+    c.kids.push_back(Canonicalize(*child));
+  }
+  std::sort(c.kids.begin(), c.kids.end(),
+            [](const CanonNode& a, const CanonNode& b) {
+              return a.form < b.form;
+            });
+  c.form = StrCat("e:", n.label_text(), "{");
+  for (const CanonNode& k : c.kids) {
+    c.form += k.form;
+    c.form.push_back('|');
+  }
+  c.form.push_back('}');
+  return c;
+}
+
+/// First-use label table over the canonical walk.
+void CollectLabels(const CanonNode& c, std::vector<LabelId>* order,
+                   std::vector<uint32_t>* index_of) {
+  if (c.node->is_element()) {
+    const LabelId label = c.node->label();
+    if (label >= index_of->size()) {
+      index_of->resize(label + 1, UINT32_MAX);
+    }
+    if ((*index_of)[label] == UINT32_MAX) {
+      (*index_of)[label] = static_cast<uint32_t>(order->size());
+      order->push_back(label);
+    }
+    for (const CanonNode& k : c.kids) CollectLabels(k, order, index_of);
+  }
+}
+
+constexpr uint8_t kTagText = 0;
+constexpr uint8_t kTagElement = 1;
+
+void EncodeNode(const CanonNode& c, const std::vector<uint32_t>& index_of,
+                std::string* out) {
+  if (c.node->is_text()) {
+    out->push_back(static_cast<char>(kTagText));
+    AppendLengthPrefixed(c.node->text(), out);
+    return;
+  }
+  out->push_back(static_cast<char>(kTagElement));
+  AppendVarint(index_of[c.node->label()], out);
+  AppendVarint(c.kids.size(), out);
+  for (const CanonNode& k : c.kids) EncodeNode(k, index_of, out);
+}
+
+Result<TreePtr> DecodeNode(Reader* r, const std::vector<LabelId>& labels,
+                           NodeIdGen* gen, size_t depth) {
+  if (depth > kMaxDecodeDepth) return Malformed("nesting too deep");
+  uint8_t tag = 0;
+  if (!r->ReadByte(&tag)) return Malformed("truncated node tag");
+  if (tag == kTagText) {
+    std::string_view text;
+    if (!r->ReadLengthPrefixed(&text)) return Malformed("truncated text");
+    return TreeNode::Text(std::string(text));
+  }
+  if (tag != kTagElement) return Malformed("unknown node tag");
+  uint64_t label_index = 0;
+  uint64_t child_count = 0;
+  if (!r->ReadVarint(&label_index) || !r->ReadVarint(&child_count)) {
+    return Malformed("truncated element");
+  }
+  if (label_index >= labels.size()) return Malformed("label index");
+  // Every child occupies >= 2 bytes; a count beyond that is corrupt.
+  if (child_count > r->remaining()) return Malformed("child count");
+  TreePtr node = TreeNode::Element(labels[label_index], gen->Next());
+  for (uint64_t i = 0; i < child_count; ++i) {
+    auto child = DecodeNode(r, labels, gen, depth + 1);
+    if (!child.ok()) return child.status();
+    node->AddChild(std::move(child).value());
+  }
+  return node;
+}
+
+void EncodeTreeBody(const TreeNode& root, std::string* out) {
+  const CanonNode canon = Canonicalize(root);
+  std::vector<LabelId> label_order;
+  std::vector<uint32_t> index_of;
+  CollectLabels(canon, &label_order, &index_of);
+  AppendVarint(label_order.size(), out);
+  for (LabelId label : label_order) {
+    AppendLengthPrefixed(LabelText(label), out);
+  }
+  EncodeNode(canon, index_of, out);
+}
+
+Result<TreePtr> DecodeTreeBody(Reader* r, NodeIdGen* gen) {
+  uint64_t label_count = 0;
+  if (!r->ReadVarint(&label_count)) return Malformed("label table");
+  if (label_count > r->remaining()) return Malformed("label table size");
+  std::vector<LabelId> labels;
+  labels.reserve(label_count);
+  for (uint64_t i = 0; i < label_count; ++i) {
+    std::string_view text;
+    if (!r->ReadLengthPrefixed(&text)) return Malformed("label text");
+    labels.push_back(InternLabel(text));
+  }
+  return DecodeNode(r, labels, gen, /*depth=*/0);
+}
+
+}  // namespace
+
+std::string EncodeTree(const TreeNode& root, WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  std::string out;
+  AppendHeader(MessageClass::kTree, &out);
+  EncodeTreeBody(root, &out);
+  if (stats != nullptr) {
+    stats->RecordEncode(MessageClass::kTree, out.size(),
+                        TimingNowNs(stats) - t0);
+  }
+  return out;
+}
+
+uint64_t EncodedTreeSize(const TreeNode& root) {
+  return EncodeTree(root).size();
+}
+
+Result<TreePtr> DecodeTree(std::string_view blob, NodeIdGen* gen,
+                           WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  Reader r(blob);
+  Status header = ReadHeader(&r, MessageClass::kTree);
+  Result<TreePtr> result =
+      header.ok() ? DecodeTreeBody(&r, gen) : Result<TreePtr>(header);
+  if (result.ok() && !r.done()) {
+    result = Malformed("trailing bytes after tree");
+  }
+  if (stats != nullptr) {
+    stats->RecordDecode(blob.size(), TimingNowNs(stats) - t0, result.ok());
+  }
+  return result;
+}
+
+// --- notify batches ---
+
+Payload EncodeNotifyBatch(const NotifyBatch& batch, WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  std::string out;
+  AppendHeader(MessageClass::kNotify, &out);
+  AppendVarint(batch.origin, &out);
+  AppendVarint(batch.keys.size(), &out);
+  for (const NotifyBatch::Key& key : batch.keys) {
+    AppendLengthPrefixed(key.name, &out);
+    AppendLengthPrefixed(key.shard, &out);
+  }
+  if (stats != nullptr) {
+    stats->RecordEncode(MessageClass::kNotify, out.size(),
+                        TimingNowNs(stats) - t0);
+  }
+  return Payload(std::move(out));
+}
+
+Result<NotifyBatch> DecodeNotifyBatch(const Payload& p, WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  auto parse = [&]() -> Result<NotifyBatch> {
+    Reader r(p.bytes());
+    AXML_RETURN_NOT_OK(ReadHeader(&r, MessageClass::kNotify));
+    NotifyBatch batch;
+    uint64_t origin = 0;
+    uint64_t count = 0;
+    if (!r.ReadVarint(&origin) || !r.ReadVarint(&count)) {
+      return Malformed("notify header");
+    }
+    if (count > r.remaining()) return Malformed("notify key count");
+    batch.origin = static_cast<uint32_t>(origin);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string_view name;
+      std::string_view shard;
+      if (!r.ReadLengthPrefixed(&name) || !r.ReadLengthPrefixed(&shard)) {
+        return Malformed("notify key");
+      }
+      batch.keys.push_back({std::string(name), std::string(shard)});
+    }
+    if (!r.done()) return Malformed("trailing bytes after notify");
+    return batch;
+  };
+  Result<NotifyBatch> result = parse();
+  if (stats != nullptr) {
+    stats->RecordDecode(p.size(), TimingNowNs(stats) - t0, result.ok());
+  }
+  return result;
+}
+
+// --- lease renewals ---
+
+Payload EncodeLeaseRenewal(const LeaseRenewal& lease, WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  std::string out;
+  AppendHeader(MessageClass::kLease, &out);
+  AppendVarint(lease.holder, &out);
+  AppendVarint(lease.origin, &out);
+  AppendVarint(lease.subscribed_keys, &out);
+  if (stats != nullptr) {
+    stats->RecordEncode(MessageClass::kLease, out.size(),
+                        TimingNowNs(stats) - t0);
+  }
+  return Payload(std::move(out));
+}
+
+Result<LeaseRenewal> DecodeLeaseRenewal(const Payload& p,
+                                        WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  auto parse = [&]() -> Result<LeaseRenewal> {
+    Reader r(p.bytes());
+    AXML_RETURN_NOT_OK(ReadHeader(&r, MessageClass::kLease));
+    uint64_t holder = 0;
+    uint64_t origin = 0;
+    LeaseRenewal lease;
+    if (!r.ReadVarint(&holder) || !r.ReadVarint(&origin) ||
+        !r.ReadVarint(&lease.subscribed_keys)) {
+      return Malformed("lease body");
+    }
+    if (!r.done()) return Malformed("trailing bytes after lease");
+    lease.holder = static_cast<uint32_t>(holder);
+    lease.origin = static_cast<uint32_t>(origin);
+    return lease;
+  };
+  Result<LeaseRenewal> result = parse();
+  if (stats != nullptr) {
+    stats->RecordDecode(p.size(), TimingNowNs(stats) - t0, result.ok());
+  }
+  return result;
+}
+
+// --- shipments ---
+
+Payload EncodeShipment(const Shipment& s, WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  std::string out;
+  AppendHeader(MessageClass::kShipment, &out);
+  AppendVarint(s.origin, &out);
+  AppendLengthPrefixed(s.name, &out);
+  AppendVarint(s.snapshot_version, &out);
+  out.push_back(s.sharded ? 1 : 0);
+  if (s.sharded) {
+    AppendLengthPrefixed(s.manifest, &out);
+    AppendVarint(s.shards.size(), &out);
+    for (const Shipment::Shard& shard : s.shards) {
+      AppendLengthPrefixed(shard.id, &out);
+      AppendLengthPrefixed(shard.tree, &out);
+    }
+  } else {
+    AppendLengthPrefixed(s.whole, &out);
+  }
+  if (stats != nullptr) {
+    stats->RecordEncode(MessageClass::kShipment, out.size(),
+                        TimingNowNs(stats) - t0);
+  }
+  return Payload(std::move(out));
+}
+
+Result<Shipment> DecodeShipment(const Payload& p, WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  auto parse = [&]() -> Result<Shipment> {
+    Reader r(p.bytes());
+    AXML_RETURN_NOT_OK(ReadHeader(&r, MessageClass::kShipment));
+    Shipment s;
+    uint64_t origin = 0;
+    std::string_view name;
+    uint8_t sharded = 0;
+    if (!r.ReadVarint(&origin) || !r.ReadLengthPrefixed(&name) ||
+        !r.ReadVarint(&s.snapshot_version) || !r.ReadByte(&sharded)) {
+      return Malformed("shipment header");
+    }
+    if (sharded > 1) return Malformed("shipment mode");
+    s.origin = static_cast<uint32_t>(origin);
+    s.name = std::string(name);
+    s.sharded = sharded == 1;
+    if (s.sharded) {
+      std::string_view manifest;
+      uint64_t shard_count = 0;
+      if (!r.ReadLengthPrefixed(&manifest) || !r.ReadVarint(&shard_count)) {
+        return Malformed("shipment manifest");
+      }
+      if (shard_count > r.remaining()) return Malformed("shard count");
+      s.manifest = std::string(manifest);
+      for (uint64_t i = 0; i < shard_count; ++i) {
+        std::string_view id;
+        std::string_view tree;
+        if (!r.ReadLengthPrefixed(&id) || !r.ReadLengthPrefixed(&tree)) {
+          return Malformed("shipment shard");
+        }
+        s.shards.push_back({std::string(id), std::string(tree)});
+      }
+    } else {
+      std::string_view whole;
+      if (!r.ReadLengthPrefixed(&whole)) return Malformed("shipment body");
+      s.whole = std::string(whole);
+    }
+    if (!r.done()) return Malformed("trailing bytes after shipment");
+    return s;
+  };
+  Result<Shipment> result = parse();
+  if (stats != nullptr) {
+    stats->RecordDecode(p.size(), TimingNowNs(stats) - t0, result.ok());
+  }
+  return result;
+}
+
+// --- anti-entropy digests ---
+
+Payload EncodeDigestExchange(const DigestExchange& d, WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  std::string out;
+  AppendHeader(MessageClass::kDigest, &out);
+  AppendVarint(d.holder, &out);
+  AppendVarint(d.origin, &out);
+  AppendVarint(d.docs.size(), &out);
+  for (const DigestExchange::Doc& doc : d.docs) {
+    AppendLengthPrefixed(doc.name, &out);
+    AppendVarint(doc.version, &out);
+    AppendFixed64(doc.manifest.hi, &out);
+    AppendFixed64(doc.manifest.lo, &out);
+    AppendVarint(doc.shards.size(), &out);
+    for (const ContentDigest& shard : doc.shards) {
+      AppendFixed64(shard.hi, &out);
+      AppendFixed64(shard.lo, &out);
+    }
+  }
+  if (stats != nullptr) {
+    stats->RecordEncode(MessageClass::kDigest, out.size(),
+                        TimingNowNs(stats) - t0);
+  }
+  return Payload(std::move(out));
+}
+
+Result<DigestExchange> DecodeDigestExchange(const Payload& p,
+                                            WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  auto parse = [&]() -> Result<DigestExchange> {
+    Reader r(p.bytes());
+    AXML_RETURN_NOT_OK(ReadHeader(&r, MessageClass::kDigest));
+    DigestExchange d;
+    uint64_t holder = 0;
+    uint64_t origin = 0;
+    uint64_t doc_count = 0;
+    if (!r.ReadVarint(&holder) || !r.ReadVarint(&origin) ||
+        !r.ReadVarint(&doc_count)) {
+      return Malformed("digest header");
+    }
+    if (doc_count > r.remaining()) return Malformed("digest doc count");
+    d.holder = static_cast<uint32_t>(holder);
+    d.origin = static_cast<uint32_t>(origin);
+    for (uint64_t i = 0; i < doc_count; ++i) {
+      DigestExchange::Doc doc;
+      std::string_view name;
+      uint64_t shard_count = 0;
+      if (!r.ReadLengthPrefixed(&name) || !r.ReadVarint(&doc.version) ||
+          !r.ReadFixed64(&doc.manifest.hi) ||
+          !r.ReadFixed64(&doc.manifest.lo) || !r.ReadVarint(&shard_count)) {
+        return Malformed("digest doc");
+      }
+      if (shard_count > r.remaining() / 16) {
+        return Malformed("digest shard count");
+      }
+      doc.name = std::string(name);
+      for (uint64_t j = 0; j < shard_count; ++j) {
+        ContentDigest shard;
+        if (!r.ReadFixed64(&shard.hi) || !r.ReadFixed64(&shard.lo)) {
+          return Malformed("digest shard");
+        }
+        doc.shards.push_back(shard);
+      }
+      d.docs.push_back(std::move(doc));
+    }
+    if (!r.done()) return Malformed("trailing bytes after digest");
+    return d;
+  };
+  Result<DigestExchange> result = parse();
+  if (stats != nullptr) {
+    stats->RecordDecode(p.size(), TimingNowNs(stats) - t0, result.ok());
+  }
+  return result;
+}
+
+// --- text ---
+
+Payload EncodeText(MessageClass cls, std::string_view text,
+                   WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  std::string out;
+  AppendHeader(cls, &out);
+  AppendLengthPrefixed(text, &out);
+  if (stats != nullptr) {
+    stats->RecordEncode(cls, out.size(), TimingNowNs(stats) - t0);
+  }
+  return Payload(std::move(out));
+}
+
+Result<std::string> DecodeText(const Payload& p, WireStats* stats) {
+  const uint64_t t0 = TimingNowNs(stats);
+  auto parse = [&]() -> Result<std::string> {
+    Reader r(p.bytes());
+    AXML_RETURN_NOT_OK(ReadHeader(&r, MessageClass::kControl));
+    std::string_view text;
+    if (!r.ReadLengthPrefixed(&text)) return Malformed("text body");
+    if (!r.done()) return Malformed("trailing bytes after text");
+    return std::string(text);
+  };
+  Result<std::string> result = parse();
+  if (stats != nullptr) {
+    stats->RecordDecode(p.size(), TimingNowNs(stats) - t0, result.ok());
+  }
+  return result;
+}
+
+uint64_t EncodedTextSize(std::string_view text) {
+  std::string len;
+  AppendVarint(text.size(), &len);
+  return 2 + len.size() + text.size();
+}
+
+}  // namespace wire
+}  // namespace axml

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "xml/wire.h"
 #include "xml/xml_serializer.h"
 
 namespace axml {
@@ -62,7 +63,7 @@ std::string TreeStats::ToString() const {
 TreeStats ComputeStats(const TreeNode& tree) {
   TreeStats s;
   Walk(tree, 1, &s);
-  s.serialized_bytes = tree.SerializedSize();
+  s.serialized_bytes = wire::EncodedTreeSize(tree);
   return s;
 }
 

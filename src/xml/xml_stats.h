@@ -28,6 +28,7 @@ struct TreeStats {
   uint64_t element_count = 0;
   uint64_t text_count = 0;
   uint64_t depth = 0;
+  /// Encoded wire size (xml/wire.h) — what shipping the tree costs.
   uint64_t serialized_bytes = 0;
   uint64_t service_call_count = 0;  ///< number of sc elements
   std::unordered_map<LabelId, LabelStats> per_label;

@@ -37,6 +37,7 @@
 #include "replica/transfer_cache.h"
 #include "test_util.h"
 #include "xml/tree_equal.h"
+#include "xml/wire.h"
 
 namespace axml {
 namespace {
@@ -160,7 +161,7 @@ class CacheModelHarness {
     OracleDoc& doc = OracleFor(key);
     const size_t content = rng_.Index(contents_.size());
     const TreePtr& proto = contents_[content];
-    const uint64_t bytes = proto->SerializedSize();
+    const uint64_t bytes = wire::EncodedTreeSize(*proto);
     const bool fits = bytes <= cache_.byte_budget();
     const bool accepted = cache_.Put(key, proto->Clone(&gen_),
                                      DigestOf(*proto), doc.version);
@@ -222,6 +223,14 @@ class CacheModelHarness {
       const TransferCache::Entry* e = cache_.Peek(k);
       ASSERT_NE(e, nullptr);
       digest_bytes[e->digest.ToString()] = e->bytes;
+      // Wire-format oracle: the resident blob is exactly what the
+      // encoder produces for the entry's tree, and the entry's priced
+      // bytes are that blob's length — the cache never charges an
+      // estimate that drifts from the bytes it would actually ship.
+      const std::string* blob = cache_.PeekEncoded(k);
+      ASSERT_NE(blob, nullptr);
+      EXPECT_EQ(*blob, wire::EncodeTree(*e->tree));
+      EXPECT_EQ(blob->size(), e->bytes);
       // Every resident entry is something the oracle once put — at a
       // version the oracle has not passed.
       auto it = oracle_.find(k);

@@ -21,6 +21,7 @@
 #include "test_util.h"
 #include "xml/digest.h"
 #include "xml/label_interner.h"
+#include "xml/wire.h"
 
 namespace axml {
 namespace {
@@ -111,8 +112,8 @@ TEST_F(TransferCacheDeathTest, EvictListenerCallingBackAborts) {
         TreePtr second = MakeTextElement("r", std::string(60, 'b'), &gen);
         // A budget that admits either tree alone but not both, so the
         // second Put must evict the first.
-        TransferCache cache(first->SerializedSize() +
-                            second->SerializedSize() - 1);
+        TransferCache cache(wire::EncodedTreeSize(*first) +
+                            wire::EncodedTreeSize(*second) - 1);
         cache.set_evict_listener(
             [&cache](const ReplicaKey& key, const TransferCache::Entry&) {
               // The contract forbids exactly this: the listener fires
@@ -132,7 +133,8 @@ TEST(TransferCacheContractTest, EvictListenerMayReadTheCache) {
   NodeIdGen gen;
   TreePtr first = MakeTextElement("r", std::string(60, 'a'), &gen);
   TreePtr second = MakeTextElement("r", std::string(60, 'b'), &gen);
-  TransferCache cache(first->SerializedSize() + second->SerializedSize() - 1);
+  TransferCache cache(wire::EncodedTreeSize(*first) +
+                      wire::EncodedTreeSize(*second) - 1);
   size_t keys_seen_during_evict = 0;
   cache.set_evict_listener(
       [&cache, &keys_seen_during_evict](const ReplicaKey&,

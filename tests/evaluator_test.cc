@@ -9,6 +9,7 @@
 #include "algebra/expr.h"
 #include "test_util.h"
 #include "xml/tree_equal.h"
+#include "xml/wire.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_serializer.h"
 
@@ -61,9 +62,10 @@ TEST_F(EvaluatorTest, RemoteTreeShipsToEvaluator) {
   ASSERT_TRUE(out.ok()) << out.status();
   ASSERT_EQ(out->results.size(), 1u);
   EXPECT_TRUE(TreesEqualUnordered(*t, *out->results[0]));
-  // The copy landed with fresh ids minted by p0.
+  // The copy landed with fresh ids minted by p0, and the transfer was
+  // priced at exactly the encoded payload's size.
   EXPECT_EQ(out->results[0]->id().minted_by(), p0_);
-  const uint64_t size = t->SerializedSize();
+  const uint64_t size = wire::EncodedTreeSize(*t);
   EXPECT_EQ(sys_.network().stats().Pair(p1_, p0_).bytes, size);
   EXPECT_NEAR(out->Duration(), kLat + size / kBw, 1e-9);
 }
@@ -120,7 +122,7 @@ TEST_F(EvaluatorTest, RemoteQueryTextIsShipped) {
   ASSERT_TRUE(out.ok()) << out.status();
   EXPECT_EQ(out->results.size(), 1u);
   EXPECT_EQ(sys_.network().stats().Pair(p1_, p0_).bytes,
-            q.SerializedSize());
+            wire::EncodedTextSize(q.text()));
 }
 
 // --- Definition (6): service calls ---

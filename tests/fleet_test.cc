@@ -109,6 +109,38 @@ TEST(FleetSmokeTest, AdvertisementBatchingPaysPerDelta) {
             after_bringup.advertise_messages);
 }
 
+TEST(FleetFaultTest, ChordBackendSurvivesChurnWithZeroStaleReads) {
+  // The faulted soak on the routed DHT backend: six non-origin peers
+  // crash a third of the way in (mixed cache-losing and durable-cache
+  // crashes) and rejoin at two thirds. The ring keeps the crashed
+  // peers as members; successor resolution walks past them, so routed
+  // lookups keep completing — and every read stays fresh throughout.
+  FleetConfig cfg = SmokeConfig(FleetBackend::kChordDht, TestSeed(1));
+  cfg.churn = true;
+  cfg.churn_peers = 6;
+  FleetHarness fleet(cfg);
+  const FleetReport r = fleet.Run();
+  EXPECT_EQ(r.crashes, 6u) << r.ToString();
+  EXPECT_EQ(r.rejoins, 6u) << r.ToString();
+  EXPECT_EQ(r.stale_reads, 0u) << r.ToString();
+  EXPECT_GT(r.lookups, 0u);
+  EXPECT_LE(r.msgs_per_lookup, 2.0 * std::log2(200.0) + 2.0)
+      << r.ToString();
+}
+
+TEST(FleetFaultTest, CentralBackendSurvivesChurnWithZeroStaleReads) {
+  // Same schedule against the central backend: the churn contract is
+  // backend-independent (SetPeerLive is a no-op for central, whose
+  // server — peer 0 — never crashes).
+  FleetConfig cfg = SmokeConfig(FleetBackend::kCentral, TestSeed(1));
+  cfg.churn = true;
+  cfg.churn_peers = 6;
+  FleetHarness fleet(cfg);
+  const FleetReport r = fleet.Run();
+  EXPECT_EQ(r.crashes, 6u) << r.ToString();
+  EXPECT_EQ(r.stale_reads, 0u) << r.ToString();
+}
+
 TEST(FleetSoakTest, ThousandPeerDhtFleetIsFresh) {
   if (std::getenv("AXML_FLEET_SOAK") == nullptr) {
     GTEST_SKIP() << "set AXML_FLEET_SOAK=1 to run the 1000-peer soak";
@@ -127,6 +159,27 @@ TEST(FleetSoakTest, ThousandPeerDhtFleetIsFresh) {
   EXPECT_GT(r.lookups, 0u);
   EXPECT_LE(r.msgs_per_lookup, 2.0 * std::log2(1000.0) + 2.0);
   EXPECT_LT(r.max_node_share, 0.2) << r.ToString();
+}
+
+TEST(FleetSoakTest, ThousandPeerDhtFleetSurvivesChurn) {
+  if (std::getenv("AXML_FLEET_SOAK") == nullptr) {
+    GTEST_SKIP() << "set AXML_FLEET_SOAK=1 to run the 1000-peer soak";
+  }
+  FleetConfig cfg;
+  cfg.topo.regions = 4;
+  cfg.topo.racks_per_region = 5;
+  cfg.topo.peers_per_rack = 50;  // 1000 peers
+  cfg.backend = FleetBackend::kChordDht;
+  cfg.origins = 16;
+  cfg.ops = 2000;
+  cfg.seed = TestSeed(1);
+  cfg.churn = true;
+  cfg.churn_peers = 20;
+  FleetHarness fleet(cfg);
+  const FleetReport r = fleet.Run();
+  EXPECT_EQ(r.crashes, 20u) << r.ToString();
+  EXPECT_EQ(r.stale_reads, 0u) << r.ToString();
+  EXPECT_GT(r.lookups, 0u);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "replica/transfer_cache.h"
 #include "test_util.h"
 #include "xml/tree_equal.h"
+#include "xml/wire.h"
 
 namespace axml {
 namespace {
@@ -56,7 +57,7 @@ TEST(TransferCacheTest, HitAfterPutAndVersionedInvalidation) {
 
   EXPECT_EQ(cache.Get(key, 3), t);
   EXPECT_EQ(cache.stats().hits, 1u);
-  EXPECT_EQ(cache.stats().bytes_saved, t->SerializedSize());
+  EXPECT_EQ(cache.stats().bytes_saved, wire::EncodedTreeSize(*t));
 
   // A version bump at the origin makes the copy stale: dropped on lookup.
   EXPECT_EQ(cache.Get(key, 4), nullptr);
@@ -72,8 +73,9 @@ TEST(TransferCacheTest, LruEvictsAtByteBudget) {
   TreePtr t2 = MakeCatalog(8, &gen, &rng);
   TreePtr t3 = MakeCatalog(8, &gen, &rng);
   // Budget holds two catalogs but not three.
-  TransferCache cache(t1->SerializedSize() + t2->SerializedSize() +
-                      t3->SerializedSize() / 2);
+  TransferCache cache(wire::EncodedTreeSize(*t1) +
+                      wire::EncodedTreeSize(*t2) +
+                      wire::EncodedTreeSize(*t3) / 2);
 
   ReplicaKey k1{PeerId(1), "d1"}, k2{PeerId(1), "d2"}, k3{PeerId(1), "d3"};
   ASSERT_TRUE(cache.Put(k1, t1, DigestOf(*t1), 1));
@@ -93,7 +95,7 @@ TEST(TransferCacheTest, OverBudgetTreeIsRefused) {
   NodeIdGen gen;
   Rng rng(7);
   TreePtr big = MakeCatalog(64, &gen, &rng);
-  TransferCache cache(big->SerializedSize() - 1);
+  TransferCache cache(wire::EncodedTreeSize(*big) - 1);
   EXPECT_FALSE(
       cache.Put(ReplicaKey{PeerId(0), "big"}, big, DigestOf(*big), 1));
   EXPECT_EQ(cache.entry_count(), 0u);
@@ -112,8 +114,8 @@ TEST(TransferCacheTest, IdenticalContentSharesOneBlob) {
 
   EXPECT_EQ(cache.entry_count(), 2u);
   EXPECT_EQ(cache.blob_count(), 1u);  // content-addressed: one stored blob
-  EXPECT_EQ(cache.resident_bytes(), a->SerializedSize());
-  EXPECT_EQ(cache.stats().bytes_deduped, b->SerializedSize());
+  EXPECT_EQ(cache.resident_bytes(), wire::EncodedTreeSize(*a));
+  EXPECT_EQ(cache.stats().bytes_deduped, wire::EncodedTreeSize(*b));
   // Both keys serve the shared blob.
   EXPECT_EQ(cache.Get(ReplicaKey{PeerId(1), "d"}, 1),
             cache.Get(ReplicaKey{PeerId(2), "d"}, 1));
@@ -426,12 +428,15 @@ TEST(PushRefreshTest, MutationRetractsAdvertisementsBeforeAnyLookup) {
   EXPECT_FALSE(f.sys.replicas().subscriptions().IsSubscribed(
       ReplicaKey{f.origin, "d"}, f.client));
 
-  // The notification is accounted wire traffic, tallied apart.
+  // The notification is accounted wire traffic, tallied apart, and
+  // priced at exactly its encoded size (one key, whole-document).
   const SubscriptionStats& ss = f.sys.replicas().subscription_stats();
   EXPECT_EQ(ss.notifies, 1u);
   EXPECT_EQ(ss.drops, 1u);
   EXPECT_EQ(f.sys.network().stats().notify_messages(), 1u);
-  EXPECT_EQ(f.sys.network().stats().notify_bytes(), kNotifyMsgBytes);
+  wire::NotifyBatch expected{f.origin.index(), {{"d", ""}}};
+  EXPECT_EQ(f.sys.network().stats().notify_bytes(),
+            wire::EncodeNotifyBatch(expected).size());
 }
 
 TEST(PushRefreshTest, LazyPolicyKeepsTheStaleAdvertisementWindow) {

@@ -25,6 +25,7 @@
 #include "test_util.h"
 #include "xml/sharding.h"
 #include "xml/tree_equal.h"
+#include "xml/wire.h"
 #include "xml/xml_serializer.h"
 
 namespace axml {
@@ -118,12 +119,14 @@ TEST(ShardingTest, ShardSizesRespectTheCap) {
     largest_child = std::max(largest_child, c->SerializedSize());
   }
   for (const DocumentShard& s : sd.shards) {
-    // A shard holds whole subtrees, so the wrapper can exceed the cap
-    // only when a single child does.
-    EXPECT_LE(s.bytes,
+    // Grouping clamps are enforced on the XML serialization (so shard
+    // boundaries are stable), and a shard holds whole subtrees: the
+    // wrapper can exceed the cap only when a single child does.
+    EXPECT_LE(s.content->SerializedSize(),
               std::max(cfg.max_shard_bytes, largest_child) +
                   uint64_t{32} /* wrapper tags */);
-    EXPECT_EQ(s.bytes, s.content->SerializedSize());
+    // The priced size is the shard's encoded wire form.
+    EXPECT_EQ(s.bytes, wire::EncodedTreeSize(*s.content));
     EXPECT_EQ(s.id, DigestOf(*s.content));
   }
   // The manifest is a sliver of the document.
@@ -376,11 +379,14 @@ TEST(ShardingTest, ContentDefinedGroupsRespectMinAndMaxClamps) {
   ShardedDocument sd = SplitDocument(*doc, cfg, &gen);
   ASSERT_GT(sd.shards.size(), 4u);
   for (size_t i = 0; i < sd.shards.size(); ++i) {
-    EXPECT_LE(sd.shards[i].bytes, cfg.max_shard_bytes + uint64_t{32});
+    // The clamps act on the XML serialization (the grouping metric),
+    // not the encoded wire size shards are priced at.
+    const uint64_t group_bytes = sd.shards[i].content->SerializedSize();
+    EXPECT_LE(group_bytes, cfg.max_shard_bytes + uint64_t{32});
     // Every group but the trailing remainder reaches the min clamp
     // (wrapper bytes included, so the raw content bound is loose).
     if (i + 1 < sd.shards.size()) {
-      EXPECT_GE(sd.shards[i].bytes, cfg.min_shard_bytes);
+      EXPECT_GE(group_bytes, cfg.min_shard_bytes);
     }
   }
 }
@@ -816,7 +822,11 @@ TEST(ShardedReplicaTest, ColdDeltaNeverPricesAboveWholeTransfer) {
   uint64_t delta = 0;
   ASSERT_TRUE(f.sys.replicas().ShardedDeltaBytes(f.client, f.origin, "d",
                                                  &delta));
-  ASSERT_GT(delta, f.doc_bytes);  // the raw delta really is bigger
+  // The raw delta really is bigger than the encoded whole-document
+  // transfer it competes with (per-shard envelopes + the manifest).
+  const uint64_t whole_encoded =
+      wire::EncodedTreeSize(*f.sys.peer(f.origin)->GetDocument("d"));
+  ASSERT_GT(delta, whole_encoded);
   CostModel cached(&f.sys, /*assume_replica_cache=*/true);
   CostModel plain(&f.sys, /*assume_replica_cache=*/false);
   ExprPtr doc = Expr::Doc("d", f.origin);
@@ -927,10 +937,15 @@ TEST(ShardedReplicaTest, BatchedNotificationsShareOneWireMessage) {
   EXPECT_EQ(ss.notifies, static_cast<uint64_t>(kDocs));
   EXPECT_EQ(ss.batched, static_cast<uint64_t>(kDocs - 1));
   EXPECT_EQ(sys.network().stats().notify_messages(), 1u);
-  // The batched message is bigger than a lone notification but far
-  // smaller than five of them.
+  // The batched message is priced at exactly its encoded size: one
+  // envelope carrying all five keys — bigger than a lone notification
+  // but far smaller than five of them.
+  wire::NotifyBatch expected{origin.index(), {}};
+  for (int i = 0; i < kDocs; ++i) {
+    expected.keys.push_back({StrCat("d", i), ""});
+  }
   EXPECT_EQ(sys.network().stats().notify_bytes(),
-            kNotifyMsgBytes + (kDocs - 1) * kNotifyKeyBytes);
+            wire::EncodeNotifyBatch(expected).size());
   // Coherence was still synchronous: every copy dropped at mutation.
   for (int i = 0; i < kDocs; ++i) {
     EXPECT_FALSE(sys.replicas().HasFresh(reader, origin, StrCat("d", i)));

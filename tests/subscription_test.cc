@@ -11,6 +11,7 @@
 #include "xml/digest.h"
 #include "replica/replica_manager.h"
 #include "replica/subscription.h"
+#include "xml/wire.h"
 #include "test_util.h"
 
 namespace axml {
@@ -132,7 +133,7 @@ TEST(CacheStatsTest, RefusedOverBudgetPutCountsNothing) {
   NodeIdGen gen;
   Rng rng(7);
   TreePtr big = MakeCatalog(64, &gen, &rng);
-  TransferCache cache(big->SerializedSize() - 1);
+  TransferCache cache(wire::EncodedTreeSize(*big) - 1);
   EXPECT_FALSE(
       cache.Put(ReplicaKey{PeerId(0), "big"}, big, DigestOf(*big), 1));
   EXPECT_EQ(cache.stats().inserts, 0u);
@@ -152,7 +153,7 @@ TEST(CacheStatsTest, OverwriteReleasesTheOldBlobBeforeCharging) {
   ASSERT_TRUE(cache.Put(key, v2, DigestOf(*v2), 2));
   EXPECT_EQ(cache.entry_count(), 1u);
   EXPECT_EQ(cache.blob_count(), 1u);
-  EXPECT_EQ(cache.resident_bytes(), v2->SerializedSize());
+  EXPECT_EQ(cache.resident_bytes(), wire::EncodedTreeSize(*v2));
   EXPECT_EQ(cache.stats().inserts, 2u);
   // The overwrite is neither a budget eviction nor an invalidation.
   EXPECT_EQ(cache.stats().evictions, 0u);
@@ -206,7 +207,7 @@ TEST(CacheStatsTest, BudgetEvictionCountsFreedBytesAndPolicyVictims) {
   const uint64_t resident_before = cache.resident_bytes();
   // Shrink to hold only the newest entry: two LRU victims depart and
   // their blob bytes are the reported churn.
-  cache.set_byte_budget(c->SerializedSize());
+  cache.set_byte_budget(wire::EncodedTreeSize(*c));
   EXPECT_EQ(cache.entry_count(), 1u);
   EXPECT_EQ(cache.stats().evictions, 2u);
   EXPECT_EQ(cache.stats().bytes_evicted,
@@ -218,7 +219,7 @@ TEST(CacheStatsTest, BudgetEvictionCountsFreedBytesAndPolicyVictims) {
   EXPECT_TRUE(cache.Erase(ReplicaKey{PeerId(0), "c"},
                           /*invalidation=*/true));
   EXPECT_EQ(cache.stats().bytes_evicted,
-            resident_before - c->SerializedSize());
+            resident_before - wire::EncodedTreeSize(*c));
   // The counter is part of the printable stats line.
   EXPECT_NE(cache.stats().ToString().find("bytes_evicted="),
             std::string::npos);
@@ -232,7 +233,7 @@ TEST(CacheStatsTest, DedupAliasEvictionFreesBlobBytesOnlyOnce) {
   Rng r1(42), r2(42);  // same seed -> identical content
   TreePtr a = MakeCatalog(8, &g1, &r1);
   TreePtr b = MakeCatalog(8, &g2, &r2);
-  const uint64_t blob_bytes = a->SerializedSize();
+  const uint64_t blob_bytes = wire::EncodedTreeSize(*a);
   TransferCache cache(1 << 20);
   ASSERT_TRUE(cache.Put(ReplicaKey{PeerId(1), "d"}, a, DigestOf(*a), 1));
   ASSERT_TRUE(
@@ -293,8 +294,8 @@ TEST(CacheStatsTest, CostAwareProtectsTheExpensiveDistantCopy) {
   TreePtr small = MakeCatalog(8, &gen, &rng);
   TreePtr extra = MakeCatalog(8, &gen, &rng);
   // Slack for the few-byte size jitter between the two small catalogs.
-  sys.replicas().set_default_byte_budget(big->SerializedSize() +
-                                         small->SerializedSize() + 64);
+  sys.replicas().set_default_byte_budget(wire::EncodedTreeSize(*big) +
+                                         wire::EncodedTreeSize(*small) + 64);
   ASSERT_TRUE(sys.replicas().InsertCopy(
       reader, far, "hot", big, sys.replicas().Version(far, "hot")));
   ASSERT_TRUE(sys.replicas().InsertCopy(

@@ -7,6 +7,7 @@
 #include "test_util.h"
 #include "xml/schema.h"
 #include "xml/tree_equal.h"
+#include "xml/wire.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_serializer.h"
 #include "xml/xml_stats.h"
@@ -295,7 +296,7 @@ TEST(XmlStatsTest, CountsAndDepth) {
   EXPECT_EQ(s.text_count, 3u);
   EXPECT_EQ(s.node_count, 8u);
   EXPECT_EQ(s.depth, 4u);
-  EXPECT_EQ(s.serialized_bytes, SerializeCompact(*t).size());
+  EXPECT_EQ(s.serialized_bytes, wire::EncodedTreeSize(*t));
   EXPECT_EQ(s.per_label.at(InternLabel("a")).count, 2u);
 }
 
